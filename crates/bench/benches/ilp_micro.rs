@@ -1,0 +1,96 @@
+//! Micro-benchmarks for the `troy-ilp` substrate on classic 0-1 programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use troy_ilp::{LinExpr, Model, SolveParams, SolveStatus};
+
+/// Deterministic pseudo-random stream for reproducible instances.
+fn stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn knapsack(items: usize, seed: u64) -> Model {
+    let mut next = stream(seed);
+    let mut m = Model::maximize();
+    let mut obj = LinExpr::new();
+    let mut cap = LinExpr::new();
+    let mut weight_sum = 0.0;
+    for i in 0..items {
+        let v = m.binary(format!("x{i}"));
+        let value = (next() % 90 + 10) as f64;
+        let weight = (next() % 90 + 10) as f64;
+        obj.add_term(value, v);
+        cap.add_term(weight, v);
+        weight_sum += weight;
+    }
+    m.set_objective(obj);
+    m.add_le("cap", cap, weight_sum / 2.0);
+    m
+}
+
+fn assignment(n: usize, seed: u64) -> Model {
+    let mut next = stream(seed);
+    let mut m = Model::minimize();
+    let mut vars = vec![vec![]; n];
+    let mut obj = LinExpr::new();
+    for (i, row) in vars.iter_mut().enumerate() {
+        for j in 0..n {
+            let v = m.binary(format!("x{i}_{j}"));
+            obj.add_term((next() % 100) as f64, v);
+            row.push(v);
+        }
+    }
+    m.set_objective(obj);
+    #[allow(clippy::needless_range_loop)] // row/column duality reads clearer indexed
+    for i in 0..n {
+        m.add_eq(format!("row{i}"), LinExpr::sum(vars[i].clone()), 1.0);
+        m.add_eq(
+            format!("col{i}"),
+            LinExpr::sum((0..n).map(|r| vars[r][i])),
+            1.0,
+        );
+    }
+    m
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let params = SolveParams {
+        time_limit: Some(Duration::from_secs(30)),
+        ..SolveParams::default()
+    };
+    let mut g = c.benchmark_group("ilp_micro");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for items in [10usize, 16, 22] {
+        let model = knapsack(items, 42);
+        g.bench_function(format!("knapsack_{items}"), |b| {
+            b.iter(|| {
+                let r = black_box(&model).solve(&params);
+                assert_eq!(r.status(), SolveStatus::Optimal);
+                r.objective().unwrap()
+            })
+        });
+    }
+    for n in [4usize, 6] {
+        let model = assignment(n, 7);
+        g.bench_function(format!("assignment_{n}x{n}"), |b| {
+            b.iter(|| {
+                let r = black_box(&model).solve(&params);
+                assert_eq!(r.status(), SolveStatus::Optimal);
+                r.objective().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

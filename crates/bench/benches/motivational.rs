@@ -1,0 +1,41 @@
+//! Figure 5: solve the motivational instance to its $4160 optimum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use troy_bench::{harness_options, motivational_problem};
+use troyhls::{ExactSolver, GreedySolver, Synthesizer};
+
+fn bench_motivational(c: &mut Criterion) {
+    let problem = motivational_problem();
+    let options = harness_options();
+
+    // Sanity: the result this bench times must be the paper's optimum.
+    let s = ExactSolver::new()
+        .synthesize(&problem, &options)
+        .expect("feasible");
+    assert_eq!(s.cost, 4160, "Figure 5 optimum");
+
+    let mut g = c.benchmark_group("fig5_motivational");
+    g.sample_size(20);
+    g.bench_function("exact_4160", |b| {
+        b.iter(|| {
+            let s = ExactSolver::new()
+                .synthesize(black_box(&problem), &options)
+                .expect("feasible");
+            assert_eq!(s.cost, 4160);
+            s.cost
+        })
+    });
+    g.bench_function("greedy_upper_bound", |b| {
+        b.iter(|| {
+            GreedySolver::new()
+                .synthesize(black_box(&problem), &options)
+                .expect("feasible")
+                .cost
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_motivational);
+criterion_main!(benches);

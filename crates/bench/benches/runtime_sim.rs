@@ -1,0 +1,44 @@
+//! Run-time simulation throughput: mission steps and injection campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use troy_bench::{harness_options, motivational_problem};
+use troy_sim::{run_campaign, CampaignConfig, CoreLibrary, InputVector, PhaseController};
+use troyhls::{ExactSolver, Synthesizer};
+
+fn bench_runtime(c: &mut Criterion) {
+    let problem = motivational_problem();
+    let design = ExactSolver::new()
+        .synthesize(&problem, &harness_options())
+        .expect("feasible");
+    let library = CoreLibrary::new();
+
+    let mut g = c.benchmark_group("runtime_sim");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    g.bench_function("mission_step_clean", |b| {
+        let mut ctrl = PhaseController::new(&problem, &design.implementation, &library);
+        let inputs = InputVector::from_seed(problem.dfg(), 11);
+        b.iter(|| {
+            let report = ctrl.run(black_box(&inputs));
+            assert!(!report.mismatch);
+            report.nc.len()
+        })
+    });
+
+    g.bench_function("campaign_50_runs", |b| {
+        let cfg = CampaignConfig {
+            runs: 50,
+            rarity_bits: 6,
+            targeted_percent: 70,
+            ..CampaignConfig::default()
+        };
+        b.iter(|| run_campaign(&problem, black_box(&design.implementation), &cfg).detected)
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

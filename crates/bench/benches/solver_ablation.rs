@@ -1,0 +1,95 @@
+//! Ablation: exact domain search vs the paper's ILP (tight and literal
+//! big-Z linking) vs the greedy heuristic, on instances all three handle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use troy_dfg::benchmarks;
+use troyhls::{
+    AnnealingSolver, Catalog, ExactSolver, FormulationOptions, GreedySolver, IlpSolver, Mode,
+    SolveOptions, SynthesisProblem, Synthesizer,
+};
+
+fn polynom_detection() -> SynthesisProblem {
+    SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+        .mode(Mode::DetectionOnly)
+        .detection_latency(4)
+        .area_limit(40_000)
+        .build()
+        .expect("well-formed")
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let problem = polynom_detection();
+    let options = SolveOptions {
+        time_limit: Duration::from_secs(60),
+        ..SolveOptions::default()
+    };
+
+    // All back ends must agree on the optimal cost before we time them.
+    let exact = ExactSolver::new()
+        .synthesize(&problem, &options)
+        .expect("feasible");
+    let ilp = IlpSolver::new()
+        .synthesize(&problem, &options)
+        .expect("feasible");
+    assert_eq!(exact.cost, ilp.cost, "solver disagreement");
+
+    let mut g = c.benchmark_group("solver_ablation_polynom_detection");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    g.bench_function("exact_domain_search", |b| {
+        b.iter(|| {
+            ExactSolver::new()
+                .synthesize(black_box(&problem), &options)
+                .expect("feasible")
+                .cost
+        })
+    });
+    g.bench_function("greedy_heuristic", |b| {
+        b.iter(|| {
+            GreedySolver::new()
+                .synthesize(black_box(&problem), &options)
+                .expect("feasible")
+                .cost
+        })
+    });
+    g.bench_function("annealing_metaheuristic", |b| {
+        b.iter(|| {
+            AnnealingSolver::new()
+                .synthesize(black_box(&problem), &options)
+                .expect("feasible")
+                .cost
+        })
+    });
+    g.bench_function("ilp_tight_linking", |b| {
+        b.iter(|| {
+            IlpSolver::new()
+                .synthesize(black_box(&problem), &options)
+                .expect("feasible")
+                .cost
+        })
+    });
+    g.bench_function("ilp_model_build_only", |b| {
+        b.iter(|| {
+            troyhls::formulate(black_box(&problem), &FormulationOptions::default())
+                .model
+                .num_vars()
+        })
+    });
+    g.bench_function("ilp_model_build_big_z", |b| {
+        let opts = FormulationOptions {
+            faithful_big_z: true,
+            ..FormulationOptions::default()
+        };
+        b.iter(|| {
+            troyhls::formulate(black_box(&problem), &opts)
+                .model
+                .num_vars()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

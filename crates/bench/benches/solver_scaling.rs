@@ -1,0 +1,64 @@
+//! Scaling: exact-solver time vs DFG size, on the extra benchmarks and
+//! seeded random graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use troy_dfg::{benchmarks, random_dfg, Dfg, RandomDfgConfig};
+use troyhls::{Catalog, ExactSolver, Mode, SolveOptions, SynthesisProblem, Synthesizer};
+
+fn problem(dfg: Dfg, mode: Mode) -> SynthesisProblem {
+    let cp = dfg.critical_path_len();
+    SynthesisProblem::builder(dfg, Catalog::paper8())
+        .mode(mode)
+        .detection_latency(cp + 1)
+        .recovery_latency(cp + 1)
+        .build()
+        .expect("feasible construction")
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let options = SolveOptions {
+        time_limit: Duration::from_secs(30),
+        node_limit: 300_000,
+    };
+    let mut g = c.benchmark_group("solver_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Fixed extra benchmarks beyond the paper's suite.
+    for name in ["ar_filter", "fft8", "dct8", "ewf34"] {
+        let dfg = benchmarks::by_name(name).expect("known");
+        let p = problem(dfg, Mode::DetectionRecovery);
+        g.bench_function(format!("{name}_recovery"), |b| {
+            b.iter(|| {
+                ExactSolver::new()
+                    .synthesize(black_box(&p), &options)
+                    .map(|s| s.cost)
+                    .ok()
+            })
+        });
+    }
+
+    // Random layered DAGs of growing size.
+    for ops in [12usize, 24, 48] {
+        let cfg = RandomDfgConfig {
+            ops,
+            max_depth: 6,
+            mul_ratio_percent: 40,
+            edge_bias_percent: 80,
+        };
+        let p = problem(random_dfg(&cfg, 2024), Mode::DetectionRecovery);
+        g.bench_function(format!("random_{ops}ops_recovery"), |b| {
+            b.iter(|| {
+                ExactSolver::new()
+                    .synthesize(black_box(&p), &options)
+                    .map(|s| s.cost)
+                    .ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

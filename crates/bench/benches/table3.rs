@@ -1,0 +1,31 @@
+//! Table 3: detection-only synthesis across the six benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use troy_bench::{harness_options, problem_for, table3_specs};
+use troyhls::{ExactSolver, Synthesizer};
+
+fn bench_table3(c: &mut Criterion) {
+    let options = harness_options();
+    let mut g = c.benchmark_group("table3_detection_only");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for spec in table3_specs() {
+        let problem = problem_for(&spec);
+        let id = format!("{}_lam{}", spec.benchmark, spec.lambda);
+        g.bench_function(&id, |b| {
+            b.iter(|| {
+                // Some tight rows legitimately return best-effort results;
+                // the bench times whatever the harness row produces.
+                ExactSolver::new()
+                    .synthesize(black_box(&problem), &options)
+                    .map(|s| s.cost)
+                    .ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

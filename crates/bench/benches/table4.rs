@@ -1,0 +1,29 @@
+//! Table 4: detection+recovery synthesis across the six benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use troy_bench::{harness_options, problem_for, table4_specs};
+use troyhls::{ExactSolver, Synthesizer};
+
+fn bench_table4(c: &mut Criterion) {
+    let options = harness_options();
+    let mut g = c.benchmark_group("table4_detection_recovery");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for spec in table4_specs() {
+        let problem = problem_for(&spec);
+        let id = format!("{}_lam{}", spec.benchmark, spec.lambda);
+        g.bench_function(&id, |b| {
+            b.iter(|| {
+                ExactSolver::new()
+                    .synthesize(black_box(&problem), &options)
+                    .map(|s| s.cost)
+                    .ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

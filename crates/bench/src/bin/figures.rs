@@ -1,0 +1,244 @@
+//! Dynamic demonstrations of the paper's figures on the run-time simulator.
+//!
+//! ```text
+//! cargo run --release -p troy-bench --bin figures -- [fig1|fig2|fig3|fig4|matrix|campaign|all]
+//! ```
+
+use troy_bench::{harness_options, motivational_problem};
+use troy_dfg::{benchmarks, IpTypeId, NodeId};
+use troy_sim::{
+    eval_op, naive_reexecution_recovery_rate, run_campaign, CampaignConfig, CoreLibrary,
+    InputVector, Payload, PhaseController, Trigger, Trojan, TrojanState,
+};
+use troyhls::{ExactSolver, License, Role, Synthesizer};
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    match what.as_str() {
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "campaign" => campaign(),
+        "matrix" => matrix(),
+        "all" => {
+            fig1();
+            fig2();
+            fig3();
+            fig4();
+            matrix();
+            campaign();
+        }
+        other => {
+            eprintln!("unknown figure `{other}`; expected fig1|fig2|fig3|fig4|matrix|campaign|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Figure 1: NC/RC duplication on diverse vendors detects an activated
+/// Trojan.
+fn fig1() {
+    println!("Figure 1 — Trojan detection using IP cores from diverse vendors");
+    let p = motivational_problem();
+    let d = ExactSolver::new()
+        .synthesize(&p, &harness_options())
+        .expect("motivational instance solves");
+    let imp = &d.implementation;
+    let iv = InputVector::from_seed(p.dfg(), 2024);
+    let victim = NodeId::new(2); // t3 = b*c, feeds the output directly
+    let vendor = imp.assignment(victim, Role::Nc).unwrap().vendor;
+    let mut lib = CoreLibrary::new();
+    lib.infect(
+        License {
+            vendor,
+            ip_type: IpTypeId::MULTIPLIER,
+        },
+        Trojan {
+            trigger: Trigger::on_operand_a(iv.values(victim)[0]),
+            payload: Payload::XorMask(0xDEAD_BEEF),
+        },
+    );
+    let mut ctrl = PhaseController::new(&p, imp, &lib);
+    let r = ctrl.run(&iv);
+    println!("  infected product: {vendor}/multiplier (hosts NC copy of {victim})");
+    println!("  NC outputs: {:?}", r.nc);
+    println!("  RC outputs: {:?}", r.rc);
+    println!(
+        "  mismatch detected: {}  (paper: comparison flags the Trojan)",
+        r.mismatch
+    );
+    println!();
+}
+
+/// Figure 2: combinational vs sequential trigger mechanisms on one core.
+fn fig2() {
+    println!("Figure 2 — trigger mechanisms");
+    // (a) combinational: payload active while A = 0 and B = 0 (low bits).
+    let comb = Trojan {
+        trigger: Trigger::Combinational {
+            mask_a: 0xFF,
+            pattern_a: 0,
+            mask_b: 0xFF,
+            pattern_b: 0,
+        },
+        payload: Payload::XorMask(0x1),
+    };
+    let mut st = TrojanState::new();
+    let clean = eval_op(troy_dfg::OpKind::Add, 0x100, 0x200);
+    println!(
+        "  (a) combinational: add(0x100,0x200) -> {:#x} (corrupted from {:#x})",
+        comb.apply(&mut st, 0x100, 0x200, clean),
+        clean
+    );
+    println!(
+        "      off-pattern:   add(0x101,0x200) -> {:#x} (clean)",
+        comb.apply(
+            &mut st,
+            0x101,
+            0x200,
+            eval_op(troy_dfg::OpKind::Add, 0x101, 0x200)
+        )
+    );
+    // (b) sequential: counter reaches threshold after consecutive matches.
+    let seq = Trojan {
+        trigger: Trigger::Sequential {
+            mask: 0,
+            pattern: 0,
+            threshold: 3,
+        },
+        payload: Payload::XorMask(0x1),
+    };
+    let mut st = TrojanState::new();
+    for i in 1..=4 {
+        let out = seq.apply(&mut st, i, i, 10);
+        println!("  (b) sequential: execution {i} -> {out} (fires at count 3)");
+    }
+    println!();
+}
+
+/// Figure 3: a payload with a memory element keeps corrupting after the
+/// trigger clears — why the paper scopes recovery to memory-less payloads.
+fn fig3() {
+    println!("Figure 3 — payload with memory element (excluded from recovery scope)");
+    let latched = Trojan {
+        trigger: Trigger::on_operand_a(42),
+        payload: Payload::Latched(0xF0),
+    };
+    let mut st = TrojanState::new();
+    println!("  before trigger: {:#x}", latched.apply(&mut st, 1, 1, 0));
+    println!("  trigger hits:   {:#x}", latched.apply(&mut st, 42, 1, 0));
+    println!(
+        "  trigger gone:   {:#x}  <- corruption persists (latch set: {})",
+        latched.apply(&mut st, 1, 1, 0),
+        st.is_latched()
+    );
+    println!();
+}
+
+/// Figure 4: fast recovery by re-binding deactivates the Trojan.
+fn fig4() {
+    println!("Figure 4 — fast recovery by re-binding operations to different IP cores");
+    let p = motivational_problem();
+    let d = ExactSolver::new()
+        .synthesize(&p, &harness_options())
+        .expect("motivational instance solves");
+    let imp = &d.implementation;
+    let iv = InputVector::from_seed(p.dfg(), 7);
+    let victim = NodeId::new(2);
+    let det = imp.assignment(victim, Role::Nc).unwrap().vendor;
+    let rec = imp.assignment(victim, Role::Recovery).unwrap().vendor;
+    let mut lib = CoreLibrary::new();
+    lib.infect(
+        License {
+            vendor: det,
+            ip_type: IpTypeId::MULTIPLIER,
+        },
+        Trojan {
+            trigger: Trigger::on_operand_a(iv.values(victim)[0]),
+            payload: Payload::AddOffset(1_000_000),
+        },
+    );
+    let mut ctrl = PhaseController::new(&p, imp, &lib);
+    let r = ctrl.run(&iv);
+    println!("  victim op {victim}: detection vendor {det}, recovery re-bound to {rec}");
+    println!("  detection mismatch: {}", r.mismatch);
+    println!("  golden:   {:?}", r.golden);
+    println!(
+        "  recovery: {:?}",
+        r.recovery.as_ref().expect("recovery ran")
+    );
+    println!("  recovered correctly: {}", r.delivered_correct());
+    println!();
+}
+
+/// Section 3.2's fault-model comparison as a live table: which recovery
+/// strategy fixes which fault class.
+fn matrix() {
+    use troy_sim::{recovery_matrix, FaultClass, RecoveryStrategy};
+    println!("Section 3.2 — fault model vs recovery strategy (polynom design)");
+    let p = motivational_problem();
+    let d = ExactSolver::new()
+        .synthesize(&p, &harness_options())
+        .expect("motivational instance solves");
+    let iv = InputVector::from_seed(p.dfg(), 31);
+    let cells = recovery_matrix(&p, &d.implementation, NodeId::new(2), &iv);
+    println!(
+        "{:<16} {:>20} {:>20}",
+        "fault class", "naive re-execution", "rule-based re-bind"
+    );
+    for fault in [
+        FaultClass::SoftTransient,
+        FaultClass::HardPermanent,
+        FaultClass::Trojan,
+    ] {
+        let get = |s: RecoveryStrategy| {
+            cells
+                .iter()
+                .find(|c| c.fault == fault && c.strategy == s)
+                .map_or("-", |c| if c.recovered { "recovers" } else { "FAILS" })
+        };
+        println!(
+            "{:<16} {:>20} {:>20}",
+            format!("{fault:?}"),
+            get(RecoveryStrategy::NaiveReexecution),
+            get(RecoveryStrategy::RuleBasedRebinding)
+        );
+    }
+    println!();
+}
+
+/// Monte-Carlo campaign: detection & recovery rates vs the naive
+/// re-execution baseline of Section 3.2.
+fn campaign() {
+    println!("Campaign — Monte-Carlo Trojan injection (diff2, 8-vendor catalog)");
+    let p = troyhls::SynthesisProblem::builder(benchmarks::diff2(), troyhls::Catalog::paper8())
+        .mode(troyhls::Mode::DetectionRecovery)
+        .detection_latency(5)
+        .recovery_latency(5)
+        .build()
+        .expect("diff2 instance");
+    let d = ExactSolver::new()
+        .synthesize(&p, &harness_options())
+        .expect("diff2 solves");
+    for rarity in [4u32, 6, 8] {
+        let cfg = CampaignConfig {
+            runs: 400,
+            rarity_bits: rarity,
+            targeted_percent: 70,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&p, &d.implementation, &cfg);
+        let naive = naive_reexecution_recovery_rate(&p, &d.implementation, &cfg);
+        println!(
+            "  rarity {rarity:>2} bits: {} runs, {} corrupting activations, \
+             detection {:.1}%, recovery {:.1}% (naive re-execution: {:.1}%)",
+            r.runs,
+            r.corrupted,
+            100.0 * r.detection_rate(),
+            100.0 * r.recovery_rate(),
+            100.0 * naive,
+        );
+    }
+    println!();
+}

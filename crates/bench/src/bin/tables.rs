@@ -1,0 +1,153 @@
+//! Regenerates the paper's tables.
+//!
+//! ```text
+//! cargo run --release -p troy-bench --bin tables -- [table1|table3|table4|fig5|overhead|all]
+//! ```
+
+use troy_bench::{
+    format_table, harness_options, motivational_problem, run_row, table3_specs, table4_specs,
+};
+use troy_dfg::{benchmarks, IpTypeId};
+use troyhls::{
+    unprotected_cost, Catalog, ExactSolver, Mode, SolveOptions, SynthesisProblem, Synthesizer,
+};
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    match what.as_str() {
+        "table1" => table1(),
+        "table3" => table(3),
+        "table4" => table(4),
+        "fig5" => fig5(),
+        "overhead" => overhead(),
+        "all" => {
+            table1();
+            fig5();
+            table(3);
+            table(4);
+            overhead();
+        }
+        other => {
+            eprintln!("unknown table `{other}`; expected table1|table3|table4|fig5|overhead|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table 1: the 4-vendor motivational catalog.
+fn table1() {
+    println!("Table 1 — area and cost for each type of computational IP");
+    println!(
+        "{:<8} {:<12} {:>12} {:>10}",
+        "vendor", "type", "area", "cost"
+    );
+    let cat = Catalog::table1();
+    for v in cat.vendors() {
+        for t in [IpTypeId::ADDER, IpTypeId::MULTIPLIER] {
+            if let Some(off) = cat.offering(v, t) {
+                println!(
+                    "{:<8} {:<12} {:>12} {:>10}",
+                    v.to_string(),
+                    t.to_string(),
+                    off.area,
+                    format!("${}", off.cost)
+                );
+            }
+        }
+    }
+    println!();
+}
+
+/// Figure 5: the motivational example and its $4160 optimum.
+fn fig5() {
+    println!("Figure 5 — motivational example (polynom, Table 1 catalog,");
+    println!("           lambda_det = 4, lambda_rec = 3, area <= 22000)");
+    let p = motivational_problem();
+    match ExactSolver::new().synthesize(&p, &harness_options()) {
+        Ok(s) => {
+            let stats = s.implementation.stats(&p);
+            println!("  minimum purchasing cost: ${} (paper: $4160)", s.cost);
+            println!("  proven optimal: {}", s.proven_optimal);
+            println!("  {stats}");
+            println!("  licenses:");
+            for l in s.implementation.licenses_used(&p) {
+                let off = p.catalog().offering_of(l).expect("used license");
+                println!("    {l:<22} area {:>6}  ${}", off.area, off.cost);
+            }
+        }
+        Err(e) => println!("  FAILED: {e}"),
+    }
+    println!();
+}
+
+fn table(which: usize) {
+    let (title, specs) = if which == 3 {
+        (
+            "Table 3 — designs with detection only (8-vendor catalog)",
+            table3_specs(),
+        )
+    } else {
+        (
+            "Table 4 — designs with detection and recovery (8-vendor catalog)",
+            table4_specs(),
+        )
+    };
+    let options = harness_options();
+    let results: Vec<_> = specs.iter().map(|s| run_row(s, &options)).collect();
+    println!("{}", format_table(title, &results));
+    // The paper's headline observation: detection-only underestimates the
+    // diversity (and cost) a recoverable design needs.
+    if which == 4 {
+        println!(
+            "note: mc' columns of Table 4 exceed Table 3 on every benchmark —\n\
+             the detection-only flow underestimates the required IP diversity."
+        );
+    }
+    println!();
+}
+
+/// Derived table: the license-cost price of each protection level relative
+/// to an unprotected single-computation design (not in the paper, but the
+/// number a procurement decision actually turns on).
+fn overhead() {
+    println!("Cost of security — license bill by protection level (8-vendor catalog)");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "benchmark", "unprotected", "detection", "recovery", "det x", "rec x"
+    );
+    let options = SolveOptions {
+        time_limit: std::time::Duration::from_secs(30),
+        ..harness_options()
+    };
+    for g in benchmarks::paper_suite() {
+        let cp = g.critical_path_len();
+        let base = unprotected_cost(&g, &Catalog::paper8()).expect("catalog covers all types");
+        let solve = |mode: Mode| -> Option<u64> {
+            let p = SynthesisProblem::builder(g.clone(), Catalog::paper8())
+                .mode(mode)
+                .detection_latency(cp + 1)
+                .recovery_latency(cp + 1)
+                .build()
+                .ok()?;
+            ExactSolver::new()
+                .synthesize(&p, &options)
+                .ok()
+                .map(|s| s.cost)
+        };
+        let det = solve(Mode::DetectionOnly);
+        let rec = solve(Mode::DetectionRecovery);
+        let fmt = |c: Option<u64>| c.map_or("-".to_owned(), |c| format!("${c}"));
+        let ratio =
+            |c: Option<u64>| c.map_or("-".to_owned(), |c| format!("{:.2}", c as f64 / base as f64));
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>8} {:>8}",
+            g.name(),
+            format!("${base}"),
+            fmt(det),
+            fmt(rec),
+            ratio(det),
+            ratio(rec),
+        );
+    }
+    println!();
+}

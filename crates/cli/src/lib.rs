@@ -1,0 +1,477 @@
+//! Implementation of the `troyhls` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`], which parses arguments,
+//! executes the requested action and writes the report to the supplied
+//! writer — keeping the whole tool unit-testable without spawning
+//! processes.
+//!
+//! ```text
+//! troyhls-cli list
+//! troyhls-cli show <benchmark|file.dfg>
+//! troyhls-cli synth <benchmark|file.dfg> [options]
+//! troyhls-cli profile <benchmark|file.dfg> [--samples N] [--distance D]
+//!
+//! synth options:
+//!   --mode detection|recovery     protection level   (default recovery)
+//!   --catalog table1|paper8       vendor library     (default paper8)
+//!   --lambda-det N                detection window   (default: critical path)
+//!   --lambda-rec N                recovery window    (default: critical path)
+//!   --area N                      area cap           (default: unlimited)
+//!   --solver exact|greedy|ilp|annealing              (default exact)
+//!   --time-limit SECS             solve budget       (default 60)
+//!   --chart --dot --markdown --verilog --vcd         extra report sections
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use troy_dfg::{parse_dfg, Dfg};
+use troyhls::{
+    emit_verilog, implementation_dot, markdown_summary, schedule_chart, validate, AnnealingSolver,
+    Catalog, ExactSolver, GreedySolver, IlpSolver, Mode, SolveOptions, SynthesisProblem,
+    Synthesizer,
+};
+
+/// Errors surfaced to the CLI user (exit code 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Runs the CLI with `args` (excluding the program name); human-readable
+/// output is appended to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing bad usage, unreadable inputs or an
+/// infeasible/failed synthesis.
+pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("list") => {
+            let _ = writeln!(out, "built-in benchmarks:");
+            for name in [
+                "polynom",
+                "diff2",
+                "dtmf",
+                "mof2",
+                "ellipticicass",
+                "fir16",
+                "ewf34",
+                "ar_filter",
+                "fft8",
+                "dct8",
+            ] {
+                let g = troy_dfg::benchmarks::by_name(name).expect("built-in");
+                let _ = writeln!(
+                    out,
+                    "  {name:<14} {:>3} ops, depth {}",
+                    g.len(),
+                    g.critical_path_len()
+                );
+            }
+            Ok(())
+        }
+        Some("show") => {
+            let target = it.next().ok_or_else(|| err("show: missing <dfg>"))?;
+            let g = load_dfg(target)?;
+            let _ = writeln!(out, "{g}");
+            Ok(())
+        }
+        Some("profile") => {
+            let target = it.next().ok_or_else(|| err("profile: missing <dfg>"))?;
+            let rest: Vec<String> = it.cloned().collect();
+            profile(target, &rest, out)
+        }
+        Some("synth") => {
+            let target = it.next().ok_or_else(|| err("synth: missing <dfg>"))?;
+            let rest: Vec<String> = it.cloned().collect();
+            synth(target, &rest, out)
+        }
+        Some(other) => Err(err(format!(
+            "unknown command `{other}`; expected list|show|synth|profile"
+        ))),
+        None => Err(err("usage: troyhls <list|show|synth|profile> ...")),
+    }
+}
+
+fn load_dfg(target: &str) -> Result<Dfg, CliError> {
+    if let Some(g) = troy_dfg::benchmarks::by_name(target) {
+        return Ok(g);
+    }
+    let text =
+        std::fs::read_to_string(target).map_err(|e| err(format!("cannot read `{target}`: {e}")))?;
+    parse_dfg(&text).map_err(|e| err(format!("cannot parse `{target}`: {e}")))
+}
+
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, CliError> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| err(format!("{flag}: missing value")))
+}
+
+fn profile(target: &str, args: &[String], out: &mut String) -> Result<(), CliError> {
+    let g = load_dfg(target)?;
+    let mut cfg = troy_sim::ProfileConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" => {
+                cfg.samples = take_value(args, &mut i, "--samples")?
+                    .parse()
+                    .map_err(|_| err("--samples: expected a number"))?;
+            }
+            "--distance" => {
+                cfg.max_distance = take_value(args, &mut i, "--distance")?
+                    .parse()
+                    .map_err(|_| err("--distance: expected a number"))?;
+            }
+            other => return Err(err(format!("profile: unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+    let pairs = troy_sim::profile_related_pairs(&g, &cfg);
+    if pairs.is_empty() {
+        let _ = writeln!(
+            out,
+            "no closely-related pairs under uniform random stimulus \
+             ({} samples, distance {})",
+            cfg.samples, cfg.max_distance
+        );
+    } else {
+        let _ = writeln!(out, "closely-related pairs (rule 2 for fast recovery):");
+        for (a, b) in pairs {
+            let _ = writeln!(out, "  {a} ~ {b}");
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError> {
+    let g = load_dfg(target)?;
+    let mut mode = Mode::DetectionRecovery;
+    let mut catalog = Catalog::paper8();
+    let mut lambda_det = None;
+    let mut lambda_rec = None;
+    let mut area = u64::MAX;
+    let mut solver_name = "exact".to_owned();
+    let mut time_limit = 60u64;
+    let (mut chart, mut dot, mut markdown, mut verilog, mut vcd) =
+        (false, false, false, false, false);
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                mode = match take_value(args, &mut i, "--mode")? {
+                    "detection" => Mode::DetectionOnly,
+                    "recovery" => Mode::DetectionRecovery,
+                    other => return Err(err(format!("--mode: unknown `{other}`"))),
+                };
+            }
+            "--catalog" => {
+                catalog = match take_value(args, &mut i, "--catalog")? {
+                    "table1" => Catalog::table1(),
+                    "paper8" => Catalog::paper8(),
+                    other => return Err(err(format!("--catalog: unknown `{other}`"))),
+                };
+            }
+            "--lambda-det" => {
+                lambda_det = Some(
+                    take_value(args, &mut i, "--lambda-det")?
+                        .parse()
+                        .map_err(|_| err("--lambda-det: expected a number"))?,
+                );
+            }
+            "--lambda-rec" => {
+                lambda_rec = Some(
+                    take_value(args, &mut i, "--lambda-rec")?
+                        .parse()
+                        .map_err(|_| err("--lambda-rec: expected a number"))?,
+                );
+            }
+            "--area" => {
+                area = take_value(args, &mut i, "--area")?
+                    .parse()
+                    .map_err(|_| err("--area: expected a number"))?;
+            }
+            "--solver" => {
+                solver_name = take_value(args, &mut i, "--solver")?.to_owned();
+            }
+            "--time-limit" => {
+                time_limit = take_value(args, &mut i, "--time-limit")?
+                    .parse()
+                    .map_err(|_| err("--time-limit: expected seconds"))?;
+            }
+            "--chart" => chart = true,
+            "--dot" => dot = true,
+            "--markdown" => markdown = true,
+            "--verilog" => verilog = true,
+            "--vcd" => vcd = true,
+            other => return Err(err(format!("synth: unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+
+    let mut builder = SynthesisProblem::builder(g, catalog)
+        .mode(mode)
+        .area_limit(area);
+    if let Some(l) = lambda_det {
+        builder = builder.detection_latency(l);
+    }
+    if let Some(l) = lambda_rec {
+        builder = builder.recovery_latency(l);
+    }
+    let problem = builder.build().map_err(|e| err(format!("{e}")))?;
+
+    let options = SolveOptions {
+        time_limit: Duration::from_secs(time_limit),
+        ..SolveOptions::default()
+    };
+    let solver: Box<dyn Synthesizer> = match solver_name.as_str() {
+        "exact" => Box::new(ExactSolver::new()),
+        "greedy" => Box::new(GreedySolver::new()),
+        "ilp" => Box::new(IlpSolver::new()),
+        "annealing" => Box::new(AnnealingSolver::new()),
+        other => return Err(err(format!("--solver: unknown `{other}`"))),
+    };
+    let result = solver
+        .synthesize(&problem, &options)
+        .map_err(|e| err(format!("synthesis failed: {e}")))?;
+    debug_assert!(validate(&problem, &result.implementation).is_empty());
+
+    let stats = result.implementation.stats(&problem);
+    let _ = writeln!(
+        out,
+        "{} on {} ({}): ${}{}",
+        solver.name(),
+        problem.dfg().name(),
+        mode,
+        result.cost,
+        if result.proven_optimal {
+            ""
+        } else {
+            " (best effort)"
+        },
+    );
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(out, "licenses:");
+    for l in result.implementation.licenses_used(&problem) {
+        let off = problem.catalog().offering_of(l).expect("used license");
+        let _ = writeln!(out, "  {l:<22} area {:>6}  ${}", off.area, off.cost);
+    }
+    if chart {
+        let _ = writeln!(
+            out,
+            "\n{}",
+            schedule_chart(&problem, &result.implementation)
+        );
+    }
+    if markdown {
+        let _ = writeln!(
+            out,
+            "\n{}",
+            markdown_summary(&problem, &result.implementation)
+        );
+    }
+    if dot {
+        let _ = writeln!(
+            out,
+            "\n{}",
+            implementation_dot(&problem, &result.implementation)
+        );
+    }
+    if verilog {
+        let _ = writeln!(out, "\n{}", emit_verilog(&problem, &result.implementation));
+    }
+    if vcd {
+        // Trace one clean mission step so the schedule can be inspected in
+        // a waveform viewer.
+        let trace = troy_sim::trace_run(
+            &problem,
+            &result.implementation,
+            &troy_sim::CoreLibrary::new(),
+            &troy_sim::InputVector::from_seed(problem.dfg(), 1),
+        );
+        let _ = writeln!(out, "\n{trace}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        let mut out = String::new();
+        run(&args, &mut out).map(|()| out)
+    }
+
+    #[test]
+    fn list_names_all_benchmarks() {
+        let out = cli(&["list"]).unwrap();
+        for name in ["polynom", "fir16", "fft8"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn show_prints_the_graph() {
+        let out = cli(&["show", "diff2"]).unwrap();
+        assert!(out.contains("dfg diff2"));
+        assert!(out.contains("11 ops"));
+    }
+
+    #[test]
+    fn synth_motivational_example() {
+        let out = cli(&[
+            "synth",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--lambda-det",
+            "4",
+            "--lambda-rec",
+            "3",
+            "--area",
+            "22000",
+        ])
+        .unwrap();
+        assert!(out.contains("$4160"), "{out}");
+        assert!(out.contains("licenses:"));
+    }
+
+    #[test]
+    fn synth_detection_mode_with_chart_and_markdown() {
+        let out = cli(&[
+            "synth",
+            "polynom",
+            "--mode",
+            "detection",
+            "--catalog",
+            "table1",
+            "--chart",
+            "--markdown",
+        ])
+        .unwrap();
+        assert!(out.contains("cycle1"));
+        assert!(out.contains("| license cost (mc) |"));
+    }
+
+    #[test]
+    fn synth_with_each_solver() {
+        for solver in ["exact", "greedy", "annealing"] {
+            let out = cli(&[
+                "synth",
+                "polynom",
+                "--catalog",
+                "table1",
+                "--solver",
+                solver,
+                "--time-limit",
+                "20",
+            ])
+            .unwrap();
+            assert!(out.contains("mc=$"), "{solver}: {out}");
+        }
+    }
+
+    #[test]
+    fn synth_from_a_dfg_file() {
+        let dir = std::env::temp_dir().join("troyhls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.dfg");
+        std::fs::write(
+            &path,
+            "dfg tiny\nop a mul\nop b mul\nop c add\nedge a c\nedge b c\n",
+        )
+        .unwrap();
+        let out = cli(&["synth", path.to_str().unwrap(), "--mode", "detection"]).unwrap();
+        assert!(out.contains("on tiny"));
+    }
+
+    #[test]
+    fn profile_reports_no_pairs_for_random_stimulus() {
+        let out = cli(&["profile", "polynom", "--samples", "8"]).unwrap();
+        assert!(out.contains("no closely-related pairs"));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(cli(&[]).unwrap_err().0.contains("usage"));
+        assert!(cli(&["frob"]).unwrap_err().0.contains("unknown command"));
+        assert!(cli(&["show", "nope.dfg"])
+            .unwrap_err()
+            .0
+            .contains("cannot read"));
+        assert!(cli(&["synth", "polynom", "--solver", "magic"])
+            .unwrap_err()
+            .0
+            .contains("unknown `magic`"));
+        assert!(cli(&["synth", "polynom", "--area"])
+            .unwrap_err()
+            .0
+            .contains("missing value"));
+        // Infeasible area surfaces as a synthesis failure.
+        assert!(
+            cli(&["synth", "polynom", "--catalog", "table1", "--area", "4000"])
+                .unwrap_err()
+                .0
+                .contains("synthesis failed")
+        );
+    }
+
+    #[test]
+    fn verilog_output_is_emitted() {
+        let out = cli(&[
+            "synth",
+            "polynom",
+            "--mode",
+            "detection",
+            "--catalog",
+            "table1",
+            "--verilog",
+        ])
+        .unwrap();
+        assert!(out.contains("module polynom_troyhls"));
+        assert!(out.contains("endmodule"));
+    }
+
+    #[test]
+    fn vcd_output_is_a_value_change_dump() {
+        let out = cli(&[
+            "synth",
+            "polynom",
+            "--mode",
+            "detection",
+            "--catalog",
+            "table1",
+            "--vcd",
+        ])
+        .unwrap();
+        assert!(out.contains("$enddefinitions $end"));
+        assert!(out.contains("$var wire 64"));
+    }
+
+    #[test]
+    fn dot_output_is_graphviz() {
+        let out = cli(&["synth", "polynom", "--mode", "detection", "--dot"]).unwrap();
+        assert!(out.contains("digraph"));
+    }
+}

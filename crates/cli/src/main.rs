@@ -1,0 +1,14 @@
+//! The `troyhls-cli` binary: see [`troy_cli::run`] for the command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match troy_cli::run(&args, &mut out) {
+        Ok(()) => print!("{out}"),
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,1025 @@
+//! The exact domain solver.
+//!
+//! The objective (total license cost) depends only on *which* licenses are
+//! bought, not on the schedule. The solver therefore searches the space of
+//! license subsets in nondecreasing cost order (a best-first enumeration
+//! over a canonical subset lattice) and, for each candidate subset, runs a
+//! complete backtracking scheduler/binder. The first subset that admits a
+//! valid design is cost-optimal, provided no cheaper subset's feasibility
+//! check was cut short by the budget — in that case the result is flagged
+//! best-effort (`proven_optimal = false`), exactly like the `*` rows in the
+//! paper's tables.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Instant;
+
+use troy_dfg::{IpTypeId, NodeId, ScheduleWindows};
+
+use crate::catalog::{License, VendorId};
+use crate::implementation::{Assignment, Implementation};
+use crate::problem::{Mode, SynthesisProblem};
+use crate::rules::{diversity_constraints, min_vendors_per_type, OpCopy, Role};
+use crate::solver::{SolveOptions, Synthesis, SynthesisError, Synthesizer};
+
+/// Exact branch-and-bound synthesis (see the module docs).
+///
+/// # Examples
+///
+/// Reproduce the paper's Figure 5 optimum ($4160):
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{Catalog, ExactSolver, Mode, SolveOptions, SynthesisProblem, Synthesizer};
+///
+/// let problem = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+///     .mode(Mode::DetectionRecovery)
+///     .detection_latency(4)
+///     .recovery_latency(3)
+///     .area_limit(22_000)
+///     .build()?;
+/// let result = ExactSolver::new()
+///     .synthesize(&problem, &SolveOptions::default())
+///     .expect("the motivational example is feasible");
+/// assert_eq!(result.cost, 4160);
+/// assert!(result.proven_optimal);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExactSolver {
+    _private: (),
+}
+
+impl ExactSolver {
+    /// Creates the solver.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactSolver::default()
+    }
+}
+
+impl Synthesizer for ExactSolver {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn synthesize(
+        &self,
+        problem: &SynthesisProblem,
+        options: &SolveOptions,
+    ) -> Result<Synthesis, SynthesisError> {
+        let start = Instant::now();
+        let ctx = SearchContext::new(problem);
+        let min_vendors: Vec<(IpTypeId, usize)> = min_vendors_per_type(problem);
+
+        // Feasibility depends only on the *per-type vendor sets*, and the
+        // objective is additive across types. Enumerate, per needed type,
+        // every vendor subset meeting the minimum-diversity bound, sorted by
+        // cost; then merge the per-type lists in global cost order with a
+        // heap over index tuples.
+        let mut lists: Vec<Vec<TypeChoice>> = Vec::new();
+        for &(t, need) in &min_vendors {
+            let vendors: Vec<(VendorId, u64, u64)> = problem
+                .catalog()
+                .vendors_for(t)
+                .map(|v| {
+                    let off = problem.catalog().offering(v, t).expect("listed vendor");
+                    (v, off.cost, off.area)
+                })
+                .collect();
+            if vendors.len() < need {
+                return Err(SynthesisError::Infeasible);
+            }
+            let mut choices = Vec::new();
+            for mask in 0u32..(1 << vendors.len()) {
+                if (mask.count_ones() as usize) < need {
+                    continue;
+                }
+                let mut cost = 0u64;
+                let mut min_area = u64::MAX;
+                let mut licenses = Vec::new();
+                for (i, &(v, c, a)) in vendors.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        cost += c;
+                        min_area = min_area.min(a);
+                        licenses.push(License {
+                            vendor: v,
+                            ip_type: t,
+                        });
+                    }
+                }
+                choices.push(TypeChoice {
+                    cost,
+                    min_area,
+                    licenses,
+                });
+            }
+            choices.sort_by_key(|a| a.cost);
+            lists.push(choices);
+        }
+
+        let dims = lists.len();
+        let mut heap: BinaryHeap<Reverse<(u64, Vec<u16>)>> = BinaryHeap::new();
+        let mut seen: HashSet<Vec<u16>> = HashSet::new();
+        let root = vec![0u16; dims];
+        let cost_of = |idx: &[u16], lists: &[Vec<TypeChoice>]| -> u64 {
+            idx.iter()
+                .zip(lists)
+                .map(|(&i, l)| l[usize::from(i)].cost)
+                .sum()
+        };
+        heap.push(Reverse((cost_of(&root, &lists), root.clone())));
+        seen.insert(root);
+        let mut uncertain = false;
+
+        while let Some(Reverse((cost, idx))) = heap.pop() {
+            if start.elapsed() > options.time_limit {
+                return Err(SynthesisError::BudgetExhausted);
+            }
+            // Expand neighbors (increment one coordinate each).
+            for d in 0..dims {
+                if usize::from(idx[d]) + 1 < lists[d].len() {
+                    let mut child = idx.clone();
+                    child[d] += 1;
+                    if seen.insert(child.clone()) {
+                        heap.push(Reverse((cost_of(&child, &lists), child)));
+                    }
+                }
+            }
+
+            // Area lower bound: any schedule instantiates at least
+            // `min_instances[t]` cores of each type, each no smaller than
+            // the subset's cheapest-area offering.
+            let area_lb: u64 = idx
+                .iter()
+                .zip(&lists)
+                .zip(&min_vendors)
+                .map(|((&i, l), &(t, _))| {
+                    l[usize::from(i)].min_area * ctx.min_instances[t.index()] as u64
+                })
+                .sum();
+            if area_lb > problem.area_limit() {
+                continue;
+            }
+
+            let licensed: Vec<License> = idx
+                .iter()
+                .zip(&lists)
+                .flat_map(|(&i, l)| l[usize::from(i)].licenses.iter().copied())
+                .collect();
+            match ctx.feasible(problem, &licensed, options.node_limit, start, options) {
+                Feasibility::Feasible(imp) => {
+                    debug_assert_eq!(imp.license_cost(problem), cost);
+                    return Ok(Synthesis {
+                        implementation: imp,
+                        cost,
+                        proven_optimal: !uncertain,
+                    });
+                }
+                Feasibility::Infeasible => {}
+                Feasibility::Unknown => uncertain = true,
+                Feasibility::TimedOut => return Err(SynthesisError::BudgetExhausted),
+            }
+        }
+
+        if uncertain {
+            Err(SynthesisError::BudgetExhausted)
+        } else {
+            Err(SynthesisError::Infeasible)
+        }
+    }
+}
+
+/// Crate-internal find-only facade over the backtracking checker, reused by
+/// the greedy heuristic: "does this license set admit a valid design, and
+/// if so, give me one".
+pub(crate) struct FeasibilityChecker<'a> {
+    problem: &'a SynthesisProblem,
+    ctx: SearchContext,
+}
+
+impl<'a> FeasibilityChecker<'a> {
+    pub(crate) fn new(problem: &'a SynthesisProblem) -> Self {
+        FeasibilityChecker {
+            problem,
+            ctx: SearchContext::new(problem),
+        }
+    }
+
+    pub(crate) fn find(
+        &self,
+        licensed: &[License],
+        node_limit: usize,
+        start: Instant,
+        options: &SolveOptions,
+    ) -> Option<Implementation> {
+        match self
+            .ctx
+            .feasible(self.problem, licensed, node_limit, start, options)
+        {
+            Feasibility::Feasible(imp) => Some(imp),
+            _ => None,
+        }
+    }
+}
+
+/// One candidate vendor subset for a single IP type.
+#[derive(Debug, Clone)]
+struct TypeChoice {
+    cost: u64,
+    min_area: u64,
+    licenses: Vec<License>,
+}
+
+enum Feasibility {
+    Feasible(Implementation),
+    Infeasible,
+    /// Node budget exhausted — completeness lost for this subset.
+    Unknown,
+    /// Global wall-clock expired.
+    TimedOut,
+}
+
+/// Copy index: `role.index() * n + op.index()`.
+fn cidx(n: usize, c: OpCopy) -> usize {
+    c.role.index() * n + c.op.index()
+}
+
+/// Static, problem-level search data shared across all subsets.
+struct SearchContext {
+    n: usize,
+    /// Copies in assignment order: detection copies in topo order
+    /// (NC and RC interleaved per op), then recovery copies in topo order.
+    order: Vec<OpCopy>,
+    /// Diversity adjacency: for each copy, the copies it must differ from.
+    diff: Vec<Vec<usize>>,
+    /// Schedule window per copy (global 1-based cycles).
+    window: Vec<(usize, usize)>,
+    /// Same-role parents per copy.
+    parents: Vec<Vec<usize>>,
+    /// IP type per op.
+    op_type: Vec<IpTypeId>,
+    /// IP types present in the DFG.
+    needed_types: Vec<IpTypeId>,
+    /// Minimum total instances per type over the whole design (area prune).
+    min_instances: [usize; IpTypeId::COUNT],
+}
+
+impl SearchContext {
+    fn new(problem: &SynthesisProblem) -> Self {
+        let dfg = problem.dfg();
+        let n = dfg.len();
+        let det = problem.detection_latency();
+        let rec = problem.recovery_latency();
+        let roles = Role::for_mode(problem.mode());
+
+        let det_windows = ScheduleWindows::compute(dfg, det).expect("problem validated latency");
+        let rec_windows = (problem.mode() == Mode::DetectionRecovery)
+            .then(|| ScheduleWindows::compute(dfg, rec).expect("validated latency"));
+
+        // All copies of one op are assigned back-to-back: the recovery
+        // rebind rule (R must avoid both detection vendors of its op) then
+        // fails immediately next to the detection choices that caused it,
+        // instead of deep below them in the chronological stack.
+        let mut order = Vec::with_capacity(n * roles.len());
+        let topo = dfg.topo_order();
+        for &op in &topo {
+            order.push(OpCopy::new(op, Role::Nc));
+            order.push(OpCopy::new(op, Role::Rc));
+            if rec_windows.is_some() {
+                order.push(OpCopy::new(op, Role::Recovery));
+            }
+        }
+
+        let total_copies = 3 * n;
+        let mut diff = vec![Vec::new(); total_copies];
+        for dc in diversity_constraints(problem) {
+            let (a, b) = (cidx(n, dc.a), cidx(n, dc.b));
+            diff[a].push(b);
+            diff[b].push(a);
+        }
+        for d in &mut diff {
+            d.sort_unstable();
+            d.dedup();
+        }
+
+        let mut window = vec![(0, 0); total_copies];
+        let mut parents = vec![Vec::new(); total_copies];
+        for op in dfg.node_ids() {
+            for &role in roles {
+                let c = OpCopy::new(op, role);
+                window[cidx(n, c)] = match role {
+                    Role::Nc | Role::Rc => (det_windows.asap(op), det_windows.alap(op)),
+                    Role::Recovery => {
+                        let w = rec_windows.as_ref().expect("recovery windows exist");
+                        (det + w.asap(op), det + w.alap(op))
+                    }
+                };
+                parents[cidx(n, c)] = dfg
+                    .preds(op)
+                    .iter()
+                    .map(|&p| cidx(n, OpCopy::new(p, role)))
+                    .collect();
+            }
+        }
+
+        let op_type: Vec<IpTypeId> = dfg.node_ids().map(|o| dfg.kind(o).ip_type()).collect();
+        let mut needed_types: Vec<IpTypeId> = op_type.clone();
+        needed_types.sort_unstable();
+        needed_types.dedup();
+
+        // Minimum physical instances per type: the detection phase schedules
+        // every op twice inside λ_det, the recovery phase once in λ_rec.
+        let mut min_instances = [0usize; IpTypeId::COUNT];
+        for &t in &needed_types {
+            let det_need = doubled_min_concurrency(problem, t, &det_windows);
+            let rec_need = match problem.mode() {
+                Mode::DetectionOnly => 0,
+                Mode::DetectionRecovery => troy_dfg::min_concurrency(dfg, rec, t),
+            };
+            min_instances[t.index()] = det_need.max(rec_need);
+        }
+
+        SearchContext {
+            n,
+            order,
+            diff,
+            window,
+            parents,
+            op_type,
+            needed_types,
+            min_instances,
+        }
+    }
+
+    /// Feasibility check for one license subset: a deterministic greedy
+    /// descent, a burst of randomized-restart descents, then an exhaustive
+    /// backtracking pass with the remaining node budget.
+    fn feasible(
+        &self,
+        problem: &SynthesisProblem,
+        licensed: &[License],
+        node_limit: usize,
+        start: Instant,
+        options: &SolveOptions,
+    ) -> Feasibility {
+        let num_vendors = problem.catalog().num_vendors();
+        let mut vendors_of_type: Vec<Vec<VendorId>> = vec![Vec::new(); IpTypeId::COUNT];
+        for l in licensed {
+            vendors_of_type[l.ip_type.index()].push(l.vendor);
+        }
+        for &t in &self.needed_types {
+            if vendors_of_type[t.index()].is_empty() {
+                return Feasibility::Infeasible;
+            }
+        }
+        // Cheapest instantiable area per type (for the in-search bound).
+        let mut min_area = [u64::MAX; IpTypeId::COUNT];
+        for &t in &self.needed_types {
+            for &v in &vendors_of_type[t.index()] {
+                let a = problem
+                    .catalog()
+                    .offering(v, t)
+                    .map_or(u64::MAX, |o| o.area);
+                min_area[t.index()] = min_area[t.index()].min(a);
+            }
+        }
+
+        // Vendor-colorability pre-check: the diversity rules are
+        // cycle-independent, so an uncolorable subset is infeasible no
+        // matter the schedule — and refuting the coloring alone avoids
+        // multiplying the conflict by every cycle permutation.
+        if let Some(false) = self.vendor_colorable(&vendors_of_type, node_limit) {
+            return Feasibility::Infeasible;
+        }
+
+        // Restart schedule: quick greedy probes find feasible schedules on
+        // easy subsets; the final exhaustive pass proves infeasibility (or
+        // runs out of budget -> Unknown).
+        let probe_budget = (node_limit / 20).clamp(500, 20_000);
+        let probes = 6usize;
+        let exhaustive_budget = node_limit.saturating_sub(probe_budget * probes);
+        let mut schedule: Vec<(usize, u64)> = Vec::new(); // (budget, rng seed)
+        for (i, _) in (0..probes).enumerate() {
+            schedule.push((probe_budget, i as u64));
+        }
+        schedule.push((exhaustive_budget.max(probe_budget), u64::MAX));
+
+        for (attempt, &(budget, seed)) in schedule.iter().enumerate() {
+            let exhaustive = attempt + 1 == schedule.len();
+            let mut state = SearchState::new(
+                self,
+                num_vendors,
+                problem.total_latency(),
+                &vendors_of_type,
+                seed,
+            );
+            let r = self.search(
+                problem,
+                &vendors_of_type,
+                &mut state,
+                0,
+                budget,
+                num_vendors,
+                problem.total_latency(),
+                &min_area,
+                start,
+                options,
+            );
+            match r {
+                SearchResult::Found => {
+                    let mut imp = Implementation::new(self.n);
+                    for (i, slot) in state.assignment.iter().enumerate() {
+                        if let Some((cycle, vendor)) = slot {
+                            let role = match i / self.n {
+                                0 => Role::Nc,
+                                1 => Role::Rc,
+                                _ => Role::Recovery,
+                            };
+                            imp.assign(
+                                NodeId::new(i % self.n),
+                                role,
+                                Assignment {
+                                    cycle: *cycle,
+                                    vendor: *vendor,
+                                },
+                            );
+                        }
+                    }
+                    return Feasibility::Feasible(imp);
+                }
+                SearchResult::Exhausted => return Feasibility::Infeasible,
+                SearchResult::NodeBudget => {
+                    if exhaustive {
+                        return Feasibility::Unknown;
+                    }
+                }
+                SearchResult::TimedOut => return Feasibility::TimedOut,
+            }
+        }
+        Feasibility::Unknown
+    }
+
+    /// Cycle-free backtracking over vendor assignments only.
+    ///
+    /// Returns `Some(true)` if a coloring exists, `Some(false)` if provably
+    /// none does, `None` if the node budget ran out.
+    fn vendor_colorable(
+        &self,
+        vendors_of_type: &[Vec<VendorId>],
+        node_limit: usize,
+    ) -> Option<bool> {
+        let copies = self.order.len();
+        let mut color: Vec<Option<VendorId>> = vec![None; 3 * self.n];
+        let mut nodes = 0usize;
+
+        fn go(
+            ctx: &SearchContext,
+            vendors_of_type: &[Vec<VendorId>],
+            color: &mut Vec<Option<VendorId>>,
+            depth: usize,
+            copies: usize,
+            nodes: &mut usize,
+            node_limit: usize,
+        ) -> Option<bool> {
+            if depth == copies {
+                return Some(true);
+            }
+            *nodes += 1;
+            if *nodes > node_limit {
+                return None;
+            }
+            let ci = cidx(ctx.n, ctx.order[depth]);
+            let t = ctx.op_type[ctx.order[depth].op.index()];
+            let mut forbidden = 0u64;
+            for &nb in &ctx.diff[ci] {
+                if let Some(v) = color[nb] {
+                    forbidden |= 1 << v.index();
+                }
+            }
+            for &v in &vendors_of_type[t.index()] {
+                if forbidden & (1 << v.index()) != 0 {
+                    continue;
+                }
+                color[ci] = Some(v);
+                match go(
+                    ctx,
+                    vendors_of_type,
+                    color,
+                    depth + 1,
+                    copies,
+                    nodes,
+                    node_limit,
+                ) {
+                    Some(false) => {}
+                    other => {
+                        if other == Some(true) {
+                            color[ci] = None;
+                        }
+                        return other;
+                    }
+                }
+                color[ci] = None;
+            }
+            Some(false)
+        }
+
+        go(
+            self,
+            vendors_of_type,
+            &mut color,
+            0,
+            copies,
+            &mut nodes,
+            node_limit,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &self,
+        problem: &SynthesisProblem,
+        vendors_of_type: &[Vec<VendorId>],
+        state: &mut SearchState,
+        depth: usize,
+        node_limit: usize,
+        num_vendors: usize,
+        total_cycles: usize,
+        min_area: &[u64; IpTypeId::COUNT],
+        start: Instant,
+        options: &SolveOptions,
+    ) -> SearchResult {
+        if depth == self.order.len() {
+            return SearchResult::Found;
+        }
+        state.nodes += 1;
+        if state.nodes > node_limit {
+            return SearchResult::NodeBudget;
+        }
+        if state.nodes % 4096 == 0 && start.elapsed() > options.time_limit {
+            return SearchResult::TimedOut;
+        }
+
+        let copy = self.order[depth];
+        let ci = cidx(self.n, copy);
+        let t = self.op_type[copy.op.index()];
+
+        // Cycle window tightened by already-assigned same-role parents.
+        let (mut lo, hi) = self.window[ci];
+        for &p in &self.parents[ci] {
+            if let Some((pc, _)) = state.assignment[p] {
+                lo = lo.max(pc + 1);
+            }
+        }
+        if lo > hi {
+            return SearchResult::Exhausted;
+        }
+
+        let area_of = |v: VendorId, t: IpTypeId| -> u64 {
+            problem
+                .catalog()
+                .offering(v, t)
+                .map_or(u64::MAX, |o| o.area)
+        };
+
+        // Candidate (cycle, vendor) pairs, cheapest-impact first: prefer
+        // slots that reuse an existing instance (zero area growth), then
+        // lightly-loaded cycles. A small random tiebreak diversifies the
+        // restart probes.
+        let mut candidates: Vec<(u64, usize, VendorId)> = Vec::new();
+        for &v in &vendors_of_type[t.index()] {
+            if state.forbid[ci * 64 + v.index()] > 0 {
+                continue;
+            }
+            for cycle in lo..=hi {
+                let u = state.usage_at(num_vendors, total_cycles, v, t, cycle);
+                let inst = state.instance_count(num_vendors, v, t);
+                let grows = u >= inst;
+                let area_penalty = if grows { area_of(v, t) } else { 0 };
+                if state.area
+                    + area_penalty
+                    + state.remaining_area_bound(self, num_vendors, t, grows, min_area)
+                    > problem.area_limit()
+                {
+                    continue;
+                }
+                let jitter = state.rng_below(16);
+                let key = area_penalty * 1_000 + u as u64 * 64 + cycle as u64 * 4 + jitter;
+                candidates.push((key, cycle, v));
+            }
+        }
+        candidates.sort_unstable_by_key(|&(k, _, _)| k);
+
+        for (_, cycle, v) in candidates {
+            let grew = state.apply(num_vendors, total_cycles, v, t, cycle, area_of);
+            state.assignment[ci] = Some((cycle, v));
+            // Forward checking: shrink neighbours' vendor domains; a
+            // wiped-out domain makes this value a dead end immediately.
+            let wiped = state.forbid_neighbors(self, ci, v);
+            let r = if wiped {
+                SearchResult::Exhausted
+            } else {
+                self.search(
+                    problem,
+                    vendors_of_type,
+                    state,
+                    depth + 1,
+                    node_limit,
+                    num_vendors,
+                    total_cycles,
+                    min_area,
+                    start,
+                    options,
+                )
+            };
+            match r {
+                SearchResult::Exhausted => {
+                    state.unforbid_neighbors(self, ci, v);
+                    state.assignment[ci] = None;
+                    state.undo(num_vendors, total_cycles, v, t, cycle, grew, area_of);
+                }
+                // Keep the assignment intact on success so the caller can
+                // read the full solution out of `state`.
+                other => return other,
+            }
+        }
+        SearchResult::Exhausted
+    }
+}
+
+enum SearchResult {
+    Found,
+    Exhausted,
+    NodeBudget,
+    TimedOut,
+}
+
+struct SearchState {
+    /// Per copy: `(cycle, vendor)`.
+    assignment: Vec<Option<(usize, VendorId)>>,
+    /// usage[(v * TYPES + t) * (total+1) + cycle]
+    usage: Vec<u16>,
+    /// instances[v * TYPES + t]
+    instances: Vec<u16>,
+    /// forbid[copy * 64 + vendor]: how many assigned diversity neighbours
+    /// pin this vendor.
+    forbid: Vec<u8>,
+    /// Per copy: licensed vendors still available (forward checking).
+    avail: Vec<u16>,
+    /// Remaining unassigned copies per type (for the area bound).
+    remaining: [usize; IpTypeId::COUNT],
+    /// Bitmask of licensed vendors per type.
+    licensed: [u64; IpTypeId::COUNT],
+    /// Current instances per type (across vendors).
+    type_instances: [usize; IpTypeId::COUNT],
+    area: u64,
+    nodes: usize,
+    rng: u64,
+}
+
+impl SearchState {
+    fn new(
+        ctx: &SearchContext,
+        num_vendors: usize,
+        total: usize,
+        vendors_of_type: &[Vec<VendorId>],
+        seed: u64,
+    ) -> Self {
+        let copies = 3 * ctx.n;
+        let mut avail = vec![0u16; copies];
+        let mut remaining = [0usize; IpTypeId::COUNT];
+        let mut licensed = [0u64; IpTypeId::COUNT];
+        for (t, vendors) in vendors_of_type.iter().enumerate() {
+            for v in vendors {
+                licensed[t] |= 1 << v.index();
+            }
+        }
+        for &c in &ctx.order {
+            let i = cidx(ctx.n, c);
+            let t = ctx.op_type[c.op.index()];
+            avail[i] = vendors_of_type[t.index()].len() as u16;
+            remaining[t.index()] += 1;
+        }
+        SearchState {
+            assignment: vec![None; copies],
+            usage: vec![0u16; num_vendors * IpTypeId::COUNT * (total + 1)],
+            instances: vec![0u16; num_vendors * IpTypeId::COUNT],
+            forbid: vec![0u8; copies * 64],
+            avail,
+            remaining,
+            licensed,
+            type_instances: [0; IpTypeId::COUNT],
+            area: 0,
+            nodes: 0,
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF,
+        }
+    }
+
+    fn rng_below(&mut self, bound: u64) -> u64 {
+        if self.rng == u64::MAX {
+            return 0; // deterministic exhaustive pass
+        }
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % bound
+    }
+
+    /// Marks `v` forbidden for every unassigned diversity neighbour of `ci`;
+    /// returns `true` if some neighbour lost its last licensed vendor.
+    fn forbid_neighbors(&mut self, ctx: &SearchContext, ci: usize, v: VendorId) -> bool {
+        let mut wiped = false;
+        for &nb in &ctx.diff[ci] {
+            if self.assignment[nb].is_some() {
+                continue;
+            }
+            let slot = nb * 64 + v.index();
+            if self.forbid[slot] == 0 {
+                // Only vendors licensed for the neighbour's type were
+                // counted into `avail`.
+                let t = ctx.op_type[nb % ctx.n];
+                if self.licensed[t.index()] & (1 << v.index()) != 0 {
+                    self.avail[nb] -= 1;
+                    if self.avail[nb] == 0 {
+                        wiped = true;
+                    }
+                }
+            }
+            self.forbid[slot] += 1;
+        }
+        wiped
+    }
+
+    fn unforbid_neighbors(&mut self, ctx: &SearchContext, ci: usize, v: VendorId) {
+        for &nb in &ctx.diff[ci] {
+            if self.assignment[nb].is_some() {
+                continue;
+            }
+            let slot = nb * 64 + v.index();
+            self.forbid[slot] -= 1;
+            if self.forbid[slot] == 0 {
+                let t = ctx.op_type[nb % ctx.n];
+                if self.licensed[t.index()] & (1 << v.index()) != 0 {
+                    self.avail[nb] += 1;
+                }
+            }
+        }
+    }
+
+    /// Lower bound on further area forced by the copies not yet assigned:
+    /// each type still needing more instances than currently exist must
+    /// grow by at least the cheapest offering.
+    fn remaining_area_bound(
+        &self,
+        ctx: &SearchContext,
+        _num_vendors: usize,
+        assigning_type: IpTypeId,
+        grows: bool,
+        min_area: &[u64; IpTypeId::COUNT],
+    ) -> u64 {
+        let mut bound = 0u64;
+        #[allow(clippy::needless_range_loop)] // parallel fixed-size arrays
+        for t in 0..IpTypeId::COUNT {
+            let need = ctx.min_instances[t];
+            let mut have = self.type_instances[t];
+            if t == assigning_type.index() && grows {
+                have += 1;
+            }
+            if need > have && min_area[t] != u64::MAX {
+                bound += (need - have) as u64 * min_area[t];
+            }
+        }
+        bound
+    }
+
+    fn usage_at(&self, _nv: usize, total: usize, v: VendorId, t: IpTypeId, cycle: usize) -> u16 {
+        self.usage[(v.index() * IpTypeId::COUNT + t.index()) * (total + 1) + cycle]
+    }
+
+    fn instance_count(&self, _nv: usize, v: VendorId, t: IpTypeId) -> u16 {
+        self.instances[v.index() * IpTypeId::COUNT + t.index()]
+    }
+
+    /// Books one op on `(v, t)` at `cycle`; returns whether a new physical
+    /// instance had to be added (area grew).
+    fn apply(
+        &mut self,
+        _nv: usize,
+        total: usize,
+        v: VendorId,
+        t: IpTypeId,
+        cycle: usize,
+        area_of: impl Fn(VendorId, IpTypeId) -> u64,
+    ) -> bool {
+        let ui = (v.index() * IpTypeId::COUNT + t.index()) * (total + 1) + cycle;
+        self.usage[ui] += 1;
+        self.remaining[t.index()] -= 1;
+        let ii = v.index() * IpTypeId::COUNT + t.index();
+        if self.usage[ui] > self.instances[ii] {
+            self.instances[ii] += 1;
+            self.type_instances[t.index()] += 1;
+            self.area += area_of(v, t);
+            true
+        } else {
+            false
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn undo(
+        &mut self,
+        _nv: usize,
+        total: usize,
+        v: VendorId,
+        t: IpTypeId,
+        cycle: usize,
+        grew: bool,
+        area_of: impl Fn(VendorId, IpTypeId) -> u64,
+    ) {
+        let ui = (v.index() * IpTypeId::COUNT + t.index()) * (total + 1) + cycle;
+        self.usage[ui] -= 1;
+        self.remaining[t.index()] += 1;
+        if grew {
+            let ii = v.index() * IpTypeId::COUNT + t.index();
+            self.instances[ii] -= 1;
+            self.type_instances[t.index()] -= 1;
+            self.area -= area_of(v, t);
+        }
+    }
+}
+
+/// Minimum concurrent cores of type `t` in the detection phase, where every
+/// op runs twice (NC + RC) within the same windows.
+fn doubled_min_concurrency(problem: &SynthesisProblem, t: IpTypeId, w: &ScheduleWindows) -> usize {
+    let dfg = problem.dfg();
+    let latency = problem.detection_latency();
+    let mut best = 0usize;
+    for lo in 1..=latency {
+        for hi in lo..=latency {
+            let width = hi - lo + 1;
+            let confined = dfg
+                .node_ids()
+                .filter(|&n| dfg.kind(n).ip_type() == t && w.asap(n) >= lo && w.alap(n) <= hi)
+                .count();
+            best = best.max((2 * confined).div_ceil(width));
+        }
+    }
+    best
+}
+
+/// Memoized convenience wrapper used by reporting code: solve and cache by
+/// problem identity is intentionally *not* provided — solves are explicit.
+#[doc(hidden)]
+pub fn _internal_cidx_for_tests(n: usize, c: OpCopy) -> usize {
+    cidx(n, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::validate::validate;
+    use troy_dfg::benchmarks;
+
+    fn solve(problem: &SynthesisProblem) -> Result<Synthesis, SynthesisError> {
+        ExactSolver::new().synthesize(problem, &SolveOptions::default())
+    }
+
+    #[test]
+    fn motivational_example_costs_4160() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(22_000)
+            .build()
+            .unwrap();
+        let s = solve(&p).expect("feasible");
+        assert_eq!(s.cost, 4160, "paper's Figure 5 optimum");
+        assert!(s.proven_optimal);
+        let vs = validate(&p, &s.implementation);
+        assert!(vs.is_empty(), "{vs:?}");
+        assert!(s.implementation.area(&p) <= 22_000);
+    }
+
+    #[test]
+    fn detection_only_is_cheaper_than_recovery() {
+        let det = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(22_000)
+            .build()
+            .unwrap();
+        let rec = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(22_000)
+            .build()
+            .unwrap();
+        let sd = solve(&det).unwrap();
+        let sr = solve(&rec).unwrap();
+        assert!(
+            sd.cost < sr.cost,
+            "detection {} vs recovery {}",
+            sd.cost,
+            sr.cost
+        );
+        assert!(validate(&det, &sd.implementation).is_empty());
+    }
+
+    #[test]
+    fn infeasible_area_detected() {
+        // polynom needs >= 2 multiplier vendors; even one multiplier
+        // instance needs ~5700 area.
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(5_000)
+            .build()
+            .unwrap();
+        assert_eq!(solve(&p).unwrap_err(), SynthesisError::Infeasible);
+    }
+
+    #[test]
+    fn tight_latency_forces_more_instances() {
+        // At λ_det = 3 polynom's NC+RC (6 muls, 4 adds) pack tighter than
+        // at λ_det = 6; the loose schedule should never cost more.
+        let tight = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(3)
+            .build()
+            .unwrap();
+        let loose = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(6)
+            .build()
+            .unwrap();
+        let st = solve(&tight).unwrap();
+        let sl = solve(&loose).unwrap();
+        assert!(sl.cost <= st.cost);
+        assert!(validate(&tight, &st.implementation).is_empty());
+        assert!(validate(&loose, &sl.implementation).is_empty());
+    }
+
+    #[test]
+    fn diff2_with_paper8_catalog_solves() {
+        let p = SynthesisProblem::builder(benchmarks::diff2(), Catalog::paper8())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(50_000)
+            .build()
+            .unwrap();
+        let s = solve(&p).expect("diff2 detection-only is feasible");
+        assert!(validate(&p, &s.implementation).is_empty());
+        let stats = s.implementation.stats(&p);
+        assert!(stats.vendors_used >= 2);
+        assert_eq!(stats.license_cost, s.cost);
+    }
+
+    #[test]
+    fn recovery_uses_at_least_three_vendors_per_type() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .build()
+            .unwrap();
+        let s = solve(&p).unwrap();
+        let imp = &s.implementation;
+        for t in [IpTypeId::ADDER, IpTypeId::MULTIPLIER] {
+            let vendors: std::collections::BTreeSet<_> = imp
+                .licenses_used(&p)
+                .into_iter()
+                .filter(|l| l.ip_type == t)
+                .map(|l| l.vendor)
+                .collect();
+            assert!(vendors.len() >= 3, "{t}: {vendors:?}");
+        }
+    }
+
+    #[test]
+    fn related_pairs_can_force_extra_vendors() {
+        // Make all three muls of polynom closely related: their recovery
+        // copies must avoid the union of their detection vendors.
+        let g = benchmarks::polynom();
+        let base = SynthesisProblem::builder(g.clone(), Catalog::table1())
+            .detection_latency(4)
+            .recovery_latency(3)
+            .build()
+            .unwrap();
+        let related = SynthesisProblem::builder(g, Catalog::table1())
+            .detection_latency(4)
+            .recovery_latency(3)
+            .related_pair(NodeId::new(0), NodeId::new(1))
+            .related_pair(NodeId::new(0), NodeId::new(2))
+            .related_pair(NodeId::new(1), NodeId::new(2))
+            .build()
+            .unwrap();
+        let sb = solve(&base).unwrap();
+        let sr = solve(&related).unwrap();
+        assert!(sr.cost >= sb.cost);
+        assert!(validate(&related, &sr.implementation).is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Design-space exploration: sweep latency and area constraints and
+//! collect the cost frontier a designer actually trades along.
+
+use std::time::Duration;
+
+use troy_dfg::Dfg;
+
+use crate::catalog::Catalog;
+use crate::exact::ExactSolver;
+use crate::implementation::DesignStats;
+use crate::problem::{Mode, SynthesisProblem};
+use crate::solver::{SolveOptions, Synthesizer};
+
+/// One sweep point and its outcome.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Total latency λ used at this point.
+    pub lambda: usize,
+    /// Area bound used at this point.
+    pub area: u64,
+    /// `None` when the point is infeasible (or exceeded the per-point
+    /// budget).
+    pub stats: Option<DesignStats>,
+    /// Whether the cost at this point was proven optimal.
+    pub proven_optimal: bool,
+}
+
+/// Sweeps total latency over `lambdas` at a fixed `area` bound.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{sweep_latency, Catalog, Mode};
+///
+/// let points = sweep_latency(
+///     &benchmarks::polynom(),
+///     &Catalog::table1(),
+///     Mode::DetectionRecovery,
+///     &[6, 8, 10],
+///     40_000,
+/// );
+/// assert_eq!(points.len(), 3);
+/// // Looser latency never raises the (proven-optimal) cost.
+/// let costs: Vec<u64> = points
+///     .iter()
+///     .filter(|p| p.proven_optimal)
+///     .filter_map(|p| p.stats.map(|s| s.license_cost))
+///     .collect();
+/// assert!(costs.windows(2).all(|w| w[1] <= w[0]));
+/// ```
+#[must_use]
+pub fn sweep_latency(
+    dfg: &Dfg,
+    catalog: &Catalog,
+    mode: Mode,
+    lambdas: &[usize],
+    area: u64,
+) -> Vec<SweepPoint> {
+    lambdas
+        .iter()
+        .map(|&lambda| solve_point(dfg, catalog, mode, lambda, area))
+        .collect()
+}
+
+/// Sweeps the area bound over `areas` at a fixed total latency.
+#[must_use]
+pub fn sweep_area(
+    dfg: &Dfg,
+    catalog: &Catalog,
+    mode: Mode,
+    lambda: usize,
+    areas: &[u64],
+) -> Vec<SweepPoint> {
+    areas
+        .iter()
+        .map(|&area| solve_point(dfg, catalog, mode, lambda, area))
+        .collect()
+}
+
+/// The smallest area at which the instance becomes feasible, found by
+/// bisection between `lo` and `hi`. Returns `None` when even `hi` is
+/// infeasible.
+///
+/// Feasibility is monotone in the area bound, so bisection is exact (up to
+/// the solver's per-point budget).
+#[must_use]
+pub fn min_feasible_area(
+    dfg: &Dfg,
+    catalog: &Catalog,
+    mode: Mode,
+    lambda: usize,
+    mut lo: u64,
+    mut hi: u64,
+) -> Option<u64> {
+    solve_point(dfg, catalog, mode, lambda, hi).stats?;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if solve_point(dfg, catalog, mode, lambda, mid).stats.is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(hi)
+}
+
+/// License cost of an *unprotected* single-computation design: one license
+/// of the cheapest vendor per IP type used by the DFG. The floor any
+/// protection scheme is measured against.
+///
+/// Returns `None` if some op type is offered by no vendor.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{unprotected_cost, Catalog};
+///
+/// // polynom needs one adder + one multiplier license: $450 + $760.
+/// let cost = unprotected_cost(&benchmarks::polynom(), &Catalog::table1());
+/// assert_eq!(cost, Some(1210));
+/// ```
+#[must_use]
+pub fn unprotected_cost(dfg: &Dfg, catalog: &Catalog) -> Option<u64> {
+    let mut types: Vec<troy_dfg::IpTypeId> = dfg
+        .op_histogram()
+        .into_iter()
+        .map(|(k, _)| k.ip_type())
+        .collect();
+    types.sort_unstable();
+    types.dedup();
+    let mut total = 0u64;
+    for t in types {
+        let cheapest = catalog
+            .vendors_for(t)
+            .map(|v| catalog.offering(v, t).expect("listed vendor").cost)
+            .min()?;
+        total += cheapest;
+    }
+    Some(total)
+}
+
+fn solve_point(dfg: &Dfg, catalog: &Catalog, mode: Mode, lambda: usize, area: u64) -> SweepPoint {
+    let builder = SynthesisProblem::builder(dfg.clone(), catalog.clone()).mode(mode);
+    let builder = match mode {
+        Mode::DetectionOnly => builder.detection_latency(lambda),
+        Mode::DetectionRecovery => builder.total_latency(lambda),
+    };
+    let Ok(problem) = builder.area_limit(area).build() else {
+        return SweepPoint {
+            lambda,
+            area,
+            stats: None,
+            proven_optimal: false,
+        };
+    };
+    let options = SolveOptions {
+        time_limit: Duration::from_secs(10),
+        node_limit: 150_000,
+    };
+    match ExactSolver::new().synthesize(&problem, &options) {
+        Ok(s) => SweepPoint {
+            lambda,
+            area,
+            stats: Some(s.implementation.stats(&problem)),
+            proven_optimal: s.proven_optimal,
+        },
+        Err(_) => SweepPoint {
+            lambda,
+            area,
+            stats: None,
+            proven_optimal: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::benchmarks;
+
+    #[test]
+    fn latency_sweep_is_monotone_in_cost() {
+        let pts = sweep_latency(
+            &benchmarks::polynom(),
+            &Catalog::table1(),
+            Mode::DetectionOnly,
+            &[3, 4, 6, 8],
+            u64::MAX,
+        );
+        assert_eq!(pts.len(), 4);
+        let costs: Vec<u64> = pts
+            .iter()
+            .filter(|p| p.proven_optimal)
+            .map(|p| p.stats.expect("feasible").license_cost)
+            .collect();
+        assert!(costs.windows(2).all(|w| w[1] <= w[0]), "{costs:?}");
+    }
+
+    #[test]
+    fn area_sweep_turns_infeasible_below_the_floor() {
+        let pts = sweep_area(
+            &benchmarks::polynom(),
+            &Catalog::table1(),
+            Mode::DetectionOnly,
+            4,
+            &[40_000, 20_000, 10_000, 5_000],
+        );
+        // Costs never decrease as area tightens, then feasibility dies.
+        let mut seen_infeasible = false;
+        let mut last_cost = 0u64;
+        for p in &pts {
+            match &p.stats {
+                Some(s) => {
+                    assert!(!seen_infeasible, "feasibility must be monotone");
+                    assert!(s.license_cost >= last_cost);
+                    last_cost = s.license_cost;
+                }
+                None => seen_infeasible = true,
+            }
+        }
+        assert!(seen_infeasible, "5k area cannot fit a multiplier");
+    }
+
+    #[test]
+    fn bisection_finds_the_area_floor() {
+        let g = benchmarks::polynom();
+        let floor = min_feasible_area(&g, &Catalog::table1(), Mode::DetectionOnly, 4, 1, 60_000)
+            .expect("feasible at 60k");
+        // The floor must behave like a threshold.
+        assert!(
+            solve_point(&g, &Catalog::table1(), Mode::DetectionOnly, 4, floor)
+                .stats
+                .is_some()
+        );
+        assert!(
+            solve_point(&g, &Catalog::table1(), Mode::DetectionOnly, 4, floor - 1)
+                .stats
+                .is_none()
+        );
+        // Sanity: at least two multipliers plus two adders must fit.
+        assert!(floor > 11_000, "{floor}");
+    }
+
+    #[test]
+    fn hopeless_bisection_returns_none() {
+        let g = benchmarks::polynom();
+        assert!(
+            min_feasible_area(&g, &Catalog::table1(), Mode::DetectionOnly, 4, 1, 4_000).is_none()
+        );
+    }
+}

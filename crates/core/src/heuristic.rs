@@ -1,0 +1,270 @@
+//! A constructive heuristic synthesizer.
+//!
+//! Strategy: start from the license set every rule demands at minimum
+//! (cheapest vendors per type), run the exact solver's feasibility checker
+//! in *find-only* mode, and grow the license set greedily (cheapest next
+//! license first) until a valid design appears. A final shrink pass drops
+//! licenses one at a time (most expensive first) and keeps any removal that
+//! stays feasible.
+//!
+//! The result is an upper bound on the optimal cost, produced quickly and
+//! deterministically; the ablation benches compare it against
+//! [`crate::ExactSolver`].
+
+use std::time::Instant;
+
+use troy_dfg::IpTypeId;
+
+use crate::catalog::License;
+use crate::problem::SynthesisProblem;
+use crate::rules::min_vendors_per_type;
+use crate::solver::{SolveOptions, Synthesis, SynthesisError, Synthesizer};
+
+/// Greedy grow-then-shrink synthesis (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{
+///     Catalog, GreedySolver, Mode, SolveOptions, SynthesisProblem, Synthesizer,
+/// };
+///
+/// let problem = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+///     .mode(Mode::DetectionRecovery)
+///     .detection_latency(4)
+///     .recovery_latency(3)
+///     .area_limit(22_000)
+///     .build()?;
+/// let result = GreedySolver::new().synthesize(&problem, &SolveOptions::quick())?;
+/// // The heuristic never beats the exact optimum ($4160) but finds a
+/// // valid design fast.
+/// assert!(result.cost >= 4160);
+/// assert!(!result.proven_optimal);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GreedySolver {
+    _private: (),
+}
+
+impl GreedySolver {
+    /// Creates the solver.
+    #[must_use]
+    pub fn new() -> Self {
+        GreedySolver::default()
+    }
+}
+
+impl Synthesizer for GreedySolver {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn synthesize(
+        &self,
+        problem: &SynthesisProblem,
+        options: &SolveOptions,
+    ) -> Result<Synthesis, SynthesisError> {
+        let start = Instant::now();
+        let catalog = problem.catalog();
+        let checker = crate::exact::FeasibilityChecker::new(problem);
+
+        // Seed: per needed type, the minimum number of cheapest vendors.
+        let mut chosen: Vec<License> = Vec::new();
+        for (t, need) in min_vendors_per_type(problem) {
+            let mut vendors: Vec<_> = catalog
+                .vendors_for(t)
+                .map(|v| (catalog.offering(v, t).expect("listed").cost, v))
+                .collect();
+            vendors.sort_unstable();
+            if vendors.len() < need {
+                return Err(SynthesisError::Infeasible);
+            }
+            for &(_, v) in vendors.iter().take(need) {
+                chosen.push(License {
+                    vendor: v,
+                    ip_type: t,
+                });
+            }
+        }
+
+        // Remaining purchasable licenses, cheapest first.
+        let mut pool: Vec<(u64, License)> = catalog
+            .licenses_by_cost()
+            .into_iter()
+            .filter(|(l, _)| {
+                problem
+                    .dfg()
+                    .op_histogram()
+                    .iter()
+                    .any(|(k, _)| k.ip_type() == l.ip_type)
+                    && !chosen.contains(l)
+            })
+            .map(|(l, off)| (off.cost, l))
+            .collect();
+        pool.sort_unstable_by_key(|&(c, _)| c);
+
+        // Grow until feasible.
+        let mut best = loop {
+            if start.elapsed() > options.time_limit {
+                return Err(SynthesisError::BudgetExhausted);
+            }
+            if let Some(imp) = checker.find(&chosen, options.node_limit, start, options) {
+                break imp;
+            }
+            match pool.first() {
+                Some(&(_, next)) => {
+                    chosen.push(next);
+                    pool.remove(0);
+                }
+                None => return Err(SynthesisError::Infeasible),
+            }
+        };
+
+        // Shrink: drop licenses most-expensive-first while staying feasible.
+        let mut order: Vec<License> = chosen.clone();
+        order.sort_by_key(|l| {
+            std::cmp::Reverse(catalog.offering_of(*l).expect("chosen license").cost)
+        });
+        for cand in order {
+            if start.elapsed() > options.time_limit {
+                break;
+            }
+            let trial: Vec<License> = chosen.iter().copied().filter(|&l| l != cand).collect();
+            // Respect the per-type minimums — dropping below them can never
+            // be feasible.
+            let still_ok = min_vendors_per_type(problem)
+                .into_iter()
+                .all(|(t, need)| trial.iter().filter(|l| l.ip_type == t).count() >= need);
+            if !still_ok {
+                continue;
+            }
+            if let Some(imp) = checker.find(&trial, options.node_limit / 4, start, options) {
+                chosen = trial;
+                best = imp;
+            }
+        }
+
+        let cost = best.license_cost(problem);
+        Ok(Synthesis {
+            implementation: best,
+            cost,
+            proven_optimal: false,
+        })
+    }
+}
+
+/// Which IP types a problem's DFG actually uses (helper shared with tests).
+#[must_use]
+pub fn needed_types(problem: &SynthesisProblem) -> Vec<IpTypeId> {
+    let mut types: Vec<IpTypeId> = problem
+        .dfg()
+        .op_histogram()
+        .into_iter()
+        .map(|(k, _)| k.ip_type())
+        .collect();
+    types.sort_unstable();
+    types.dedup();
+    types
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::exact::ExactSolver;
+    use crate::problem::Mode;
+    use crate::validate::validate;
+    use troy_dfg::benchmarks;
+
+    fn problem(mode: Mode) -> SynthesisProblem {
+        SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(mode)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(22_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn greedy_finds_valid_design() {
+        let p = problem(Mode::DetectionRecovery);
+        let s = GreedySolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        let vs = validate(&p, &s.implementation);
+        assert!(vs.is_empty(), "{vs:?}");
+        assert_eq!(s.cost, s.implementation.license_cost(&p));
+        assert!(!s.proven_optimal);
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        for mode in [Mode::DetectionOnly, Mode::DetectionRecovery] {
+            let p = problem(mode);
+            let opts = SolveOptions::quick();
+            let g = GreedySolver::new().synthesize(&p, &opts).unwrap();
+            let e = ExactSolver::new().synthesize(&p, &opts).unwrap();
+            assert!(
+                g.cost >= e.cost,
+                "{mode}: greedy {} < exact {}",
+                g.cost,
+                e.cost
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_motivational_example() {
+        // The shrink pass recovers the Fig. 5 optimum here.
+        let p = problem(Mode::DetectionRecovery);
+        let s = GreedySolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        assert_eq!(s.cost, 4160);
+    }
+
+    #[test]
+    fn greedy_detects_infeasible_area() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(5_000)
+            .build()
+            .unwrap();
+        let err = GreedySolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SynthesisError::Infeasible | SynthesisError::BudgetExhausted
+        ));
+    }
+
+    #[test]
+    fn greedy_handles_paper8_benchmarks() {
+        for g in benchmarks::paper_suite() {
+            let cp = g.critical_path_len();
+            let p = SynthesisProblem::builder(g, Catalog::paper8())
+                .mode(Mode::DetectionRecovery)
+                .detection_latency(cp + 1)
+                .recovery_latency(cp)
+                .build()
+                .unwrap();
+            let s = GreedySolver::new()
+                .synthesize(&p, &SolveOptions::quick())
+                .unwrap();
+            let vs = validate(&p, &s.implementation);
+            assert!(vs.is_empty(), "{}: {vs:?}", p.dfg().name());
+        }
+    }
+
+    #[test]
+    fn needed_types_reports_dfg_types() {
+        let p = problem(Mode::DetectionOnly);
+        let types = needed_types(&p);
+        assert_eq!(types, vec![IpTypeId::ADDER, IpTypeId::MULTIPLIER]);
+    }
+}

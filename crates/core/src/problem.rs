@@ -1,0 +1,428 @@
+//! Problem statement: the DFG to implement, the catalog, latency/area
+//! constraints and the protection mode.
+
+use std::fmt;
+
+use troy_dfg::{Dfg, NodeId};
+
+use crate::catalog::Catalog;
+
+/// Which protection the synthesized design must provide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Detection only (the Rajendran et al. IOLTS'13 baseline, Table 3):
+    /// every operation runs twice (NC + RC) on diverse vendors.
+    DetectionOnly,
+    /// Detection plus the paper's fast-recovery phase (Table 4): on a
+    /// mismatch the DFG is re-executed with re-bound vendors.
+    DetectionRecovery,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::DetectionOnly => "detection-only",
+            Mode::DetectionRecovery => "detection+recovery",
+        })
+    }
+}
+
+/// Errors raised when assembling a [`SynthesisProblem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProblemError {
+    /// The DFG has no operations.
+    EmptyDfg,
+    /// The detection latency is shorter than the DFG's critical path.
+    DetectionLatencyTooShort {
+        /// Requested detection-phase latency.
+        latency: usize,
+        /// The DFG's critical-path length.
+        critical_path: usize,
+    },
+    /// The recovery latency is shorter than the DFG's critical path.
+    RecoveryLatencyTooShort {
+        /// Requested recovery-phase latency.
+        latency: usize,
+        /// The DFG's critical-path length.
+        critical_path: usize,
+    },
+    /// Some operation's IP type is offered by no vendor in the catalog.
+    MissingIpType(troy_dfg::IpTypeId),
+    /// A closely-related pair references a node outside the DFG or has
+    /// mismatching operation types.
+    BadRelatedPair(NodeId, NodeId),
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::EmptyDfg => write!(f, "the DFG has no operations"),
+            ProblemError::DetectionLatencyTooShort {
+                latency,
+                critical_path,
+            } => write!(
+                f,
+                "detection latency {latency} is below the critical path {critical_path}"
+            ),
+            ProblemError::RecoveryLatencyTooShort {
+                latency,
+                critical_path,
+            } => write!(
+                f,
+                "recovery latency {latency} is below the critical path {critical_path}"
+            ),
+            ProblemError::MissingIpType(t) => {
+                write!(f, "no vendor offers IP type `{t}`")
+            }
+            ProblemError::BadRelatedPair(a, b) => {
+                write!(f, "invalid closely-related pair ({a}, {b})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// A complete synthesis instance.
+///
+/// Built with [`SynthesisProblem::builder`]; validated on
+/// [`ProblemBuilder::build`].
+///
+/// # Examples
+///
+/// The paper's Figure 5 motivational instance:
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{Catalog, Mode, SynthesisProblem};
+///
+/// let problem = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+///     .mode(Mode::DetectionRecovery)
+///     .detection_latency(4)
+///     .recovery_latency(3)
+///     .area_limit(22_000)
+///     .build()?;
+/// assert_eq!(problem.total_latency(), 7);
+/// # Ok::<(), troyhls::ProblemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthesisProblem {
+    dfg: Dfg,
+    catalog: Catalog,
+    mode: Mode,
+    detection_latency: usize,
+    recovery_latency: usize,
+    area_limit: u64,
+    related_pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl SynthesisProblem {
+    /// Starts a builder over a DFG and catalog.
+    #[must_use]
+    pub fn builder(dfg: Dfg, catalog: Catalog) -> ProblemBuilder {
+        ProblemBuilder {
+            dfg,
+            catalog,
+            mode: Mode::DetectionRecovery,
+            detection_latency: None,
+            recovery_latency: None,
+            area_limit: u64::MAX,
+            related_pairs: Vec::new(),
+        }
+    }
+
+    /// The function-to-be-implemented.
+    #[must_use]
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+
+    /// The vendor/IP library.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Protection mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Cycles available to the detection phase (NC ∥ RC).
+    #[must_use]
+    pub fn detection_latency(&self) -> usize {
+        self.detection_latency
+    }
+
+    /// Cycles available to the recovery phase (0 in detection-only mode).
+    #[must_use]
+    pub fn recovery_latency(&self) -> usize {
+        match self.mode {
+            Mode::DetectionOnly => 0,
+            Mode::DetectionRecovery => self.recovery_latency,
+        }
+    }
+
+    /// Total schedule length (the paper's λ: detection plus recovery).
+    #[must_use]
+    pub fn total_latency(&self) -> usize {
+        self.detection_latency + self.recovery_latency()
+    }
+
+    /// Maximum total silicon area (the paper's `A̅`).
+    #[must_use]
+    pub fn area_limit(&self) -> u64 {
+        self.area_limit
+    }
+
+    /// Closely-related operation pairs (Rule 2 for fast recovery).
+    #[must_use]
+    pub fn related_pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.related_pairs
+    }
+}
+
+/// Builder for [`SynthesisProblem`]; see there for an example.
+#[derive(Debug, Clone)]
+pub struct ProblemBuilder {
+    dfg: Dfg,
+    catalog: Catalog,
+    mode: Mode,
+    detection_latency: Option<usize>,
+    recovery_latency: Option<usize>,
+    area_limit: u64,
+    related_pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl ProblemBuilder {
+    /// Sets the protection mode (default: detection + recovery).
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the detection-phase latency bound (default: critical path).
+    #[must_use]
+    pub fn detection_latency(mut self, cycles: usize) -> Self {
+        self.detection_latency = Some(cycles);
+        self
+    }
+
+    /// Sets the recovery-phase latency bound (default: critical path).
+    #[must_use]
+    pub fn recovery_latency(mut self, cycles: usize) -> Self {
+        self.recovery_latency = Some(cycles);
+        self
+    }
+
+    /// Splits a paper-style *total* λ evenly across the two phases
+    /// (detection gets the extra cycle when λ is odd).
+    #[must_use]
+    pub fn total_latency(mut self, lambda: usize) -> Self {
+        let rec = lambda / 2;
+        self.detection_latency = Some(lambda - rec);
+        self.recovery_latency = Some(rec);
+        self
+    }
+
+    /// Sets the total-area bound (default: unlimited).
+    #[must_use]
+    pub fn area_limit(mut self, area: u64) -> Self {
+        self.area_limit = area;
+        self
+    }
+
+    /// Declares two operations closely related (Rule 2 for fast recovery):
+    /// their recovery copies must avoid each other's detection vendors.
+    #[must_use]
+    pub fn related_pair(mut self, a: NodeId, b: NodeId) -> Self {
+        self.related_pairs.push((a, b));
+        self
+    }
+
+    /// Validates and produces the problem.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProblemError`]: empty DFG, latency below the critical path, an
+    /// op type no vendor offers, or an invalid related pair.
+    pub fn build(self) -> Result<SynthesisProblem, ProblemError> {
+        if self.dfg.is_empty() {
+            return Err(ProblemError::EmptyDfg);
+        }
+        let cp = self.dfg.critical_path_len();
+        let detection_latency = self.detection_latency.unwrap_or(cp);
+        let recovery_latency = self.recovery_latency.unwrap_or(cp);
+        if detection_latency < cp {
+            return Err(ProblemError::DetectionLatencyTooShort {
+                latency: detection_latency,
+                critical_path: cp,
+            });
+        }
+        if self.mode == Mode::DetectionRecovery && recovery_latency < cp {
+            return Err(ProblemError::RecoveryLatencyTooShort {
+                latency: recovery_latency,
+                critical_path: cp,
+            });
+        }
+        for n in self.dfg.node_ids() {
+            let t = self.dfg.kind(n).ip_type();
+            if self.catalog.vendors_for(t).next().is_none() {
+                return Err(ProblemError::MissingIpType(t));
+            }
+        }
+        for &(a, b) in &self.related_pairs {
+            let valid = a != b
+                && a.index() < self.dfg.len()
+                && b.index() < self.dfg.len()
+                && self.dfg.kind(a).ip_type() == self.dfg.kind(b).ip_type();
+            if !valid {
+                return Err(ProblemError::BadRelatedPair(a, b));
+            }
+        }
+        Ok(SynthesisProblem {
+            dfg: self.dfg,
+            catalog: self.catalog,
+            mode: self.mode,
+            detection_latency,
+            recovery_latency,
+            area_limit: self.area_limit,
+            related_pairs: self.related_pairs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::benchmarks;
+
+    #[test]
+    fn builder_defaults_to_critical_path() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .build()
+            .unwrap();
+        assert_eq!(p.detection_latency(), 3);
+        assert_eq!(p.recovery_latency(), 3);
+        assert_eq!(p.total_latency(), 6);
+        assert_eq!(p.area_limit(), u64::MAX);
+    }
+
+    #[test]
+    fn detection_only_has_no_recovery_window() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .build()
+            .unwrap();
+        assert_eq!(p.recovery_latency(), 0);
+        assert_eq!(p.total_latency(), 4);
+    }
+
+    #[test]
+    fn total_latency_split_matches_paper_convention() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .total_latency(7)
+            .build()
+            .unwrap();
+        assert_eq!(p.detection_latency(), 4);
+        assert_eq!(p.recovery_latency(), 3);
+    }
+
+    #[test]
+    fn short_detection_latency_rejected() {
+        let err = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .detection_latency(2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProblemError::DetectionLatencyTooShort {
+                latency: 2,
+                critical_path: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn short_recovery_latency_rejected_only_in_recovery_mode() {
+        let err = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .detection_latency(4)
+            .recovery_latency(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ProblemError::RecoveryLatencyTooShort { .. }));
+        // Same bounds are fine when recovery is disabled.
+        assert!(
+            SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+                .mode(Mode::DetectionOnly)
+                .detection_latency(4)
+                .recovery_latency(1)
+                .build()
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn missing_ip_type_rejected() {
+        // diff2 contains a comparison; Table 1 has no "other" cores.
+        let err = SynthesisProblem::builder(benchmarks::diff2(), Catalog::table1())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ProblemError::MissingIpType(_)));
+        // paper8 offers all three types.
+        assert!(
+            SynthesisProblem::builder(benchmarks::diff2(), Catalog::paper8())
+                .build()
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn empty_dfg_rejected() {
+        let err = SynthesisProblem::builder(Dfg::new("empty"), Catalog::table1())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ProblemError::EmptyDfg);
+    }
+
+    #[test]
+    fn related_pair_validation() {
+        let g = benchmarks::polynom(); // t1..t3 mul, t4..t5 add
+        let mul_a = NodeId::new(0);
+        let mul_b = NodeId::new(1);
+        let add = NodeId::new(3);
+        assert!(SynthesisProblem::builder(g.clone(), Catalog::table1())
+            .related_pair(mul_a, mul_b)
+            .build()
+            .is_ok());
+        // Type mismatch.
+        assert!(matches!(
+            SynthesisProblem::builder(g.clone(), Catalog::table1())
+                .related_pair(mul_a, add)
+                .build(),
+            Err(ProblemError::BadRelatedPair(..))
+        ));
+        // Self pair.
+        assert!(SynthesisProblem::builder(g.clone(), Catalog::table1())
+            .related_pair(mul_a, mul_a)
+            .build()
+            .is_err());
+        // Out of range.
+        assert!(SynthesisProblem::builder(g, Catalog::table1())
+            .related_pair(mul_a, NodeId::new(99))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(Mode::DetectionOnly.to_string(), "detection-only");
+        assert_eq!(Mode::DetectionRecovery.to_string(), "detection+recovery");
+    }
+
+    use troy_dfg::Dfg;
+}

@@ -1,0 +1,296 @@
+//! Register allocation for synthesized designs.
+//!
+//! A scheduled datapath needs storage between the cycle a value is produced
+//! and the last cycle it is consumed. This module computes those lifetimes
+//! for every operation copy and packs them into registers with the classic
+//! left-edge algorithm, which is optimal for interval graphs: the register
+//! count equals the maximum number of simultaneously-live values.
+//!
+//! Lifetimes follow the phase structure: NC and RC results that reach a
+//! sink stay live until the end of the detection phase (the comparator
+//! reads them there); recovery sinks stay live until the end of the
+//! schedule.
+
+use std::collections::BTreeMap;
+
+use crate::implementation::Implementation;
+use crate::problem::SynthesisProblem;
+use crate::rules::{OpCopy, Role};
+
+/// Identifier of an allocated register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegisterId(pub u32);
+
+impl std::fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The live interval of one produced value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifetime {
+    /// The copy producing the value.
+    pub copy: OpCopy,
+    /// Cycle the value becomes available (the producer's cycle).
+    pub from: usize,
+    /// Last cycle the value must still be readable.
+    pub to: usize,
+}
+
+/// A complete register allocation.
+#[derive(Debug, Clone)]
+pub struct RegisterAllocation {
+    lifetimes: Vec<Lifetime>,
+    /// Register per copy (same order as `lifetimes`).
+    assignment: BTreeMap<(usize, usize), RegisterId>,
+    registers: usize,
+}
+
+impl RegisterAllocation {
+    /// Number of registers the design needs.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        self.registers
+    }
+
+    /// The register holding `copy`'s result.
+    #[must_use]
+    pub fn register_of(&self, copy: OpCopy) -> Option<RegisterId> {
+        self.assignment
+            .get(&(copy.op.index(), copy.role.index()))
+            .copied()
+    }
+
+    /// All computed lifetimes.
+    #[must_use]
+    pub fn lifetimes(&self) -> &[Lifetime] {
+        &self.lifetimes
+    }
+
+    /// Maximum number of simultaneously live values (equals
+    /// [`RegisterAllocation::register_count`] by left-edge optimality).
+    #[must_use]
+    pub fn peak_pressure(&self) -> usize {
+        let mut events: Vec<(usize, i32)> = Vec::new();
+        for lt in &self.lifetimes {
+            events.push((lt.from, 1));
+            events.push((lt.to + 1, -1));
+        }
+        events.sort_unstable();
+        let mut live = 0i32;
+        let mut peak = 0i32;
+        for (_, d) in events {
+            live += d;
+            peak = peak.max(live);
+        }
+        peak.max(0) as usize
+    }
+}
+
+/// Computes value lifetimes and allocates registers for a complete design.
+///
+/// # Panics
+///
+/// Panics if the implementation is missing assignments required by the
+/// problem's mode — validate first.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{allocate_registers, Catalog, ExactSolver, Mode, SolveOptions,
+///               SynthesisProblem, Synthesizer};
+///
+/// let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+///     .mode(Mode::DetectionOnly)
+///     .detection_latency(4)
+///     .build()?;
+/// let s = ExactSolver::new().synthesize(&p, &SolveOptions::quick())?;
+/// let regs = allocate_registers(&p, &s.implementation);
+/// assert_eq!(regs.register_count(), regs.peak_pressure());
+/// assert!(regs.register_count() >= 2); // both sink copies live at the comparator
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn allocate_registers(problem: &SynthesisProblem, imp: &Implementation) -> RegisterAllocation {
+    let dfg = problem.dfg();
+    let det = problem.detection_latency();
+    let total = problem.total_latency();
+
+    let mut lifetimes = Vec::new();
+    for op in dfg.node_ids() {
+        for &role in Role::for_mode(problem.mode()) {
+            let copy = OpCopy::new(op, role);
+            let a = imp.assignment_of(copy).expect("complete implementation");
+            let phase_end = match role {
+                Role::Nc | Role::Rc => det,
+                Role::Recovery => total,
+            };
+            // Consumers in the same computation read the value at their own
+            // cycles; a sink's value is read by the comparator/output at
+            // the end of its phase.
+            let last_use = dfg
+                .succs(op)
+                .iter()
+                .map(|&c| {
+                    imp.assignment(c, role)
+                        .expect("complete implementation")
+                        .cycle
+                })
+                .max()
+                .unwrap_or(phase_end)
+                .max(if dfg.succs(op).is_empty() {
+                    phase_end
+                } else {
+                    0
+                });
+            lifetimes.push(Lifetime {
+                copy,
+                from: a.cycle,
+                to: last_use,
+            });
+        }
+    }
+
+    // Left-edge: sort by start cycle, greedily reuse the register whose
+    // last interval ended earliest.
+    let mut order: Vec<usize> = (0..lifetimes.len()).collect();
+    order.sort_by_key(|&i| (lifetimes[i].from, lifetimes[i].to));
+    // free_at[r] = first cycle register r is free again.
+    let mut free_at: Vec<usize> = Vec::new();
+    let mut assignment = BTreeMap::new();
+    for i in order {
+        let lt = lifetimes[i];
+        // A register is reusable if its previous value died strictly
+        // before this one is produced (same-cycle write-after-read is
+        // allowed in a registered datapath: read happens on the edge).
+        let slot = free_at.iter().position(|&f| f <= lt.from);
+        let r = match slot {
+            Some(r) => r,
+            None => {
+                free_at.push(0);
+                free_at.len() - 1
+            }
+        };
+        free_at[r] = lt.to + 1;
+        assignment.insert(
+            (lt.copy.op.index(), lt.copy.role.index()),
+            RegisterId(r as u32),
+        );
+    }
+
+    RegisterAllocation {
+        lifetimes,
+        assignment,
+        registers: free_at.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::exact::ExactSolver;
+    use crate::problem::Mode;
+    use crate::solver::{SolveOptions, Synthesizer};
+    use troy_dfg::benchmarks;
+
+    fn solved(mode: Mode) -> (SynthesisProblem, Implementation) {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(mode)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .build()
+            .unwrap();
+        let s = ExactSolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        (p, s.implementation)
+    }
+
+    #[test]
+    fn register_count_equals_peak_pressure() {
+        for mode in [Mode::DetectionOnly, Mode::DetectionRecovery] {
+            let (p, imp) = solved(mode);
+            let regs = allocate_registers(&p, &imp);
+            assert_eq!(regs.register_count(), regs.peak_pressure(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn every_copy_gets_a_register() {
+        let (p, imp) = solved(Mode::DetectionRecovery);
+        let regs = allocate_registers(&p, &imp);
+        for op in p.dfg().node_ids() {
+            for role in [Role::Nc, Role::Rc, Role::Recovery] {
+                assert!(regs.register_of(OpCopy::new(op, role)).is_some());
+            }
+        }
+        assert_eq!(regs.lifetimes().len(), 15);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_never_share_a_register() {
+        let (p, imp) = solved(Mode::DetectionRecovery);
+        let regs = allocate_registers(&p, &imp);
+        let lts = regs.lifetimes();
+        for (i, a) in lts.iter().enumerate() {
+            for b in &lts[i + 1..] {
+                let ra = regs.register_of(a.copy).unwrap();
+                let rb = regs.register_of(b.copy).unwrap();
+                if ra == rb {
+                    let disjoint = a.to < b.from || b.to < a.from;
+                    assert!(
+                        disjoint,
+                        "{} and {} share {ra} but overlap ([{},{}] vs [{},{}])",
+                        a.copy, b.copy, a.from, a.to, b.from, b.to
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sink_values_live_until_their_phase_ends() {
+        let (p, imp) = solved(Mode::DetectionRecovery);
+        let regs = allocate_registers(&p, &imp);
+        let sink = p.dfg().sinks().next().unwrap();
+        for (role, end) in [
+            (Role::Nc, p.detection_latency()),
+            (Role::Rc, p.detection_latency()),
+            (Role::Recovery, p.total_latency()),
+        ] {
+            let lt = regs
+                .lifetimes()
+                .iter()
+                .find(|l| l.copy == OpCopy::new(sink, role))
+                .unwrap();
+            assert_eq!(lt.to, end, "{role}");
+        }
+    }
+
+    #[test]
+    fn serial_chain_needs_few_registers() {
+        // A pure chain: at most two values live at once (producer +
+        // consumer-in-flight), plus the sink held for the comparator.
+        let mut g = troy_dfg::Dfg::new("chain");
+        let mut prev = g.add_op_with(troy_dfg::OpKind::Add, "a0", 2);
+        for i in 1..5 {
+            let n = g.add_op_with(troy_dfg::OpKind::Add, &format!("a{i}")[..], 2);
+            g.add_edge(prev, n).unwrap();
+            prev = n;
+        }
+        let p = SynthesisProblem::builder(g, Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(5)
+            .build()
+            .unwrap();
+        let s = ExactSolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        let regs = allocate_registers(&p, &s.implementation);
+        // Two interleaved chains (NC + RC): pressure stays small.
+        assert!(regs.register_count() <= 6, "{}", regs.register_count());
+    }
+}

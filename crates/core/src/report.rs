@@ -1,0 +1,262 @@
+//! Human-readable views of a synthesized design: a textual schedule chart,
+//! annotated Graphviz export and a collusion-exposure analysis.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use troy_dfg::{to_dot_with, NodeId};
+
+use crate::catalog::VendorId;
+use crate::implementation::Implementation;
+use crate::problem::SynthesisProblem;
+use crate::rules::Role;
+
+/// Renders the schedule as a cycle-by-cycle chart: one line per physical
+/// core, one column per cycle.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{schedule_chart, Catalog, ExactSolver, Mode, SolveOptions,
+///               SynthesisProblem, Synthesizer};
+///
+/// let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+///     .mode(Mode::DetectionOnly)
+///     .detection_latency(4)
+///     .build()?;
+/// let s = ExactSolver::new().synthesize(&p, &SolveOptions::quick())?;
+/// let chart = schedule_chart(&p, &s.implementation);
+/// assert!(chart.contains("cycle"));
+/// assert!(chart.contains("Ven"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn schedule_chart(problem: &SynthesisProblem, imp: &Implementation) -> String {
+    let total = problem.total_latency();
+    // (license, instance) rows discovered by walking cycles in order.
+    let occupancy = imp.occupancy(problem);
+    // row key: (vendor, type, instance index) -> cells per cycle.
+    let mut rows: BTreeMap<(VendorId, usize, usize), Vec<String>> = BTreeMap::new();
+    for (&cycle, cores) in &occupancy {
+        for (&(vendor, t), copies) in cores {
+            for (m, copy) in copies.iter().enumerate() {
+                let cells = rows
+                    .entry((vendor, t.index(), m))
+                    .or_insert_with(|| vec![String::new(); total + 1]);
+                cells[cycle] = copy.to_string();
+            }
+        }
+    }
+
+    let col = rows
+        .values()
+        .flatten()
+        .map(String::len)
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let mut out = String::new();
+    let _ = write!(out, "{:<24}", "core");
+    for c in 1..=total {
+        let _ = write!(out, " {:>col$}", format!("cycle{c}"));
+    }
+    let _ = writeln!(out);
+    let det = problem.detection_latency();
+    let _ = write!(out, "{:<24}", "");
+    for c in 1..=total {
+        let tag = if c <= det { "det" } else { "rec" };
+        let _ = write!(out, " {tag:>col$}");
+    }
+    let _ = writeln!(out);
+    for ((vendor, t, m), cells) in rows {
+        let label = format!("{vendor}/{}#{m}", troy_dfg::IpTypeId::new(t).name());
+        let _ = write!(out, "{label:<24}");
+        for text in cells.iter().skip(1).take(total) {
+            let cell = if text.is_empty() { "." } else { text };
+            let _ = write!(out, " {cell:>col$}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Graphviz export of the DFG with each node annotated by its per-role
+/// `(cycle, vendor)` assignments.
+#[must_use]
+pub fn implementation_dot(problem: &SynthesisProblem, imp: &Implementation) -> String {
+    to_dot_with(problem.dfg(), |n: NodeId| {
+        let mut parts = Vec::new();
+        for role in [Role::Nc, Role::Rc, Role::Recovery] {
+            if let Some(a) = imp.assignment(n, role) {
+                parts.push(format!("{role}:{}@c{}", a.vendor, a.cycle));
+            }
+        }
+        (!parts.is_empty()).then(|| parts.join(" "))
+    })
+}
+
+/// One directly-interacting vendor pair in a computation: the producer's
+/// result feeds the consumer. Rule 2 exists to keep such pairs on
+/// *different* vendors (collusion prevention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interaction {
+    /// The computation in which the interaction occurs.
+    pub role: Role,
+    /// Producer operation.
+    pub producer: NodeId,
+    /// Consumer operation.
+    pub consumer: NodeId,
+    /// Producer's vendor.
+    pub from: VendorId,
+    /// Consumer's vendor.
+    pub to: VendorId,
+}
+
+/// Lists every direct data interaction in every computation, with the
+/// vendors on each side. For a rule-compliant design, no interaction has
+/// `from == to` — asserted by [`collusion_exposure`] returning 0.
+#[must_use]
+pub fn interactions(problem: &SynthesisProblem, imp: &Implementation) -> Vec<Interaction> {
+    let mut out = Vec::new();
+    for (p, c) in problem.dfg().edges() {
+        for &role in Role::for_mode(problem.mode()) {
+            if let (Some(pa), Some(ca)) = (imp.assignment(p, role), imp.assignment(c, role)) {
+                out.push(Interaction {
+                    role,
+                    producer: p,
+                    consumer: c,
+                    from: pa.vendor,
+                    to: ca.vendor,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Number of direct same-vendor interactions — the collusion channels the
+/// paper's Rule 2 eliminates. A valid design scores 0.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{collusion_exposure, Catalog, ExactSolver, Mode, SolveOptions,
+///               SynthesisProblem, Synthesizer};
+///
+/// let p = SynthesisProblem::builder(benchmarks::diff2(), Catalog::paper8())
+///     .mode(Mode::DetectionRecovery)
+///     .detection_latency(5)
+///     .recovery_latency(5)
+///     .build()?;
+/// let s = ExactSolver::new().synthesize(&p, &SolveOptions::quick())?;
+/// assert_eq!(collusion_exposure(&p, &s.implementation), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn collusion_exposure(problem: &SynthesisProblem, imp: &Implementation) -> usize {
+    interactions(problem, imp)
+        .iter()
+        .filter(|i| i.from == i.to)
+        .count()
+}
+
+/// Markdown rendering of a design summary (stats + licenses), for reports.
+#[must_use]
+pub fn markdown_summary(problem: &SynthesisProblem, imp: &Implementation) -> String {
+    let stats = imp.stats(problem);
+    let mut out = String::new();
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| instances (u) | {} |", stats.instances_used);
+    let _ = writeln!(out, "| licenses (t) | {} |", stats.licenses_used);
+    let _ = writeln!(out, "| vendors (v) | {} |", stats.vendors_used);
+    let _ = writeln!(out, "| license cost (mc) | ${} |", stats.license_cost);
+    let _ = writeln!(out, "| area | {} |", stats.area);
+    let _ = writeln!(out, "\nlicenses:\n");
+    for l in imp.licenses_used(problem) {
+        let off = problem.catalog().offering_of(l).expect("used license");
+        let _ = writeln!(out, "- `{l}` — area {}, ${}", off.area, off.cost);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::exact::ExactSolver;
+    use crate::implementation::Assignment;
+    use crate::problem::Mode;
+    use crate::solver::{SolveOptions, Synthesizer};
+    use troy_dfg::benchmarks;
+
+    fn solved() -> (SynthesisProblem, Implementation) {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(22_000)
+            .build()
+            .unwrap();
+        let s = ExactSolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        (p, s.implementation)
+    }
+
+    #[test]
+    fn chart_shows_every_copy_once() {
+        let (p, imp) = solved();
+        let chart = schedule_chart(&p, &imp);
+        // 5 ops x 3 roles = 15 cells occupied.
+        let cells = chart.matches("o").count(); // each copy prints oN[role]
+        assert!(cells >= 15, "{chart}");
+        assert!(chart.contains("det"));
+        assert!(chart.contains("rec"));
+    }
+
+    #[test]
+    fn dot_is_annotated_with_assignments() {
+        let (p, imp) = solved();
+        let dot = implementation_dot(&p, &imp);
+        assert!(dot.contains("NC:"));
+        assert!(dot.contains("R:"));
+        assert!(dot.contains("@c"));
+    }
+
+    #[test]
+    fn valid_designs_have_zero_collusion_exposure() {
+        let (p, imp) = solved();
+        assert_eq!(collusion_exposure(&p, &imp), 0);
+        // Interactions exist (4 edges x 3 roles).
+        assert_eq!(interactions(&p, &imp).len(), 12);
+    }
+
+    #[test]
+    fn violating_design_is_exposed() {
+        let (p, imp) = solved();
+        let mut bad = imp.clone();
+        // Force o4's NC vendor equal to its parent o1's NC vendor.
+        let parent = bad.assignment(NodeId::new(0), Role::Nc).unwrap();
+        let child = bad.assignment(NodeId::new(3), Role::Nc).unwrap();
+        bad.assign(
+            NodeId::new(3),
+            Role::Nc,
+            Assignment {
+                cycle: child.cycle,
+                vendor: parent.vendor,
+            },
+        );
+        assert!(collusion_exposure(&p, &bad) >= 1);
+    }
+
+    #[test]
+    fn markdown_summary_lists_all_licenses() {
+        let (p, imp) = solved();
+        let md = markdown_summary(&p, &imp);
+        assert!(md.contains("| license cost (mc) | $4160 |"));
+        assert_eq!(md.matches("- `Ven").count(), 6);
+    }
+}

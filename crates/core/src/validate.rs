@@ -1,0 +1,444 @@
+//! Full design validation: every paper constraint checked against an
+//! [`Implementation`].
+//!
+//! All three solvers (ILP formulation, exact domain search, heuristic) are
+//! required to produce implementations this module accepts; the property
+//! tests in the workspace enforce that.
+
+use std::fmt;
+
+use crate::implementation::Implementation;
+use crate::problem::SynthesisProblem;
+use crate::rules::{diversity_constraints, OpCopy, Role};
+
+/// One violated constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A required copy has no assignment (paper eq. (3)).
+    Unassigned(OpCopy),
+    /// A copy is scheduled outside its phase window (eqs. (14)-(15)).
+    OutsideWindow {
+        /// The offending copy.
+        copy: OpCopy,
+        /// Its assigned cycle.
+        cycle: usize,
+        /// The allowed window (inclusive).
+        window: (usize, usize),
+    },
+    /// A data dependency is not respected within a computation (eq. (4)).
+    DependencyOrder {
+        /// Producer copy.
+        parent: OpCopy,
+        /// Consumer copy scheduled no later than the producer.
+        child: OpCopy,
+    },
+    /// A copy is bound to a vendor that does not sell its IP type.
+    NoSuchCore(OpCopy),
+    /// Two copies that the design rules require on different vendors share
+    /// one (eqs. (5)-(10)).
+    SameVendor {
+        /// First copy.
+        a: OpCopy,
+        /// Second copy.
+        b: OpCopy,
+        /// The rule that is violated.
+        rule: crate::rules::RuleKind,
+    },
+    /// Total instantiated area exceeds the limit (eq. (13)).
+    AreaExceeded {
+        /// Area used by the implementation.
+        used: u64,
+        /// The problem's area limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Unassigned(c) => write!(f, "copy {c} is not scheduled"),
+            Violation::OutsideWindow {
+                copy,
+                cycle,
+                window,
+            } => write!(
+                f,
+                "copy {copy} at cycle {cycle} outside window {}..={}",
+                window.0, window.1
+            ),
+            Violation::DependencyOrder { parent, child } => {
+                write!(f, "dependency {parent} -> {child} not respected")
+            }
+            Violation::NoSuchCore(c) => {
+                write!(f, "copy {c} bound to a vendor without a matching core")
+            }
+            Violation::SameVendor { a, b, rule } => {
+                write!(f, "{a} and {b} share a vendor, violating {rule}")
+            }
+            Violation::AreaExceeded { used, limit } => {
+                write!(f, "area {used} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+/// Checks an implementation against every constraint of the problem.
+///
+/// Returns all violations (empty = valid design). Resource exclusivity
+/// (paper eq. (16), one op per core per cycle) is accounted for by
+/// construction: [`Implementation::instances`] sizes the core pool by peak
+/// concurrency, so concurrency shows up as area instead.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troyhls::{validate, Catalog, Implementation, Mode, SynthesisProblem};
+///
+/// let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+///     .mode(Mode::DetectionOnly)
+///     .detection_latency(4)
+///     .build()?;
+/// let empty = Implementation::new(p.dfg().len());
+/// // Nothing scheduled: one violation per required copy.
+/// assert_eq!(validate(&p, &empty).len(), 10);
+/// # Ok::<(), troyhls::ProblemError>(())
+/// ```
+#[must_use]
+pub fn validate(problem: &SynthesisProblem, imp: &Implementation) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let dfg = problem.dfg();
+    let det = problem.detection_latency();
+    let total = problem.total_latency();
+
+    // Completeness + windows + core existence.
+    for op in dfg.node_ids() {
+        for &role in Role::for_mode(problem.mode()) {
+            let copy = OpCopy::new(op, role);
+            let Some(a) = imp.assignment_of(copy) else {
+                out.push(Violation::Unassigned(copy));
+                continue;
+            };
+            let window = match role {
+                Role::Nc | Role::Rc => (1, det),
+                Role::Recovery => (det + 1, total),
+            };
+            if a.cycle < window.0 || a.cycle > window.1 {
+                out.push(Violation::OutsideWindow {
+                    copy,
+                    cycle: a.cycle,
+                    window,
+                });
+            }
+            if problem
+                .catalog()
+                .offering(a.vendor, dfg.kind(op).ip_type())
+                .is_none()
+            {
+                out.push(Violation::NoSuchCore(copy));
+            }
+        }
+    }
+
+    // Dependencies within each computation.
+    for (p, c) in dfg.edges() {
+        for &role in Role::for_mode(problem.mode()) {
+            let (pa, ca) = (imp.assignment(p, role), imp.assignment(c, role));
+            if let (Some(pa), Some(ca)) = (pa, ca) {
+                if ca.cycle <= pa.cycle {
+                    out.push(Violation::DependencyOrder {
+                        parent: OpCopy::new(p, role),
+                        child: OpCopy::new(c, role),
+                    });
+                }
+            }
+        }
+    }
+
+    // Vendor-diversity rules.
+    for dc in diversity_constraints(problem) {
+        if let (Some(a), Some(b)) = (imp.assignment_of(dc.a), imp.assignment_of(dc.b)) {
+            if a.vendor == b.vendor {
+                out.push(Violation::SameVendor {
+                    a: dc.a,
+                    b: dc.b,
+                    rule: dc.rule,
+                });
+            }
+        }
+    }
+
+    // Area limit — only meaningful once every copy is placed on a real core.
+    if imp.is_complete(problem.mode()) && !out.iter().any(|v| matches!(v, Violation::NoSuchCore(_)))
+    {
+        let used = imp.area(problem);
+        if used > problem.area_limit() {
+            out.push(Violation::AreaExceeded {
+                used,
+                limit: problem.area_limit(),
+            });
+        }
+    }
+
+    out
+}
+
+/// `true` when [`validate`] reports no violations.
+#[must_use]
+pub fn is_valid(problem: &SynthesisProblem, imp: &Implementation) -> bool {
+    validate(problem, imp).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, VendorId};
+    use crate::implementation::Assignment;
+    use crate::problem::Mode;
+    use troy_dfg::{benchmarks, NodeId};
+
+    fn problem(mode: Mode) -> SynthesisProblem {
+        SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(mode)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(50_000)
+            .build()
+            .unwrap()
+    }
+
+    fn a(c: usize, v: usize) -> Assignment {
+        Assignment {
+            cycle: c,
+            vendor: VendorId::new(v),
+        }
+    }
+
+    /// A hand-built valid detection-only design for polynom.
+    /// ops: o1,o2,o3 mul; o4 add(o1,o2); o5 add(o4,o3).
+    fn valid_detection() -> Implementation {
+        let mut imp = Implementation::new(5);
+        // NC: vendors satisfy sibling (o1!=o2), parent-child (o1,o2 != o4;
+        // o4 != o5; o3 != o5), sibling (o4 != o3).
+        imp.assign(NodeId::new(0), Role::Nc, a(1, 0));
+        imp.assign(NodeId::new(1), Role::Nc, a(1, 1));
+        imp.assign(NodeId::new(2), Role::Nc, a(1, 0));
+        imp.assign(NodeId::new(3), Role::Nc, a(2, 2));
+        imp.assign(NodeId::new(4), Role::Nc, a(3, 1));
+        // RC: per-op different from NC, same internal pattern shifted.
+        imp.assign(NodeId::new(0), Role::Rc, a(2, 1));
+        imp.assign(NodeId::new(1), Role::Rc, a(2, 2));
+        imp.assign(NodeId::new(2), Role::Rc, a(2, 1));
+        imp.assign(NodeId::new(3), Role::Rc, a(3, 3));
+        imp.assign(NodeId::new(4), Role::Rc, a(4, 0));
+        imp
+    }
+
+    #[test]
+    fn valid_design_passes() {
+        let p = problem(Mode::DetectionOnly);
+        let imp = valid_detection();
+        let vs = validate(&p, &imp);
+        assert!(vs.is_empty(), "{vs:?}");
+        assert!(is_valid(&p, &imp));
+    }
+
+    #[test]
+    fn missing_copy_reported() {
+        let p = problem(Mode::DetectionOnly);
+        let mut imp = valid_detection();
+        imp.unassign(NodeId::new(2), Role::Rc);
+        let vs = validate(&p, &imp);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::Unassigned(c) if c.op == NodeId::new(2))));
+    }
+
+    #[test]
+    fn detection_copy_outside_window_reported() {
+        let p = problem(Mode::DetectionOnly);
+        let mut imp = valid_detection();
+        imp.assign(NodeId::new(4), Role::Rc, a(5, 0)); // window is 1..=4
+        assert!(validate(&p, &imp)
+            .iter()
+            .any(|v| matches!(v, Violation::OutsideWindow { .. })));
+    }
+
+    #[test]
+    fn dependency_violation_reported() {
+        let p = problem(Mode::DetectionOnly);
+        let mut imp = valid_detection();
+        // o4 consumes o1/o2; schedule it in the same cycle.
+        imp.assign(NodeId::new(3), Role::Nc, a(1, 2));
+        assert!(validate(&p, &imp)
+            .iter()
+            .any(|v| matches!(v, Violation::DependencyOrder { .. })));
+    }
+
+    #[test]
+    fn rule1_detection_violation_reported() {
+        let p = problem(Mode::DetectionOnly);
+        let mut imp = valid_detection();
+        // Give RC o1 the same vendor as NC o1.
+        imp.assign(NodeId::new(0), Role::Rc, a(2, 0));
+        let vs = validate(&p, &imp);
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::SameVendor {
+                rule: crate::rules::RuleKind::DetectionDuplicate,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn sibling_violation_reported() {
+        let p = problem(Mode::DetectionOnly);
+        let mut imp = valid_detection();
+        // o1 and o2 feed o4; same vendor violates Rule 2.
+        imp.assign(NodeId::new(1), Role::Nc, a(1, 0));
+        let vs = validate(&p, &imp);
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::SameVendor {
+                rule: crate::rules::RuleKind::DetectionSiblings,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn unknown_core_reported() {
+        // Table 1 has 4 vendors; vendor 7 exists in paper8 only.
+        let p = problem(Mode::DetectionOnly);
+        let mut imp = valid_detection();
+        imp.assign(NodeId::new(0), Role::Nc, a(1, 7));
+        assert!(validate(&p, &imp)
+            .iter()
+            .any(|v| matches!(v, Violation::NoSuchCore(_))));
+    }
+
+    #[test]
+    fn recovery_requires_third_vendor() {
+        let p = problem(Mode::DetectionRecovery);
+        let mut imp = valid_detection();
+        // Recovery copies in window 5..=7, re-bound to fresh vendors.
+        // o1: NC=0, RC=1 -> R must avoid {0,1}.
+        imp.assign(NodeId::new(0), Role::Recovery, a(5, 2));
+        imp.assign(NodeId::new(1), Role::Recovery, a(5, 3));
+        imp.assign(NodeId::new(2), Role::Recovery, a(5, 2));
+        imp.assign(NodeId::new(3), Role::Recovery, a(6, 0));
+        imp.assign(NodeId::new(4), Role::Recovery, a(7, 3));
+        let vs = validate(&p, &imp);
+        assert!(vs.is_empty(), "{vs:?}");
+
+        // Violate rule 1 recovery: o1 R on its NC vendor.
+        imp.assign(NodeId::new(0), Role::Recovery, a(5, 0));
+        assert!(validate(&p, &imp).iter().any(|v| matches!(
+            v,
+            Violation::SameVendor {
+                rule: crate::rules::RuleKind::RecoveryRebind,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn recovery_copy_in_detection_window_reported() {
+        let p = problem(Mode::DetectionRecovery);
+        let mut imp = valid_detection();
+        imp.assign(NodeId::new(0), Role::Recovery, a(3, 2)); // window 5..=7
+        assert!(validate(&p, &imp).iter().any(|v| matches!(
+            v,
+            Violation::OutsideWindow {
+                copy,
+                ..
+            } if copy.role == Role::Recovery
+        )));
+    }
+
+    #[test]
+    fn area_limit_enforced() {
+        let g = benchmarks::polynom();
+        let p = SynthesisProblem::builder(g, Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(10_000) // three mult licenses alone exceed this
+            .build()
+            .unwrap();
+        let imp = valid_detection();
+        let vs = validate(&p, &imp);
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::AreaExceeded { .. })),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn area_not_checked_while_incomplete() {
+        let g = benchmarks::polynom();
+        let p = SynthesisProblem::builder(g, Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(1)
+            .build()
+            .unwrap();
+        let mut imp = valid_detection();
+        imp.unassign(NodeId::new(0), Role::Nc);
+        let vs = validate(&p, &imp);
+        assert!(!vs
+            .iter()
+            .any(|v| matches!(v, Violation::AreaExceeded { .. })));
+    }
+
+    #[test]
+    fn violations_display() {
+        let p = problem(Mode::DetectionOnly);
+        let imp = Implementation::new(5);
+        for v in validate(&p, &imp) {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn related_pair_rule2_recovery_enforced() {
+        let g = benchmarks::polynom();
+        let p = SynthesisProblem::builder(g, Catalog::table1())
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(50_000)
+            .related_pair(NodeId::new(0), NodeId::new(2))
+            .build()
+            .unwrap();
+        let mut imp = valid_detection();
+        // o3 (index 2) detection vendors: NC=0, RC=1. o1 recovery must also
+        // avoid those because (o1, o3) are closely related.
+        imp.assign(NodeId::new(0), Role::Recovery, a(5, 2));
+        imp.assign(NodeId::new(1), Role::Recovery, a(5, 3));
+        imp.assign(NodeId::new(2), Role::Recovery, a(5, 2));
+        imp.assign(NodeId::new(3), Role::Recovery, a(6, 0));
+        imp.assign(NodeId::new(4), Role::Recovery, a(7, 3));
+        assert!(validate(&p, &imp).is_empty(), "{:?}", validate(&p, &imp));
+        // Now bind o1's recovery copy to vendor 1 = RC vendor of o3... o1's
+        // own detection vendors are {0,1} too, so use a pair where only the
+        // related rule fires: rebind o3's NC to vendor 3 first.
+        imp.assign(NodeId::new(2), Role::Nc, a(1, 3));
+        imp.assign(NodeId::new(2), Role::Recovery, a(5, 0));
+        // o3 detection vendors now {3,1}; o1 recovery at vendor 2 is fine,
+        // but at vendor 3 it violates only RecoveryRelated.
+        imp.assign(NodeId::new(0), Role::Recovery, a(5, 3));
+        let vs = validate(&p, &imp);
+        assert!(
+            vs.iter().any(|v| matches!(
+                v,
+                Violation::SameVendor {
+                    rule: crate::rules::RuleKind::RecoveryRelated,
+                    ..
+                }
+            )),
+            "{vs:?}"
+        );
+    }
+}

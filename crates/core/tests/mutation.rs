@@ -1,0 +1,157 @@
+//! Mutation testing of the validator: start from a known-valid design and
+//! apply adversarial mutations; the validator must flag exactly the
+//! mutations that break a rule.
+
+use proptest::prelude::*;
+use troy_dfg::{benchmarks, NodeId};
+use troyhls::{
+    diversity_constraints, validate, Assignment, Catalog, ExactSolver, Implementation, Mode, Role,
+    SolveOptions, SynthesisProblem, Synthesizer, VendorId, Violation,
+};
+
+fn solved() -> (SynthesisProblem, Implementation) {
+    let p = SynthesisProblem::builder(benchmarks::diff2(), Catalog::paper8())
+        .mode(Mode::DetectionRecovery)
+        .detection_latency(5)
+        .recovery_latency(5)
+        .build()
+        .expect("valid");
+    let s = ExactSolver::new()
+        .synthesize(&p, &SolveOptions::quick())
+        .expect("feasible");
+    (p, s.implementation)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Move one copy to a different cycle.
+    ShiftCycle {
+        op: usize,
+        role_idx: usize,
+        cycle: usize,
+    },
+    /// Re-bind one copy to a different vendor.
+    SwapVendor {
+        op: usize,
+        role_idx: usize,
+        vendor: usize,
+    },
+    /// Remove one copy entirely.
+    Drop { op: usize, role_idx: usize },
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0usize..11, 0usize..3, 1usize..=10).prop_map(|(op, role_idx, cycle)| {
+            Mutation::ShiftCycle {
+                op,
+                role_idx,
+                cycle,
+            }
+        }),
+        (0usize..11, 0usize..3, 0usize..8).prop_map(|(op, role_idx, vendor)| {
+            Mutation::SwapVendor {
+                op,
+                role_idx,
+                vendor,
+            }
+        }),
+        (0usize..11, 0usize..3).prop_map(|(op, role_idx)| Mutation::Drop { op, role_idx }),
+    ]
+}
+
+fn role(idx: usize) -> Role {
+    [Role::Nc, Role::Rc, Role::Recovery][idx]
+}
+
+/// Ground truth: does the mutated implementation actually break a rule?
+/// Re-derives legality from first principles, independently of `validate`.
+fn legal(problem: &SynthesisProblem, imp: &Implementation) -> bool {
+    let dfg = problem.dfg();
+    let det = problem.detection_latency();
+    let total = problem.total_latency();
+    // Completeness + windows.
+    for op in dfg.node_ids() {
+        for r in [Role::Nc, Role::Rc, Role::Recovery] {
+            let Some(a) = imp.assignment(op, r) else {
+                return false;
+            };
+            let ok = match r {
+                Role::Nc | Role::Rc => (1..=det).contains(&a.cycle),
+                Role::Recovery => (det + 1..=total).contains(&a.cycle),
+            };
+            if !ok
+                || problem
+                    .catalog()
+                    .offering(a.vendor, dfg.kind(op).ip_type())
+                    .is_none()
+            {
+                return false;
+            }
+        }
+    }
+    // Dependencies.
+    for (p, c) in dfg.edges() {
+        for r in [Role::Nc, Role::Rc, Role::Recovery] {
+            if imp.assignment(c, r).unwrap().cycle <= imp.assignment(p, r).unwrap().cycle {
+                return false;
+            }
+        }
+    }
+    // Diversity.
+    for dc in diversity_constraints(problem) {
+        if imp.assignment_of(dc.a).unwrap().vendor == imp.assignment_of(dc.b).unwrap().vendor {
+            return false;
+        }
+    }
+    imp.area(problem) <= problem.area_limit()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn validator_agrees_with_first_principles(m in mutation()) {
+        let (p, base) = solved();
+        let mut imp = base.clone();
+        match m {
+            Mutation::ShiftCycle { op, role_idx, cycle } => {
+                let r = role(role_idx);
+                let a = imp.assignment(NodeId::new(op), r).unwrap();
+                imp.assign(NodeId::new(op), r, Assignment { cycle, vendor: a.vendor });
+            }
+            Mutation::SwapVendor { op, role_idx, vendor } => {
+                let r = role(role_idx);
+                let a = imp.assignment(NodeId::new(op), r).unwrap();
+                imp.assign(
+                    NodeId::new(op),
+                    r,
+                    Assignment { cycle: a.cycle, vendor: VendorId::new(vendor) },
+                );
+            }
+            Mutation::Drop { op, role_idx } => {
+                imp.unassign(NodeId::new(op), role(role_idx));
+            }
+        }
+        let violations = validate(&p, &imp);
+        prop_assert_eq!(
+            violations.is_empty(),
+            legal(&p, &imp),
+            "validator {:?} vs ground truth; mutation {:?}",
+            violations,
+            m
+        );
+    }
+
+    #[test]
+    fn dropping_any_copy_is_always_flagged(op in 0usize..11, role_idx in 0usize..3) {
+        let (p, base) = solved();
+        let mut imp = base.clone();
+        imp.unassign(NodeId::new(op), role(role_idx));
+        let violations = validate(&p, &imp);
+        prop_assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Unassigned(c)
+                if c.op == NodeId::new(op) && c.role == role(role_idx))));
+    }
+}

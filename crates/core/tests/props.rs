@@ -1,0 +1,96 @@
+//! Property tests: the solvers on randomly generated problems.
+//!
+//! The central invariant: every design a solver emits passes the
+//! independent validator, and the heuristic never undercuts the exact
+//! optimum.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use troy_dfg::{random_dfg, RandomDfgConfig};
+use troyhls::{
+    validate, Catalog, ExactSolver, GreedySolver, Mode, SolveOptions, SynthesisError,
+    SynthesisProblem, Synthesizer,
+};
+
+fn small_problem() -> impl Strategy<Value = (SynthesisProblem, u64)> {
+    (
+        2usize..=10,  // ops
+        1usize..=4,   // depth
+        0u8..=100,    // mul ratio
+        any::<u64>(), // seed
+        0usize..=2,   // latency slack
+        prop_oneof![Just(Mode::DetectionOnly), Just(Mode::DetectionRecovery)],
+        prop_oneof![Just(u64::MAX), Just(120_000u64), Just(60_000u64)],
+    )
+        .prop_map(|(ops, depth, mul, seed, slack, mode, area)| {
+            let cfg = RandomDfgConfig {
+                ops,
+                max_depth: depth,
+                mul_ratio_percent: mul,
+                edge_bias_percent: 80,
+            };
+            let dfg = random_dfg(&cfg, seed);
+            let cp = dfg.critical_path_len();
+            let p = SynthesisProblem::builder(dfg, Catalog::paper8())
+                .mode(mode)
+                .detection_latency(cp + slack)
+                .recovery_latency(cp + slack)
+                .area_limit(area)
+                .build()
+                .expect("constraints are feasible by construction");
+            (p, seed)
+        })
+}
+
+fn opts() -> SolveOptions {
+    SolveOptions {
+        time_limit: Duration::from_secs(15),
+        node_limit: 120_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_designs_always_validate((p, _) in small_problem()) {
+        match ExactSolver::new().synthesize(&p, &opts()) {
+            Ok(s) => {
+                let vs = validate(&p, &s.implementation);
+                prop_assert!(vs.is_empty(), "{:?}", vs);
+                prop_assert_eq!(s.cost, s.implementation.license_cost(&p));
+                prop_assert!(s.implementation.area(&p) <= p.area_limit());
+            }
+            Err(_) => {
+                // Tight areas can make instances genuinely infeasible, and
+                // hard ones can exhaust the test budget.
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_designs_always_validate_and_upper_bound((p, _) in small_problem()) {
+        let g = GreedySolver::new().synthesize(&p, &opts());
+        let e = ExactSolver::new().synthesize(&p, &opts());
+        if let Ok(g) = &g {
+            let vs = validate(&p, &g.implementation);
+            prop_assert!(vs.is_empty(), "{:?}", vs);
+        }
+        if let (Ok(g), Ok(e)) = (&g, &e) {
+            prop_assert!(g.cost >= e.cost, "greedy {} < exact {}", g.cost, e.cost);
+        }
+        // If the exact solver *proves* feasibility, greedy must not claim
+        // infeasibility (it may time out, which is a different error).
+        if let (Ok(_), Err(SynthesisError::Infeasible)) = (&e, &g) {
+            prop_assert!(false, "greedy claimed infeasible on a feasible instance");
+        }
+    }
+
+    #[test]
+    fn proven_infeasible_is_consistent((p, _) in small_problem()) {
+        // If exact proves infeasibility, greedy must never find a design.
+        if let Err(SynthesisError::Infeasible) = ExactSolver::new().synthesize(&p, &opts()) {
+            prop_assert!(GreedySolver::new().synthesize(&p, &opts()).is_err());
+        }
+    }
+}

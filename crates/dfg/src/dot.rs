@@ -1,0 +1,96 @@
+//! Graphviz DOT export for visual inspection of DFGs and schedules.
+
+use crate::graph::{Dfg, NodeId};
+
+/// Renders a DFG as a Graphviz `digraph`.
+///
+/// Multiplications are drawn as boxes, additions/subtractions as ellipses,
+/// everything else as diamonds, mirroring the paper's figures.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::{benchmarks, to_dot};
+///
+/// let dot = to_dot(&benchmarks::polynom());
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("->"));
+/// ```
+#[must_use]
+pub fn to_dot(dfg: &Dfg) -> String {
+    to_dot_with(dfg, |_| None)
+}
+
+/// DOT export with an extra-annotation callback.
+///
+/// `annotate(node)` may return a string appended to the node label — used by
+/// the core crate to display `cycle @ vendor` assignments.
+#[must_use]
+pub fn to_dot_with(dfg: &Dfg, annotate: impl Fn(NodeId) -> Option<String>) -> String {
+    use crate::op::OpKind;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(dfg.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for n in dfg.node_ids() {
+        let node = dfg.node(n);
+        let shape = match node.kind() {
+            OpKind::Mul => "box",
+            OpKind::Add | OpKind::Sub => "ellipse",
+            _ => "diamond",
+        };
+        let mut label = match node.label() {
+            Some(l) => format!("{l}\\n{}", node.kind().symbol()),
+            None => format!("{n}\\n{}", node.kind().symbol()),
+        };
+        if let Some(extra) = annotate(n) {
+            label.push_str("\\n");
+            label.push_str(&escape(&extra));
+        }
+        let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"];", n.index());
+    }
+    for (a, b) in dfg.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", a.index(), b.index());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dfg;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g = Dfg::new("d");
+        let a = g.add_op(OpKind::Mul);
+        let b = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("n0 [shape=box"));
+        assert!(dot.contains("n1 [shape=ellipse"));
+        assert!(dot.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    fn annotations_are_appended() {
+        let mut g = Dfg::new("d");
+        let _ = g.add_op(OpKind::Mul);
+        let dot = to_dot_with(&g, |_| Some("cycle 3 @ Ven2".to_owned()));
+        assert!(dot.contains("cycle 3 @ Ven2"));
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        let g = Dfg::new("a\"b");
+        let dot = to_dot(&g);
+        assert!(dot.contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Seeded random DFG generators for stress tests and scaling benchmarks.
+//!
+//! The generator is deliberately self-contained (a SplitMix64 stream) so the
+//! library crate needs no RNG dependency and the same seed always produces
+//! the same graph on every platform.
+
+use crate::graph::{Dfg, NodeId};
+use crate::op::OpKind;
+
+/// Shape parameters for [`random_dfg`].
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::{random_dfg, RandomDfgConfig};
+///
+/// let cfg = RandomDfgConfig {
+///     ops: 20,
+///     max_depth: 5,
+///     mul_ratio_percent: 40,
+///     edge_bias_percent: 70,
+/// };
+/// let g = random_dfg(&cfg, 42);
+/// assert_eq!(g.len(), 20);
+/// assert!(g.critical_path_len() <= 5);
+/// // Deterministic: same seed, same graph.
+/// assert_eq!(g, random_dfg(&cfg, 42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomDfgConfig {
+    /// Total number of operations.
+    pub ops: usize,
+    /// Upper bound on the critical-path length (layers).
+    pub max_depth: usize,
+    /// Percentage (0-100) of operations that are multiplications; the rest
+    /// are adds/subs.
+    pub mul_ratio_percent: u8,
+    /// Percentage (0-100) chance that an operand of a non-first-layer node
+    /// comes from an earlier node rather than a primary input.
+    pub edge_bias_percent: u8,
+}
+
+impl Default for RandomDfgConfig {
+    fn default() -> Self {
+        RandomDfgConfig {
+            ops: 16,
+            max_depth: 4,
+            mul_ratio_percent: 50,
+            edge_bias_percent: 75,
+        }
+    }
+}
+
+/// Deterministic SplitMix64 — tiny, seedable, good enough for test graphs.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub(crate) fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// `true` with probability `percent`/100.
+    pub(crate) fn chance(&mut self, percent: u8) -> bool {
+        self.below(100) < usize::from(percent)
+    }
+}
+
+/// Generates a layered random DAG with the requested shape.
+///
+/// Nodes are distributed over `max_depth` layers; each node's operands are
+/// drawn from strictly earlier layers (so the depth bound holds) or left as
+/// primary inputs.
+///
+/// # Panics
+///
+/// Panics if `ops == 0` or `max_depth == 0`.
+#[must_use]
+pub fn random_dfg(config: &RandomDfgConfig, seed: u64) -> Dfg {
+    assert!(config.ops > 0, "need at least one op");
+    assert!(config.max_depth > 0, "need at least one layer");
+    let mut rng = SplitMix64::new(seed);
+    let mut dfg = Dfg::new(format!("random-{seed}"));
+
+    // Assign every node a layer; layer 0 gets at least one node so the graph
+    // has sources, and no layer index exceeds max_depth-1.
+    let mut layer_of: Vec<usize> = (0..config.ops)
+        .map(|i| {
+            if i == 0 {
+                0
+            } else {
+                rng.below(config.max_depth)
+            }
+        })
+        .collect();
+    layer_of.sort_unstable();
+
+    let mut by_layer: Vec<Vec<NodeId>> = vec![Vec::new(); config.max_depth];
+    for (i, &layer) in layer_of.iter().enumerate() {
+        let kind = if rng.chance(config.mul_ratio_percent) {
+            OpKind::Mul
+        } else if rng.chance(50) {
+            OpKind::Add
+        } else {
+            OpKind::Sub
+        };
+        let id = dfg.add_op_with(kind, format!("r{i}"), 2);
+        by_layer[layer].push(id);
+    }
+
+    for layer in 1..config.max_depth {
+        for &node in &by_layer[layer].clone() {
+            // Each node needs at least one predecessor from an earlier layer
+            // to actually sit at depth > 1; the second operand is random.
+            let earlier: Vec<NodeId> = by_layer[..layer].iter().flatten().copied().collect();
+            if earlier.is_empty() {
+                continue;
+            }
+            let first = earlier[rng.below(earlier.len())];
+            let _ = dfg.add_edge(first, node);
+            if rng.chance(config.edge_bias_percent) {
+                let second = earlier[rng.below(earlier.len())];
+                let _ = dfg.add_edge(second, node); // duplicate edges are rejected; fine
+            }
+        }
+    }
+
+    debug_assert!(dfg.validate().is_ok());
+    dfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = RandomDfgConfig::default();
+        assert_eq!(random_dfg(&cfg, 7), random_dfg(&cfg, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomDfgConfig {
+            ops: 30,
+            ..RandomDfgConfig::default()
+        };
+        assert_ne!(random_dfg(&cfg, 1), random_dfg(&cfg, 2));
+    }
+
+    #[test]
+    fn respects_op_count_and_depth() {
+        for seed in 0..20 {
+            let cfg = RandomDfgConfig {
+                ops: 25,
+                max_depth: 6,
+                mul_ratio_percent: 30,
+                edge_bias_percent: 90,
+            };
+            let g = random_dfg(&cfg, seed);
+            assert_eq!(g.len(), 25);
+            assert!(g.critical_path_len() <= 6, "seed {seed}");
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_layer_graph_has_no_edges() {
+        let cfg = RandomDfgConfig {
+            ops: 10,
+            max_depth: 1,
+            mul_ratio_percent: 50,
+            edge_bias_percent: 100,
+        };
+        let g = random_dfg(&cfg, 3);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.critical_path_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn zero_ops_panics() {
+        let cfg = RandomDfgConfig {
+            ops: 0,
+            ..RandomDfgConfig::default()
+        };
+        let _ = random_dfg(&cfg, 0);
+    }
+
+    #[test]
+    fn splitmix_is_reasonably_spread() {
+        let mut rng = SplitMix64::new(99);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.below(10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket skew: {buckets:?}");
+        }
+    }
+}

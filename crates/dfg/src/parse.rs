@@ -1,0 +1,267 @@
+//! A small textual DFG format, so benchmark graphs can live in plain files.
+//!
+//! Grammar (line-oriented; `#` starts a comment):
+//!
+//! ```text
+//! dfg <name>
+//! op <label> <mnemonic>            # e.g. `op t1 mul`
+//! edge <from-label> <to-label>     # data dependency
+//! ```
+//!
+//! Labels are arbitrary identifiers; each `op` line mints a node, `edge`
+//! lines reference earlier labels.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::graph::{Dfg, GraphError, NodeId};
+use crate::op::OpKind;
+
+/// Error from [`parse_dfg`], carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDfgError {
+    line: usize,
+    kind: ParseDfgErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseDfgErrorKind {
+    MissingHeader,
+    UnknownDirective(String),
+    BadArity(&'static str),
+    UnknownOp(String),
+    DuplicateLabel(String),
+    UnknownLabel(String),
+    Graph(GraphError),
+}
+
+impl ParseDfgError {
+    /// 1-based line number where parsing failed.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseDfgErrorKind::MissingHeader => {
+                write!(f, "expected `dfg <name>` header before other directives")
+            }
+            ParseDfgErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            ParseDfgErrorKind::BadArity(d) => write!(f, "wrong number of arguments for `{d}`"),
+            ParseDfgErrorKind::UnknownOp(m) => write!(f, "unknown op mnemonic `{m}`"),
+            ParseDfgErrorKind::DuplicateLabel(l) => write!(f, "duplicate op label `{l}`"),
+            ParseDfgErrorKind::UnknownLabel(l) => write!(f, "unknown op label `{l}`"),
+            ParseDfgErrorKind::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDfgError {}
+
+/// Parses the textual DFG format.
+///
+/// # Errors
+///
+/// Returns a [`ParseDfgError`] pinpointing the offending line for malformed
+/// directives, unknown labels/mnemonics or graph violations (cycles,
+/// operand overflow, duplicates).
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::parse_dfg;
+///
+/// let g = parse_dfg(
+///     "dfg demo\n\
+///      op a mul\n\
+///      op b mul\n\
+///      op s add\n\
+///      edge a s\n\
+///      edge b s\n",
+/// )?;
+/// assert_eq!(g.name(), "demo");
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), troy_dfg::ParseDfgError>(())
+/// ```
+pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
+    let mut dfg: Option<Dfg> = None;
+    let mut labels: HashMap<String, NodeId> = HashMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |kind| ParseDfgError {
+            line: line_no,
+            kind,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let directive = tok.next().expect("non-empty line has a token");
+        let args: Vec<&str> = tok.collect();
+        match directive {
+            "dfg" => {
+                let [name] = args[..] else {
+                    return Err(err(ParseDfgErrorKind::BadArity("dfg")));
+                };
+                dfg = Some(Dfg::new(name));
+            }
+            "op" => {
+                let g = dfg
+                    .as_mut()
+                    .ok_or_else(|| err(ParseDfgErrorKind::MissingHeader))?;
+                let [label, mnemonic] = args[..] else {
+                    return Err(err(ParseDfgErrorKind::BadArity("op")));
+                };
+                let kind: OpKind = mnemonic
+                    .parse()
+                    .map_err(|_| err(ParseDfgErrorKind::UnknownOp(mnemonic.to_owned())))?;
+                if labels.contains_key(label) {
+                    return Err(err(ParseDfgErrorKind::DuplicateLabel(label.to_owned())));
+                }
+                let id = g.add_op_with(kind, label, 2);
+                labels.insert(label.to_owned(), id);
+            }
+            "edge" => {
+                let g = dfg
+                    .as_mut()
+                    .ok_or_else(|| err(ParseDfgErrorKind::MissingHeader))?;
+                let [from, to] = args[..] else {
+                    return Err(err(ParseDfgErrorKind::BadArity("edge")));
+                };
+                let &f = labels
+                    .get(from)
+                    .ok_or_else(|| err(ParseDfgErrorKind::UnknownLabel(from.to_owned())))?;
+                let &t = labels
+                    .get(to)
+                    .ok_or_else(|| err(ParseDfgErrorKind::UnknownLabel(to.to_owned())))?;
+                g.add_edge(f, t)
+                    .map_err(|e| err(ParseDfgErrorKind::Graph(e)))?;
+            }
+            other => {
+                return Err(err(ParseDfgErrorKind::UnknownDirective(other.to_owned())));
+            }
+        }
+    }
+
+    dfg.ok_or(ParseDfgError {
+        line: text.lines().count().max(1),
+        kind: ParseDfgErrorKind::MissingHeader,
+    })
+}
+
+/// Serializes a [`Dfg`] into the textual format accepted by [`parse_dfg`].
+///
+/// Nodes without labels are emitted as `n<index>`.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::{benchmarks, parse_dfg, write_dfg};
+///
+/// let g = benchmarks::diff2();
+/// let round_tripped = parse_dfg(&write_dfg(&g))?;
+/// assert_eq!(round_tripped.len(), g.len());
+/// assert_eq!(round_tripped.edge_count(), g.edge_count());
+/// # Ok::<(), troy_dfg::ParseDfgError>(())
+/// ```
+#[must_use]
+pub fn write_dfg(dfg: &Dfg) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let label = |n: NodeId| -> String {
+        dfg.node(n)
+            .label()
+            .map_or_else(|| format!("n{}", n.index()), str::to_owned)
+    };
+    let _ = writeln!(out, "dfg {}", dfg.name());
+    for n in dfg.node_ids() {
+        let _ = writeln!(out, "op {} {}", label(n), dfg.kind(n).mnemonic());
+    }
+    for (a, b) in dfg.edges() {
+        let _ = writeln!(out, "edge {} {}", label(a), label(b));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal() {
+        let g = parse_dfg("dfg t\nop a add\n").unwrap();
+        assert_eq!(g.name(), "t");
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse_dfg("# header\n\ndfg t # trailing\nop a add # op\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let err = parse_dfg("op a add\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(parse_dfg("").is_err());
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let err = parse_dfg("dfg t\nfrob a b\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn unknown_label_reports_line() {
+        let err = parse_dfg("dfg t\nop a add\nedge a ghost\n").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = parse_dfg("dfg t\nop a add\nop a mul\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_mnemonic_rejected() {
+        let err = parse_dfg("dfg t\nop a spin\n").unwrap_err();
+        assert!(err.to_string().contains("spin"));
+    }
+
+    #[test]
+    fn cycle_via_edges_rejected() {
+        let err = parse_dfg("dfg t\nop a add\nop b add\nedge a b\nedge b a\n").unwrap_err();
+        assert_eq!(err.line(), 5);
+    }
+
+    #[test]
+    fn symbols_accepted_as_mnemonics() {
+        let g = parse_dfg("dfg t\nop a *\nop b +\nedge a b\n").unwrap();
+        assert_eq!(g.kind(NodeId::new(0)), OpKind::Mul);
+        assert_eq!(g.kind(NodeId::new(1)), OpKind::Add);
+    }
+
+    #[test]
+    fn write_then_parse_round_trip() {
+        let src = "dfg rt\nop x mul\nop y mul\nop z add\nedge x z\nedge y z\n";
+        let g = parse_dfg(src).unwrap();
+        let g2 = parse_dfg(&write_dfg(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+}

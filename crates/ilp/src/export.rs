@@ -1,0 +1,148 @@
+//! CPLEX-LP-format export, for eyeballing models and for feeding them to
+//! external solvers when one is available.
+
+use std::fmt::Write as _;
+
+use crate::model::{Cmp, Model, Sense, VarKind};
+
+/// Renders a model in the (widely supported) CPLEX LP text format.
+///
+/// Variable names are sanitized to `x<i>` because model names may contain
+/// characters the format forbids; a trailing comment block maps them back.
+///
+/// # Examples
+///
+/// ```
+/// use troy_ilp::{to_lp_format, LinExpr, Model};
+///
+/// let mut m = Model::maximize();
+/// let a = m.binary("alpha");
+/// m.set_objective(LinExpr::term(3.0, a));
+/// m.add_le("cap", LinExpr::term(2.0, a), 1.0);
+/// let text = to_lp_format(&m);
+/// assert!(text.starts_with("Maximize"));
+/// assert!(text.contains("Binaries"));
+/// assert!(text.contains("\\ x0 = alpha"));
+/// ```
+#[must_use]
+pub fn to_lp_format(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}",
+        match model.sense() {
+            Sense::Minimize => "Minimize",
+            Sense::Maximize => "Maximize",
+        }
+    );
+    let _ = write!(out, " obj:");
+    if model.objective().is_empty() {
+        let _ = write!(out, " 0 x0");
+    }
+    for &(v, c) in model.objective() {
+        let _ = write!(out, " {} {} x{}", sign(c), c.abs(), v.index());
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "Subject To");
+    for (i, c) in model.constraints().iter().enumerate() {
+        let _ = write!(out, " c{i}:");
+        for &(v, a) in c.terms() {
+            let _ = write!(out, " {} {} x{}", sign(a), a.abs(), v.index());
+        }
+        let op = match c.sense() {
+            Cmp::Le => "<=",
+            Cmp::Eq => "=",
+            Cmp::Ge => ">=",
+        };
+        let _ = writeln!(out, " {op} {}", c.rhs());
+    }
+
+    let _ = writeln!(out, "Bounds");
+    let mut binaries = Vec::new();
+    let mut generals = Vec::new();
+    for i in 0..model.num_vars() {
+        let v = model.variable(crate::model::VarId(i as u32));
+        match v.kind() {
+            VarKind::Integer if v.is_binary() => binaries.push(i),
+            VarKind::Integer => {
+                generals.push(i);
+                let _ = writeln!(out, " {} <= x{i} <= {}", v.lower(), v.upper());
+            }
+            VarKind::Continuous => {
+                let _ = writeln!(out, " {} <= x{i} <= {}", v.lower(), v.upper());
+            }
+        }
+    }
+    if !binaries.is_empty() {
+        let _ = writeln!(out, "Binaries");
+        let _ = write!(out, " ");
+        for i in &binaries {
+            let _ = write!(out, "x{i} ");
+        }
+        let _ = writeln!(out);
+    }
+    if !generals.is_empty() {
+        let _ = writeln!(out, "Generals");
+        let _ = write!(out, " ");
+        for i in &generals {
+            let _ = write!(out, "x{i} ");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "End");
+    for i in 0..model.num_vars() {
+        let v = model.variable(crate::model::VarId(i as u32));
+        let _ = writeln!(out, "\\ x{i} = {}", v.name());
+    }
+    out
+}
+
+fn sign(x: f64) -> char {
+    if x < 0.0 {
+        '-'
+    } else {
+        '+'
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinExpr;
+
+    #[test]
+    fn sections_present_and_ordered() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.integer("y", 0.0, 9.0);
+        let z = m.continuous("z", -1.0, 1.0);
+        m.set_objective(LinExpr::term(1.0, x) + LinExpr::term(-2.0, y));
+        m.add_ge("g", LinExpr::term(1.0, x) + LinExpr::term(1.0, z), 0.5);
+        let text = to_lp_format(&m);
+        let idx = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("{needle}"));
+        assert!(idx("Minimize") < idx("Subject To"));
+        assert!(idx("Subject To") < idx("Bounds"));
+        assert!(idx("Bounds") < idx("Binaries"));
+        assert!(idx("Binaries") < idx("Generals"));
+        assert!(idx("Generals") < idx("End"));
+        assert!(text.contains("- 2 x1"));
+        assert!(text.contains(">= 0.5"));
+    }
+
+    #[test]
+    fn empty_objective_still_valid() {
+        let mut m = Model::minimize();
+        let _ = m.binary("x");
+        let text = to_lp_format(&m);
+        assert!(text.contains("obj: 0 x0"));
+    }
+
+    #[test]
+    fn name_map_is_appended() {
+        let mut m = Model::minimize();
+        let _ = m.binary("delta_Ven1_adder");
+        let text = to_lp_format(&m);
+        assert!(text.contains("\\ x0 = delta_Ven1_adder"));
+    }
+}

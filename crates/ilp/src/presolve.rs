@@ -1,0 +1,345 @@
+//! Presolve: cheap, provably-safe model reductions applied before the
+//! branch & bound.
+//!
+//! Three classic passes run to a fixed point:
+//!
+//! - **activity-based bound propagation**: if a constraint's minimum
+//!   possible activity already exceeds its rhs (or the maximum falls
+//!   short), the model is infeasible; if a single variable's contribution
+//!   is pinned by the others' extremes, its bounds tighten;
+//! - **fixing propagation**: variables whose tightened bounds collapse
+//!   (`lo == hi`) become constants;
+//! - **redundant-row elimination**: constraints that every in-bounds
+//!   assignment satisfies are dropped.
+//!
+//! The reductions are *sound*: every feasible point of the original model
+//! remains feasible and optimal value is preserved.
+
+use crate::model::{Cmp, Model, VarId};
+
+/// Outcome of presolving a model.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model (same variable ids as the input).
+    pub model: Model,
+    /// Variables fixed by presolve, as `(var, value)`.
+    pub fixed: Vec<(VarId, f64)>,
+    /// Number of constraints removed as redundant.
+    pub removed_rows: usize,
+    /// `true` if presolve proved the model infeasible outright.
+    pub infeasible: bool,
+}
+
+/// Runs presolve on a model.
+///
+/// # Examples
+///
+/// ```
+/// use troy_ilp::{presolve, LinExpr, Model};
+///
+/// let mut m = Model::minimize();
+/// let x = m.binary("x");
+/// let y = m.binary("y");
+/// // x + y >= 2 forces both to 1.
+/// m.add_ge("both", LinExpr::sum([x, y]), 2.0);
+/// let p = presolve(&m);
+/// assert!(!p.infeasible);
+/// assert_eq!(p.fixed.len(), 2);
+/// ```
+#[must_use]
+pub fn presolve(model: &Model) -> Presolved {
+    let n = model.num_vars();
+    let mut lo: Vec<f64> = (0..n).map(|i| model.variable(var(i)).lower()).collect();
+    let mut hi: Vec<f64> = (0..n).map(|i| model.variable(var(i)).upper()).collect();
+    let is_int: Vec<bool> = (0..n)
+        .map(|i| model.variable(var(i)).kind() == crate::model::VarKind::Integer)
+        .collect();
+
+    let mut live: Vec<bool> = vec![true; model.num_constraints()];
+    let mut infeasible = false;
+    const TOL: f64 = 1e-9;
+
+    // Fixed-point loop; each pass is O(nnz).
+    for _round in 0..32 {
+        let mut changed = false;
+        for (ci, c) in model.constraints().iter().enumerate() {
+            if !live[ci] || infeasible {
+                continue;
+            }
+            // Minimum and maximum possible activity under current bounds.
+            let mut min_act = 0.0;
+            let mut max_act = 0.0;
+            for &(v, a) in c.terms() {
+                let (l, h) = (lo[v.index()], hi[v.index()]);
+                if a >= 0.0 {
+                    min_act += a * l;
+                    max_act += a * h;
+                } else {
+                    min_act += a * h;
+                    max_act += a * l;
+                }
+            }
+            // Infeasibility / redundancy tests per sense.
+            let (needs_upper, needs_lower) = match c.sense() {
+                Cmp::Le => (true, false),
+                Cmp::Ge => (false, true),
+                Cmp::Eq => (true, true),
+            };
+            if needs_upper && min_act > c.rhs() + TOL {
+                infeasible = true;
+                break;
+            }
+            if needs_lower && max_act < c.rhs() - TOL {
+                infeasible = true;
+                break;
+            }
+            let redundant_upper = !needs_upper || max_act <= c.rhs() + TOL;
+            let redundant_lower = !needs_lower || min_act >= c.rhs() - TOL;
+            if redundant_upper && redundant_lower {
+                live[ci] = false;
+                changed = true;
+                continue;
+            }
+            // Per-variable bound tightening.
+            for &(v, a) in c.terms() {
+                if a.abs() < TOL {
+                    continue;
+                }
+                let i = v.index();
+                let (l, h) = (lo[i], hi[i]);
+                // Residual activity extremes without this variable.
+                let (res_min, res_max) = if a >= 0.0 {
+                    (min_act - a * l, max_act - a * h)
+                } else {
+                    (min_act - a * h, max_act - a * l)
+                };
+                // For `<=`: a*x <= rhs - res_min.
+                if needs_upper {
+                    let cap = c.rhs() - res_min;
+                    if a > 0.0 {
+                        let new_hi = cap / a;
+                        let new_hi = if is_int[i] {
+                            (new_hi + TOL).floor()
+                        } else {
+                            new_hi
+                        };
+                        if new_hi < hi[i] - TOL {
+                            hi[i] = new_hi;
+                            changed = true;
+                        }
+                    } else {
+                        let new_lo = cap / a;
+                        let new_lo = if is_int[i] {
+                            (new_lo - TOL).ceil()
+                        } else {
+                            new_lo
+                        };
+                        if new_lo > lo[i] + TOL {
+                            lo[i] = new_lo;
+                            changed = true;
+                        }
+                    }
+                }
+                // For `>=`: a*x >= rhs - res_max.
+                if needs_lower {
+                    let need = c.rhs() - res_max;
+                    if a > 0.0 {
+                        let new_lo = need / a;
+                        let new_lo = if is_int[i] {
+                            (new_lo - TOL).ceil()
+                        } else {
+                            new_lo
+                        };
+                        if new_lo > lo[i] + TOL {
+                            lo[i] = new_lo;
+                            changed = true;
+                        }
+                    } else {
+                        let new_hi = need / a;
+                        let new_hi = if is_int[i] {
+                            (new_hi + TOL).floor()
+                        } else {
+                            new_hi
+                        };
+                        if new_hi < hi[i] - TOL {
+                            hi[i] = new_hi;
+                            changed = true;
+                        }
+                    }
+                }
+                if lo[i] > hi[i] + TOL {
+                    infeasible = true;
+                    break;
+                }
+            }
+            if infeasible {
+                break;
+            }
+        }
+        if !changed || infeasible {
+            break;
+        }
+    }
+
+    // Rebuild the reduced model with tightened bounds.
+    let mut out = Model::with_sense(model.sense());
+    let mut fixed = Vec::new();
+    for i in 0..n {
+        let v = model.variable(var(i));
+        let (l, h) = if infeasible {
+            (v.lower(), v.upper())
+        } else {
+            (lo[i], hi[i])
+        };
+        let id = match v.kind() {
+            crate::model::VarKind::Integer => out.integer(v.name().to_owned(), l, h),
+            crate::model::VarKind::Continuous => out.continuous(v.name().to_owned(), l, h),
+        };
+        debug_assert_eq!(id.index(), i);
+        if !infeasible && (h - l).abs() <= TOL {
+            fixed.push((id, l));
+        }
+    }
+    let mut removed_rows = 0;
+    for (ci, c) in model.constraints().iter().enumerate() {
+        if live[ci] || infeasible {
+            let expr: crate::model::LinExpr = c.terms().iter().copied().collect();
+            out.add_constraint(c.name().to_owned(), expr, c.sense(), c.rhs());
+        } else {
+            removed_rows += 1;
+        }
+    }
+    let obj: crate::model::LinExpr = model.objective().iter().copied().collect();
+    let obj = obj + model.objective_offset();
+    out.set_objective(obj);
+
+    Presolved {
+        model: out,
+        fixed,
+        removed_rows,
+        infeasible,
+    }
+}
+
+fn var(i: usize) -> VarId {
+    VarId(u32::try_from(i).expect("index fits"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model};
+    use crate::solve::{SolveParams, SolveStatus};
+
+    #[test]
+    fn forcing_constraint_fixes_binaries() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_ge("both", LinExpr::sum([x, y]), 2.0);
+        let p = presolve(&m);
+        assert!(!p.infeasible);
+        assert_eq!(p.fixed, vec![(x, 1.0), (y, 1.0)]);
+    }
+
+    #[test]
+    fn zero_cap_fixes_to_zero() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_le("none", LinExpr::sum([x, y]), 0.0);
+        let p = presolve(&m);
+        assert_eq!(p.fixed, vec![(x, 0.0), (y, 0.0)]);
+    }
+
+    #[test]
+    fn infeasible_by_activity_detected() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.add_ge("impossible", LinExpr::term(1.0, x), 2.0);
+        assert!(presolve(&m).infeasible);
+    }
+
+    #[test]
+    fn conflicting_rows_detected_via_propagation() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_ge("sum2", LinExpr::sum([x, y]), 2.0); // forces x = y = 1
+        m.add_le("xzero", LinExpr::term(1.0, x), 0.0); // forces x = 0
+        assert!(presolve(&m).infeasible);
+    }
+
+    #[test]
+    fn redundant_rows_are_removed() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_le("loose", LinExpr::sum([x, y]), 5.0); // always true
+        m.add_ge("real", LinExpr::sum([x, y]), 1.0);
+        let p = presolve(&m);
+        assert_eq!(p.removed_rows, 1);
+        assert_eq!(p.model.num_constraints(), 1);
+    }
+
+    #[test]
+    fn integer_rounding_tightens_bounds() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 10.0);
+        // 2x <= 7 -> x <= 3 after integral rounding.
+        m.add_le("half", LinExpr::term(2.0, x), 7.0);
+        let p = presolve(&m);
+        assert_eq!(p.model.variable(x).upper(), 3.0);
+    }
+
+    #[test]
+    fn presolved_model_has_same_optimum() {
+        // Random-ish small model solved both ways.
+        let mut m = Model::maximize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        let d = m.binary("d");
+        m.set_objective(
+            LinExpr::term(5.0, a)
+                + LinExpr::term(4.0, b)
+                + LinExpr::term(3.0, c)
+                + LinExpr::term(6.0, d),
+        );
+        m.add_le(
+            "cap",
+            LinExpr::term(2.0, a)
+                + LinExpr::term(3.0, b)
+                + LinExpr::term(1.0, c)
+                + LinExpr::term(4.0, d),
+            6.0,
+        );
+        m.add_ge("need_a", LinExpr::term(1.0, a), 1.0); // fixes a
+        let p = presolve(&m);
+        assert!(p.fixed.contains(&(a, 1.0)));
+        let params = SolveParams::default();
+        let r1 = m.solve(&params);
+        let r2 = p.model.solve(&params);
+        assert_eq!(r1.status(), SolveStatus::Optimal);
+        assert_eq!(r2.status(), SolveStatus::Optimal);
+        assert!((r1.objective().unwrap() - r2.objective().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_offset_survives() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.set_objective(LinExpr::term(2.0, x) + 7.0);
+        let p = presolve(&m);
+        assert_eq!(p.model.objective_offset(), 7.0);
+    }
+
+    #[test]
+    fn continuous_bounds_tighten_without_rounding() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 10.0);
+        m.add_le("half", LinExpr::term(2.0, x), 7.0);
+        let p = presolve(&m);
+        assert!((p.model.variable(x).upper() - 3.5).abs() < 1e-9);
+    }
+}

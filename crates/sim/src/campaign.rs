@@ -1,0 +1,467 @@
+//! Monte-Carlo validation campaigns: inject random Trojans into random
+//! vendor products, drive random inputs, and measure how often the
+//! synthesized design detects activations and recovers correct outputs.
+//!
+//! This quantifies, in simulation, the guarantees the design rules buy:
+//! with a single infected product and memory-less payloads, an activation
+//! that corrupts outputs is caught by the NC/RC comparison, and the
+//! recovery re-binding delivers correct results.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use troyhls::{Implementation, License, Mode, SynthesisProblem};
+
+use crate::controller::PhaseController;
+use crate::datapath::CoreLibrary;
+use crate::semantics::InputVector;
+use crate::trojan::{Payload, Trigger, Trojan};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Mission steps to simulate.
+    pub runs: usize,
+    /// RNG seed (campaigns are fully deterministic given the seed).
+    pub seed: u64,
+    /// Bits of trigger selectivity: the combinational trigger matches a
+    /// random pattern on the low `rarity_bits` bits of the first operand.
+    /// Lower = fires more often (more activations to observe).
+    pub rarity_bits: u32,
+    /// Use sequential (counter) triggers instead of combinational ones.
+    pub sequential: bool,
+    /// Probability (percent) that a given step's inputs are crafted to hit
+    /// the trigger on some operation, rather than fully random.
+    pub targeted_percent: u8,
+    /// Number of distinct products infected per step with the *same*
+    /// Trojan (a coordinated supply-chain attacker). The paper assumes 1
+    /// and argues multiple identically-infected vendors are extremely
+    /// rare; raising this quantifies what that assumption buys — with two
+    /// infected products an operation's NC and RC copies can both corrupt
+    /// identically and slip past the monitor.
+    pub infected_products: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runs: 200,
+            seed: 0xC0FFEE,
+            rarity_bits: 6,
+            sequential: false,
+            targeted_percent: 50,
+            infected_products: 1,
+        }
+    }
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// Mission steps simulated.
+    pub runs: usize,
+    /// Steps where some computed output deviated from golden
+    /// (an activated, output-corrupting Trojan).
+    pub corrupted: usize,
+    /// Corrupted steps flagged by the NC/RC monitor.
+    pub detected: usize,
+    /// Corrupted steps that escaped the monitor (NC and RC corrupted
+    /// identically — the collusion/coincidence case the rules minimize).
+    pub missed: usize,
+    /// Steps where the monitor fired without output corruption at the
+    /// sinks (internal corruption caught before reaching an output —
+    /// still a true positive).
+    pub internal_detections: usize,
+    /// Detected steps whose recovery outputs matched golden.
+    pub recovered: usize,
+    /// Detected steps whose recovery outputs were still wrong.
+    pub recovery_failed: usize,
+}
+
+impl CampaignResult {
+    /// Fraction of corrupting activations the monitor caught.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        if self.corrupted == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.corrupted as f64
+        }
+    }
+
+    /// Fraction of detections the recovery phase fixed.
+    #[must_use]
+    pub fn recovery_rate(&self) -> f64 {
+        let total = self.recovered + self.recovery_failed;
+        if total == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / total as f64
+        }
+    }
+}
+
+/// Runs a Trojan-injection campaign against a synthesized design.
+///
+/// Each step infects one random product *used by the design*, with a
+/// random trigger pattern and payload, executes one mission step and
+/// tallies the outcome. Trojan state is reset between steps.
+///
+/// # Examples
+///
+/// ```no_run
+/// use troy_dfg::benchmarks;
+/// use troy_sim::{run_campaign, CampaignConfig};
+/// use troyhls::{Catalog, ExactSolver, Mode, SolveOptions, SynthesisProblem, Synthesizer};
+///
+/// let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+///     .mode(Mode::DetectionRecovery)
+///     .detection_latency(4)
+///     .recovery_latency(3)
+///     .build()?;
+/// let d = ExactSolver::new().synthesize(&p, &SolveOptions::quick())?;
+/// let result = run_campaign(&p, &d.implementation, &CampaignConfig::default());
+/// assert!(result.detection_rate() > 0.95);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn run_campaign(
+    problem: &SynthesisProblem,
+    implementation: &Implementation,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dfg = problem.dfg();
+    let licenses: Vec<License> = implementation.licenses_used(problem).into_iter().collect();
+    let mut result = CampaignResult {
+        runs: config.runs,
+        ..CampaignResult::default()
+    };
+
+    for _ in 0..config.runs {
+        let license = licenses[rng.random_range(0..licenses.len())];
+        let mask = if config.rarity_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.rarity_bits) - 1
+        };
+        let pattern = rng.random::<u64>() & mask;
+        let mut inputs = InputVector::from_seed(dfg, rng.random());
+
+        // Optionally craft one primary input so the trigger provably hits
+        // an operation that the detection phase actually binds to the
+        // infected product. The crafted value lands on operand `a` for
+        // leaf ops and on operand `b` when a producer fills slot `a`.
+        let mut watch_b = false;
+        if rng.random_range(0..100) < u64::from(config.targeted_percent) {
+            let victim = dfg.node_ids().find(|&o| {
+                dfg.kind(o).ip_type() == license.ip_type
+                    && dfg.node(o).primary_inputs() > 0
+                    && [troyhls::Role::Nc, troyhls::Role::Rc].iter().any(|&r| {
+                        implementation.assignment(o, r).map(|a| a.vendor) == Some(license.vendor)
+                    })
+            });
+            if let Some(op) = victim {
+                let crafted = (rng.random::<u64>() & !mask) | pattern;
+                inputs.set(op, 0, crafted);
+                watch_b = !dfg.preds(op).is_empty();
+            }
+        }
+
+        let trigger = if config.sequential {
+            Trigger::Sequential {
+                mask,
+                pattern,
+                threshold: rng.random_range(1..4),
+            }
+        } else if watch_b {
+            Trigger::Combinational {
+                mask_a: 0,
+                pattern_a: 0,
+                mask_b: mask,
+                pattern_b: pattern,
+            }
+        } else {
+            Trigger::Combinational {
+                mask_a: mask,
+                pattern_a: pattern,
+                mask_b: 0,
+                pattern_b: 0,
+            }
+        };
+        let payload = if rng.random_bool(0.5) {
+            Payload::XorMask(rng.random::<u64>() | 1)
+        } else {
+            Payload::AddOffset(rng.random_range(1..u64::MAX))
+        };
+        let mut library = CoreLibrary::new();
+        library.infect(license, Trojan { trigger, payload });
+        // A coordinated attacker plants the same Trojan in further
+        // products of the same type (so both NC and RC can be hit).
+        let mut extra = config.infected_products.saturating_sub(1);
+        let mut probe = 0usize;
+        while extra > 0 && probe < licenses.len() {
+            let cand = licenses[(probe + rng.random_range(0..licenses.len())) % licenses.len()];
+            probe += 1;
+            if cand != license && cand.ip_type == license.ip_type && library.trojan(cand).is_none()
+            {
+                library.infect(cand, Trojan { trigger, payload });
+                extra -= 1;
+            }
+        }
+
+        let mut ctrl = PhaseController::new(problem, implementation, &library);
+        let report = ctrl.run(&inputs);
+
+        if report.corrupted() {
+            result.corrupted += 1;
+            if report.mismatch {
+                result.detected += 1;
+            } else {
+                result.missed += 1;
+            }
+        } else if report.mismatch {
+            result.internal_detections += 1;
+        }
+        if report.mismatch && problem.mode() == Mode::DetectionRecovery {
+            if report.delivered_correct() {
+                result.recovered += 1;
+            } else {
+                result.recovery_failed += 1;
+            }
+        }
+    }
+    result
+}
+
+/// Measures how often a *naive re-execution* (same binding re-run, the
+/// baseline the paper argues against in Section 3.2) fixes a detected
+/// Trojan, versus the rule-based re-binding. With a memory-less trigger and
+/// identical inputs, re-running the same binding re-activates the Trojan
+/// every time.
+#[must_use]
+pub fn naive_reexecution_recovery_rate(
+    problem: &SynthesisProblem,
+    implementation: &Implementation,
+    config: &CampaignConfig,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dfg = problem.dfg();
+    let licenses: Vec<License> = implementation.licenses_used(problem).into_iter().collect();
+    let mut detected = 0usize;
+    let mut fixed = 0usize;
+
+    for _ in 0..config.runs {
+        let license = licenses[rng.random_range(0..licenses.len())];
+        let mask = (1u64 << config.rarity_bits.min(63)) - 1;
+        let pattern = rng.random::<u64>() & mask;
+        let mut library = CoreLibrary::new();
+        library.infect(
+            license,
+            Trojan {
+                trigger: Trigger::Combinational {
+                    mask_a: mask,
+                    pattern_a: pattern,
+                    mask_b: 0,
+                    pattern_b: 0,
+                },
+                payload: Payload::XorMask(rng.random::<u64>() | 1),
+            },
+        );
+        let mut inputs = InputVector::from_seed(dfg, rng.random());
+        if let Some(op) = dfg
+            .node_ids()
+            .find(|&o| dfg.kind(o).ip_type() == license.ip_type && dfg.node(o).primary_inputs() > 0)
+        {
+            inputs.set(op, 0, (rng.random::<u64>() & !mask) | pattern);
+        }
+
+        let mut ctrl = PhaseController::new(problem, implementation, &library);
+        let report = ctrl.run(&inputs);
+        if !report.mismatch {
+            continue;
+        }
+        detected += 1;
+        // Naive recovery: re-run the detection phase on the same binding
+        // and inputs. It only counts as fixed if the re-run is clean (no
+        // mismatch) *and* delivers the correct output — with a memory-less
+        // trigger and identical inputs the Trojan simply re-activates.
+        let rerun = ctrl.run(&inputs);
+        if !rerun.mismatch && rerun.nc == rerun.golden {
+            fixed += 1;
+        }
+    }
+    if detected == 0 {
+        1.0
+    } else {
+        fixed as f64 / detected as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::benchmarks;
+    use troyhls::{Catalog, ExactSolver, SolveOptions, Synthesizer};
+
+    fn design(mode: Mode) -> (SynthesisProblem, Implementation) {
+        let p = SynthesisProblem::builder(benchmarks::diff2(), Catalog::paper8())
+            .mode(mode)
+            .detection_latency(5)
+            .recovery_latency(5)
+            .build()
+            .unwrap();
+        let s = ExactSolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        (p, s.implementation)
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let (p, imp) = design(Mode::DetectionRecovery);
+        let cfg = CampaignConfig {
+            runs: 40,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(run_campaign(&p, &imp, &cfg), run_campaign(&p, &imp, &cfg));
+    }
+
+    #[test]
+    fn campaign_observes_activations_and_detects_them() {
+        let (p, imp) = design(Mode::DetectionRecovery);
+        let cfg = CampaignConfig {
+            runs: 150,
+            rarity_bits: 4,
+            targeted_percent: 80,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&p, &imp, &cfg);
+        assert!(r.corrupted > 40, "campaign must exercise Trojans: {r:?}");
+        // Single infected product + diverse binding: a corrupting
+        // activation is missed only when NC and RC are corrupted
+        // *identically* through different ops — possible here because the
+        // deliberately common (4-bit) trigger violates the paper's
+        // rare-trigger assumption, but it must stay a corner case.
+        assert!(r.detection_rate() >= 0.9, "{r:?}");
+        assert!(r.missed * 10 <= r.corrupted, "{r:?}");
+    }
+
+    #[test]
+    fn recovery_rate_is_high_for_memoryless_trojans() {
+        let (p, imp) = design(Mode::DetectionRecovery);
+        // rarity 4 keeps triggers deliberately common so the campaign sees
+        // plenty of activations; a few recovery runs then re-hit the
+        // infected product on *other* ops by chance, which is exactly the
+        // rare-trigger assumption the paper states. The rate climbs with
+        // rarity.
+        let common = run_campaign(
+            &p,
+            &imp,
+            &CampaignConfig {
+                runs: 150,
+                rarity_bits: 4,
+                targeted_percent: 80,
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(common.recovered > 0);
+        assert!(
+            common.recovery_rate() > 0.8,
+            "rule-based re-binding should mostly recover: {common:?}"
+        );
+        let rare = run_campaign(
+            &p,
+            &imp,
+            &CampaignConfig {
+                runs: 150,
+                rarity_bits: 12,
+                targeted_percent: 100,
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(
+            rare.recovery_rate() >= common.recovery_rate(),
+            "rarer triggers recover at least as often: {rare:?} vs {common:?}"
+        );
+        assert!(rare.recovery_rate() > 0.99, "{rare:?}");
+    }
+
+    #[test]
+    fn naive_reexecution_fails_where_rebinding_succeeds() {
+        let (p, imp) = design(Mode::DetectionRecovery);
+        let cfg = CampaignConfig {
+            runs: 100,
+            rarity_bits: 4,
+            targeted_percent: 90,
+            ..CampaignConfig::default()
+        };
+        let naive = naive_reexecution_recovery_rate(&p, &imp, &cfg);
+        let ruled = run_campaign(&p, &imp, &cfg).recovery_rate();
+        assert!(
+            naive < ruled,
+            "naive re-execution ({naive}) must underperform re-binding ({ruled})"
+        );
+        // Same trigger condition, same inputs, same binding: the Trojan
+        // re-activates; naive recovery fixes nothing.
+        assert!(naive < 0.05, "naive rate unexpectedly high: {naive}");
+    }
+
+    #[test]
+    fn sequential_campaign_runs() {
+        let (p, imp) = design(Mode::DetectionRecovery);
+        let cfg = CampaignConfig {
+            runs: 60,
+            sequential: true,
+            rarity_bits: 3,
+            targeted_percent: 90,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&p, &imp, &cfg);
+        assert_eq!(r.runs, 60);
+        assert!(r.detection_rate() >= 0.9, "{r:?}");
+    }
+
+    #[test]
+    fn coordinated_multi_product_attack_degrades_detection() {
+        // With two identically-infected products of one type, the same op's
+        // NC and RC copies can both be corrupted identically — missed
+        // detections become possible, quantifying the paper's single-
+        // infection assumption.
+        let (p, imp) = design(Mode::DetectionRecovery);
+        let single = run_campaign(
+            &p,
+            &imp,
+            &CampaignConfig {
+                runs: 200,
+                rarity_bits: 4,
+                targeted_percent: 90,
+                infected_products: 1,
+                ..CampaignConfig::default()
+            },
+        );
+        let double = run_campaign(
+            &p,
+            &imp,
+            &CampaignConfig {
+                runs: 200,
+                rarity_bits: 4,
+                targeted_percent: 90,
+                infected_products: 2,
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(double.corrupted > 0);
+        assert!(
+            double.detection_rate() <= single.detection_rate(),
+            "single {single:?} vs double {double:?}"
+        );
+    }
+
+    #[test]
+    fn rates_default_to_one_when_nothing_happens() {
+        let r = CampaignResult::default();
+        assert_eq!(r.detection_rate(), 1.0);
+        assert_eq!(r.recovery_rate(), 1.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Collusion modeling: why Rule 2 for detection exists.
+//!
+//! The paper (after Rajendran et al.) warns that two units *from the same
+//! vendor* in a direct producer→consumer relation can collude: the
+//! upstream unit embeds a covert marker in its (otherwise correct-looking)
+//! output, and the downstream unit of the same product recognizes the
+//! marker and fires its payload — a trigger that is essentially impossible
+//! to hit with external test vectors. Rule 2 forbids same-vendor
+//! parent-child (and same-child sibling) bindings precisely to cut this
+//! channel.
+//!
+//! [`ColludingTrojan`] implements that attacker: the upstream instance
+//! *steers* its output so the low marker bits carry a secret tag; any
+//! instance of the same product that later consumes a tagged operand
+//! corrupts its result. Because the steering offset is tiny and the tag is
+//! checked only inside the same product, the attack is invisible unless
+//! producer and consumer share the vendor.
+
+use troy_dfg::NodeId;
+use troyhls::{Implementation, License, Role, SynthesisProblem};
+
+use crate::semantics::{eval_op, operands, InputVector};
+
+/// The colluding pair of behaviors embedded in one vendor product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColludingTrojan {
+    /// Tag value hidden in the low [`ColludingTrojan::tag_bits`] bits of
+    /// every output the infected product produces.
+    pub tag: u64,
+    /// Width of the marker field.
+    pub tag_bits: u32,
+    /// XOR corruption applied when a tagged operand is consumed.
+    pub payload_mask: u64,
+}
+
+impl ColludingTrojan {
+    fn mask(&self) -> u64 {
+        if self.tag_bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << self.tag_bits) - 1
+        }
+    }
+
+    /// Output steering by the upstream unit: force the marker bits to the
+    /// tag. The numeric error is at most `2^tag_bits - 1` — small enough to
+    /// masquerade as rounding in the attacker's cover story.
+    #[must_use]
+    pub fn steer(&self, value: u64) -> u64 {
+        (value & !self.mask()) | (self.tag & self.mask())
+    }
+
+    /// Whether an operand carries the marker.
+    #[must_use]
+    pub fn senses(&self, operand: u64) -> bool {
+        (operand & self.mask()) == (self.tag & self.mask())
+    }
+}
+
+/// Outcome of executing one computation under a colluding product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollusionOutcome {
+    /// Sink outputs of the computation.
+    pub outputs: Vec<u64>,
+    /// Ops (of this computation) whose payload fired via a tagged operand.
+    pub fired: Vec<NodeId>,
+}
+
+/// Executes one computation with `license`'s product colluding.
+///
+/// Returns the sink outputs plus which consumers fired. With a
+/// rule-compliant binding the `fired` list is empty for every role — the
+/// marker never flows between two instances of the same product.
+///
+/// # Panics
+///
+/// Panics if the implementation is missing assignments for `role`.
+#[must_use]
+pub fn execute_with_collusion(
+    problem: &SynthesisProblem,
+    imp: &Implementation,
+    role: Role,
+    license: License,
+    trojan: &ColludingTrojan,
+    inputs: &InputVector,
+) -> CollusionOutcome {
+    let dfg = problem.dfg();
+    let mut outputs: Vec<Option<u64>> = vec![None; dfg.len()];
+    let mut fired = Vec::new();
+    // Cycle order is what the hardware sees; topo order is equivalent for
+    // data flow and simpler here.
+    for op in dfg.topo_order() {
+        let a = imp.assignment(op, role).expect("complete implementation");
+        let on_infected = a.vendor == license.vendor && dfg.kind(op).ip_type() == license.ip_type;
+        let (x, y) = operands(dfg, op, &outputs, inputs);
+        let mut value = eval_op(dfg.kind(op), x, y);
+        if on_infected {
+            // Downstream role: corrupt when a tagged operand arrives from a
+            // *producer* (primary inputs can't be steered by the product).
+            let tagged_producer = dfg
+                .preds(op)
+                .iter()
+                .enumerate()
+                .any(|(slot, _)| trojan.senses(if slot == 0 { x } else { y }));
+            if tagged_producer {
+                value ^= trojan.payload_mask;
+                fired.push(op);
+            }
+            // Upstream role: every output of the product carries the tag.
+            value = trojan.steer(value);
+        }
+        outputs[op.index()] = Some(value);
+    }
+    let all: Vec<u64> = outputs.into_iter().map(|o| o.expect("topo")).collect();
+    CollusionOutcome {
+        outputs: crate::semantics::sink_outputs(dfg, &all),
+        fired,
+    }
+}
+
+/// Checks a design against collusion by *every* product it uses, in every
+/// computation. Returns the products whose colluding pair fired anywhere.
+///
+/// Rule-2-compliant designs return an empty list; this is the dynamic
+/// counterpart of [`troyhls::collusion_exposure`].
+#[must_use]
+pub fn collusion_audit(
+    problem: &SynthesisProblem,
+    imp: &Implementation,
+    trojan: &ColludingTrojan,
+    inputs: &InputVector,
+) -> Vec<License> {
+    let mut vulnerable = Vec::new();
+    for license in imp.licenses_used(problem) {
+        let fired_any = Role::for_mode(problem.mode()).iter().any(|&role| {
+            !execute_with_collusion(problem, imp, role, license, trojan, inputs)
+                .fired
+                .is_empty()
+        });
+        if fired_any {
+            vulnerable.push(license);
+        }
+    }
+    vulnerable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::{benchmarks, IpTypeId, OpKind};
+    use troyhls::{Assignment, Catalog, ExactSolver, Mode, SolveOptions, Synthesizer, VendorId};
+
+    fn trojan() -> ColludingTrojan {
+        ColludingTrojan {
+            tag: 0b1011,
+            tag_bits: 4,
+            payload_mask: 0xFFFF_0000,
+        }
+    }
+
+    #[test]
+    fn steering_preserves_high_bits_and_sets_tag() {
+        let t = trojan();
+        let v = t.steer(0xABCD_EF12);
+        assert_eq!(v & 0xF, 0b1011);
+        assert_eq!(v & !0xF, 0xABCD_EF12 & !0xFu64);
+        assert!(t.senses(v));
+        assert!(!t.senses(v ^ 1));
+    }
+
+    #[test]
+    fn compliant_designs_pass_the_collusion_audit() {
+        for mode in [Mode::DetectionOnly, Mode::DetectionRecovery] {
+            let p = troyhls::SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+                .mode(mode)
+                .detection_latency(4)
+                .recovery_latency(3)
+                .build()
+                .unwrap();
+            let s = ExactSolver::new()
+                .synthesize(&p, &SolveOptions::quick())
+                .unwrap();
+            let iv = InputVector::from_seed(p.dfg(), 3);
+            let vulnerable = collusion_audit(&p, &s.implementation, &trojan(), &iv);
+            assert!(vulnerable.is_empty(), "{mode}: {vulnerable:?}");
+        }
+    }
+
+    #[test]
+    fn same_vendor_parent_child_is_exploited() {
+        // Hand-build a rule-VIOLATING binding: two chained muls on one
+        // vendor. The marker planted by the first fires the second.
+        let mut g = troy_dfg::Dfg::new("chain");
+        let a = g.add_op_with(OpKind::Mul, "a", 2);
+        let b = g.add_op_with(OpKind::Mul, "b", 2);
+        g.add_edge(a, b).unwrap();
+        let p = troyhls::SynthesisProblem::builder(g, Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(2)
+            .build()
+            .unwrap();
+        let mut imp = Implementation::new(2);
+        let ven = VendorId::new(0);
+        imp.assign(
+            a,
+            Role::Nc,
+            Assignment {
+                cycle: 1,
+                vendor: ven,
+            },
+        );
+        imp.assign(
+            b,
+            Role::Nc,
+            Assignment {
+                cycle: 2,
+                vendor: ven,
+            },
+        ); // violation
+        imp.assign(
+            a,
+            Role::Rc,
+            Assignment {
+                cycle: 1,
+                vendor: VendorId::new(1),
+            },
+        );
+        imp.assign(
+            b,
+            Role::Rc,
+            Assignment {
+                cycle: 2,
+                vendor: VendorId::new(2),
+            },
+        );
+        let license = License {
+            vendor: ven,
+            ip_type: IpTypeId::MULTIPLIER,
+        };
+        let iv = InputVector::from_seed(p.dfg(), 9);
+        let out = execute_with_collusion(&p, &imp, Role::Nc, license, &trojan(), &iv);
+        assert_eq!(out.fired, vec![b], "downstream unit must fire");
+        let audit = collusion_audit(&p, &imp, &trojan(), &iv);
+        assert_eq!(audit, vec![license]);
+    }
+
+    #[test]
+    fn marker_does_not_cross_vendors() {
+        // Same chain, compliant binding: no firing even though the marker
+        // is planted — the consumer belongs to a different product.
+        let mut g = troy_dfg::Dfg::new("chain");
+        let a = g.add_op_with(OpKind::Mul, "a", 2);
+        let b = g.add_op_with(OpKind::Mul, "b", 2);
+        g.add_edge(a, b).unwrap();
+        let p = troyhls::SynthesisProblem::builder(g, Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(2)
+            .build()
+            .unwrap();
+        let mut imp = Implementation::new(2);
+        imp.assign(
+            a,
+            Role::Nc,
+            Assignment {
+                cycle: 1,
+                vendor: VendorId::new(0),
+            },
+        );
+        imp.assign(
+            b,
+            Role::Nc,
+            Assignment {
+                cycle: 2,
+                vendor: VendorId::new(1),
+            },
+        );
+        imp.assign(
+            a,
+            Role::Rc,
+            Assignment {
+                cycle: 1,
+                vendor: VendorId::new(2),
+            },
+        );
+        imp.assign(
+            b,
+            Role::Rc,
+            Assignment {
+                cycle: 2,
+                vendor: VendorId::new(3),
+            },
+        );
+        let iv = InputVector::from_seed(p.dfg(), 9);
+        assert!(collusion_audit(&p, &imp, &trojan(), &iv).is_empty());
+    }
+
+    #[test]
+    fn steering_error_is_bounded() {
+        let t = trojan();
+        for v in [0u64, 1, 0xFFFF, u64::MAX, 0x1234_5678] {
+            let d = t.steer(v).abs_diff(v);
+            assert!(d < 16, "steering moved {v} by {d}");
+        }
+    }
+}

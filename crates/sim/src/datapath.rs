@@ -1,0 +1,293 @@
+//! Cycle-accurate execution of a synthesized design on behavioral IP cores.
+//!
+//! The datapath instantiates, per `(vendor, type)` license, as many physical
+//! core instances as the implementation's peak concurrency demands; every
+//! instance of an infected product carries the same Trojan (with private
+//! trigger state), matching the paper's assumption that "all instantiations
+//! of the IP core will contain the same Trojan".
+
+use std::collections::{BTreeMap, HashMap};
+
+use troy_dfg::NodeId;
+use troyhls::{Implementation, License, Role, SynthesisProblem};
+
+use crate::semantics::{eval_op, operands, InputVector};
+use crate::trojan::{Trojan, TrojanState};
+
+/// The set of (possibly infected) IP-core products available to a design.
+///
+/// Function-equivalent across vendors by construction — diversity shows up
+/// only through the embedded Trojans.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::IpTypeId;
+/// use troy_sim::{CoreLibrary, Payload, Trigger, Trojan};
+/// use troyhls::{License, VendorId};
+///
+/// let mut lib = CoreLibrary::new();
+/// lib.infect(
+///     License { vendor: VendorId::new(1), ip_type: IpTypeId::MULTIPLIER },
+///     Trojan { trigger: Trigger::on_operand_a(0xBAD), payload: Payload::XorMask(1) },
+/// );
+/// assert_eq!(lib.infected_licenses().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoreLibrary {
+    trojans: BTreeMap<License, Trojan>,
+}
+
+impl CoreLibrary {
+    /// A library where every product is clean.
+    #[must_use]
+    pub fn new() -> Self {
+        CoreLibrary::default()
+    }
+
+    /// Embeds a Trojan in one vendor's product (all its instances).
+    pub fn infect(&mut self, license: License, trojan: Trojan) {
+        self.trojans.insert(license, trojan);
+    }
+
+    /// Removes the Trojan from a product.
+    pub fn disinfect(&mut self, license: License) {
+        self.trojans.remove(&license);
+    }
+
+    /// The Trojan inside a product, if any.
+    #[must_use]
+    pub fn trojan(&self, license: License) -> Option<Trojan> {
+        self.trojans.get(&license).copied()
+    }
+
+    /// All infected products.
+    pub fn infected_licenses(&self) -> impl Iterator<Item = License> + '_ {
+        self.trojans.keys().copied()
+    }
+}
+
+/// Executes implementations cycle by cycle against a [`CoreLibrary`].
+///
+/// Holds per-instance Trojan state that persists across phases (and across
+/// runs, until [`Datapath::reset_trojan_state`]), so sequential triggers
+/// accumulate realistically over a mission.
+#[derive(Debug)]
+pub struct Datapath<'a> {
+    problem: &'a SynthesisProblem,
+    implementation: &'a Implementation,
+    library: &'a CoreLibrary,
+    /// Trojan state per (license, instance index).
+    state: HashMap<(License, usize), TrojanState>,
+}
+
+/// All per-op outputs of one executed computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseOutputs {
+    /// Output value of every op, indexed by node.
+    pub outputs: Vec<u64>,
+}
+
+impl<'a> Datapath<'a> {
+    /// Builds a datapath for one synthesized design.
+    #[must_use]
+    pub fn new(
+        problem: &'a SynthesisProblem,
+        implementation: &'a Implementation,
+        library: &'a CoreLibrary,
+    ) -> Self {
+        Datapath {
+            problem,
+            implementation,
+            library,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Clears all sequential-trigger counters and latches (power cycle).
+    pub fn reset_trojan_state(&mut self) {
+        self.state.clear();
+    }
+
+    /// Executes one computation (`role`) on `inputs`, cycle-accurately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implementation is missing assignments for `role` —
+    /// validate the design first.
+    pub fn execute(&mut self, role: Role, inputs: &InputVector) -> PhaseOutputs {
+        let dfg = self.problem.dfg();
+        // Copies of this role grouped by cycle.
+        let mut by_cycle: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        for op in dfg.node_ids() {
+            let a = self
+                .implementation
+                .assignment(op, role)
+                .expect("complete implementation");
+            by_cycle.entry(a.cycle).or_default().push(op);
+        }
+
+        let mut outputs: Vec<Option<u64>> = vec![None; dfg.len()];
+        for (_cycle, ops) in by_cycle {
+            // Instance allocation within the cycle: ops on the same
+            // (vendor, type) fill instance slots 0, 1, ... in node order.
+            let mut slot: HashMap<License, usize> = HashMap::new();
+            for op in ops {
+                let a = self
+                    .implementation
+                    .assignment(op, role)
+                    .expect("complete implementation");
+                let license = License {
+                    vendor: a.vendor,
+                    ip_type: dfg.kind(op).ip_type(),
+                };
+                let m = {
+                    let e = slot.entry(license).or_insert(0);
+                    let m = *e;
+                    *e += 1;
+                    m
+                };
+                let (x, y) = operands(dfg, op, &outputs, inputs);
+                let clean = eval_op(dfg.kind(op), x, y);
+                let value = match self.library.trojan(license) {
+                    Some(trojan) => {
+                        let st = self.state.entry((license, m)).or_default();
+                        trojan.apply(st, x, y, clean)
+                    }
+                    None => clean,
+                };
+                outputs[op.index()] = Some(value);
+            }
+        }
+        PhaseOutputs {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every op scheduled"))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::golden_eval;
+    use crate::trojan::{Payload, Trigger};
+    use troy_dfg::{benchmarks, IpTypeId};
+    use troyhls::{Catalog, ExactSolver, Mode, SolveOptions, Synthesizer, VendorId};
+
+    fn synthesized() -> (SynthesisProblem, Implementation) {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(22_000)
+            .build()
+            .unwrap();
+        let s = ExactSolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        (p, s.implementation)
+    }
+
+    #[test]
+    fn clean_library_matches_golden_on_all_roles() {
+        let (p, imp) = synthesized();
+        let lib = CoreLibrary::new();
+        let mut dp = Datapath::new(&p, &imp, &lib);
+        let iv = InputVector::from_seed(p.dfg(), 5);
+        let golden = golden_eval(p.dfg(), &iv);
+        for role in [Role::Nc, Role::Rc, Role::Recovery] {
+            assert_eq!(dp.execute(role, &iv).outputs, golden, "{role}");
+        }
+    }
+
+    #[test]
+    fn trojan_corrupts_only_computations_using_the_product() {
+        let (p, imp) = synthesized();
+        let iv = InputVector::from_seed(p.dfg(), 5);
+        let golden = golden_eval(p.dfg(), &iv);
+
+        // Find a multiplier operand value actually fed to some NC mul op so
+        // the trigger demonstrably fires.
+        let victim_op = troy_dfg::NodeId::new(0); // t1 (mul)
+        let nc_vendor = imp.assignment(victim_op, Role::Nc).unwrap().vendor;
+        let license = License {
+            vendor: nc_vendor,
+            ip_type: IpTypeId::MULTIPLIER,
+        };
+        let trigger_value = iv.values(victim_op)[0];
+
+        let mut lib = CoreLibrary::new();
+        lib.infect(
+            license,
+            Trojan {
+                trigger: Trigger::on_operand_a(trigger_value),
+                payload: Payload::XorMask(0xFFFF),
+            },
+        );
+        let mut dp = Datapath::new(&p, &imp, &lib);
+        let nc = dp.execute(Role::Nc, &iv);
+        assert_ne!(nc.outputs, golden, "NC must be corrupted");
+        // RC binds the same op to a different vendor (Rule 1), so the
+        // trigger value flows through a clean core there. It may still hit
+        // the infected product on a *different* op, but only if that op
+        // sees the same operand value — astronomically unlikely with random
+        // 64-bit inputs.
+        let rc = dp.execute(Role::Rc, &iv);
+        assert_eq!(rc.outputs, golden, "RC stays clean");
+    }
+
+    #[test]
+    fn sequential_state_is_per_instance_and_resettable() {
+        let (p, imp) = synthesized();
+        let victim_op = troy_dfg::NodeId::new(0);
+        let a = imp.assignment(victim_op, Role::Nc).unwrap();
+        let license = License {
+            vendor: a.vendor,
+            ip_type: IpTypeId::MULTIPLIER,
+        };
+        let mut lib = CoreLibrary::new();
+        // Fires after 2 consecutive executions with any operand (mask 0).
+        lib.infect(
+            license,
+            Trojan {
+                trigger: Trigger::Sequential {
+                    mask: 0,
+                    pattern: 0,
+                    threshold: 2,
+                },
+                payload: Payload::XorMask(1),
+            },
+        );
+        let iv = InputVector::from_seed(p.dfg(), 5);
+        let golden = golden_eval(p.dfg(), &iv);
+        let mut dp = Datapath::new(&p, &imp, &lib);
+        let first = dp.execute(Role::Nc, &iv);
+        let second = dp.execute(Role::Nc, &iv);
+        // The counter accumulates across runs: a later run is corrupted
+        // even though the first may be clean.
+        assert_ne!(second.outputs, golden);
+        dp.reset_trojan_state();
+        let fresh = dp.execute(Role::Nc, &iv);
+        assert_eq!(fresh.outputs, first.outputs, "reset reproduces run 1");
+    }
+
+    #[test]
+    fn infect_disinfect_round_trip() {
+        let mut lib = CoreLibrary::new();
+        let lic = License {
+            vendor: VendorId::new(0),
+            ip_type: IpTypeId::ADDER,
+        };
+        let t = Trojan {
+            trigger: Trigger::on_operand_a(1),
+            payload: Payload::XorMask(2),
+        };
+        lib.infect(lic, t);
+        assert_eq!(lib.trojan(lic), Some(t));
+        lib.disinfect(lic);
+        assert_eq!(lib.trojan(lic), None);
+        assert_eq!(lib.infected_licenses().count(), 0);
+    }
+}

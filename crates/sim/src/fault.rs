@@ -1,0 +1,280 @@
+//! The paper's Section 3.2 fault-model comparison, executable.
+//!
+//! A Trojan-caused logic error is *neither* a soft error nor a hard error:
+//!
+//! - an environment-induced **soft error** (e.g. a single-event upset)
+//!   disappears after a time; re-executing the same computation on the
+//!   same unit fixes it;
+//! - an environment-induced **hard error** (e.g. a latch-up) makes the
+//!   unit permanently faulty; no re-execution fixes it, the unit must be
+//!   avoided altogether;
+//! - a **Trojan-caused error** persists exactly while its trigger condition
+//!   holds: re-execution on the same unit with the same inputs re-fails,
+//!   but re-binding the operation to a different vendor's unit (the
+//!   paper's recovery) succeeds.
+//!
+//! [`recovery_matrix`] runs all three fault classes against both recovery
+//!  strategies and returns which combinations deliver correct outputs —
+//! the justification for the paper's re-binding rule, as a table.
+
+use troy_dfg::NodeId;
+use troyhls::{Implementation, License, Mode, Role, SynthesisProblem};
+
+use crate::datapath::{CoreLibrary, Datapath};
+use crate::semantics::{golden_eval, sink_outputs, InputVector};
+use crate::trojan::{Payload, Trigger, Trojan};
+
+/// The three fault classes of Section 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Transient upset: corrupts the unit during the detection phase,
+    /// then disappears (any later execution is clean).
+    SoftTransient,
+    /// Permanent damage: the unit corrupts every execution from the moment
+    /// of failure on.
+    HardPermanent,
+    /// A memory-less Trojan: corrupts while its (input-dependent) trigger
+    /// condition holds.
+    Trojan,
+}
+
+/// Which recovery strategy is applied after detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStrategy {
+    /// Re-execute the same computation on the same binding (the
+    /// traditional soft-error answer).
+    NaiveReexecution,
+    /// Re-execute on the rule-based recovery binding (the paper's answer).
+    RuleBasedRebinding,
+}
+
+/// Outcome of one (fault, strategy) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// The injected fault class.
+    pub fault: FaultClass,
+    /// The strategy applied.
+    pub strategy: RecoveryStrategy,
+    /// Whether the fault was observable (detection fired).
+    pub detected: bool,
+    /// Whether the delivered output after recovery matched golden.
+    pub recovered: bool,
+}
+
+/// Builds the fault library for a class, targeted at `victim`'s NC unit.
+fn library_for(
+    fault: FaultClass,
+    problem: &SynthesisProblem,
+    imp: &Implementation,
+    victim: NodeId,
+    inputs: &InputVector,
+) -> CoreLibrary {
+    let dfg = problem.dfg();
+    let vendor = imp.assignment(victim, Role::Nc).expect("complete").vendor;
+    let license = License {
+        vendor,
+        ip_type: dfg.kind(victim).ip_type(),
+    };
+    let golden = golden_eval(dfg, inputs);
+    let operand = match dfg.preds(victim) {
+        [] => inputs.values(victim).first().copied().unwrap_or(0),
+        [p, ..] => golden[p.index()],
+    };
+    let mut lib = CoreLibrary::new();
+    let trojan = match fault {
+        // The upset corrupts the unit's executions *while it lasts*; its
+        // transience is modeled in `recovery_matrix` by running the
+        // re-execution/recovery against a clean library (the upset has
+        // passed by then).
+        FaultClass::SoftTransient => Trojan {
+            trigger: Trigger::Combinational {
+                mask_a: 0,
+                pattern_a: 0,
+                mask_b: 0,
+                pattern_b: 0,
+            },
+            payload: Payload::XorMask(0xBEEF),
+        },
+        // Always-on corruption.
+        FaultClass::HardPermanent => Trojan {
+            trigger: Trigger::Combinational {
+                mask_a: 0,
+                pattern_a: 0,
+                mask_b: 0,
+                pattern_b: 0,
+            },
+            payload: Payload::XorMask(0xBEEF),
+        },
+        // Input-condition-bound corruption.
+        FaultClass::Trojan => Trojan {
+            trigger: Trigger::on_operand_a(operand),
+            payload: Payload::XorMask(0xBEEF),
+        },
+    };
+    lib.infect(license, trojan);
+    lib
+}
+
+/// Runs the full 3×2 fault/strategy matrix on a synthesized design.
+///
+/// The victim is `victim`'s NC unit; `inputs` drive every execution (the
+/// paper's premise: the same computation must be recovered).
+///
+/// # Panics
+///
+/// Panics if the implementation is incomplete — validate first.
+#[must_use]
+pub fn recovery_matrix(
+    problem: &SynthesisProblem,
+    imp: &Implementation,
+    victim: NodeId,
+    inputs: &InputVector,
+) -> Vec<MatrixCell> {
+    assert_eq!(
+        problem.mode(),
+        Mode::DetectionRecovery,
+        "the matrix needs a recovery schedule"
+    );
+    let dfg = problem.dfg();
+    let golden = sink_outputs(dfg, &golden_eval(dfg, inputs));
+    let clean = CoreLibrary::new();
+    let mut out = Vec::new();
+
+    for fault in [
+        FaultClass::SoftTransient,
+        FaultClass::HardPermanent,
+        FaultClass::Trojan,
+    ] {
+        let faulty = library_for(fault, problem, imp, victim, inputs);
+        // The fault is present during the detection phase. For a transient
+        // upset it has passed by the time any recovery action runs; hard
+        // damage and Trojan triggers persist.
+        let lib_after: &CoreLibrary = match fault {
+            FaultClass::SoftTransient => &clean,
+            FaultClass::HardPermanent | FaultClass::Trojan => &faulty,
+        };
+
+        let detected = {
+            let mut dp = Datapath::new(problem, imp, &faulty);
+            let nc = sink_outputs(dfg, &dp.execute(Role::Nc, inputs).outputs);
+            let rc = sink_outputs(dfg, &dp.execute(Role::Rc, inputs).outputs);
+            nc != rc
+        };
+
+        for strategy in [
+            RecoveryStrategy::NaiveReexecution,
+            RecoveryStrategy::RuleBasedRebinding,
+        ] {
+            let recovered = if !detected {
+                false // nothing observable to recover from
+            } else {
+                let mut dp = Datapath::new(problem, imp, lib_after);
+                match strategy {
+                    RecoveryStrategy::NaiveReexecution => {
+                        // Same computation, same binding, same inputs.
+                        let nc = sink_outputs(dfg, &dp.execute(Role::Nc, inputs).outputs);
+                        nc == golden
+                    }
+                    RecoveryStrategy::RuleBasedRebinding => {
+                        let r = sink_outputs(dfg, &dp.execute(Role::Recovery, inputs).outputs);
+                        r == golden
+                    }
+                }
+            };
+            out.push(MatrixCell {
+                fault,
+                strategy,
+                detected,
+                recovered,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::benchmarks;
+    use troyhls::{Catalog, ExactSolver, Mode, SolveOptions, Synthesizer};
+
+    fn matrix() -> Vec<MatrixCell> {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .build()
+            .unwrap();
+        let s = ExactSolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        let iv = InputVector::from_seed(p.dfg(), 11);
+        // Victim: t3 = b*c feeds the sink directly -> corruption reaches
+        // the output for every fault class.
+        recovery_matrix(&p, &s.implementation, NodeId::new(2), &iv)
+    }
+
+    fn cell(m: &[MatrixCell], f: FaultClass, s: RecoveryStrategy) -> MatrixCell {
+        *m.iter()
+            .find(|c| c.fault == f && c.strategy == s)
+            .expect("cell exists")
+    }
+
+    #[test]
+    fn every_fault_class_is_detected() {
+        let m = matrix();
+        for c in &m {
+            assert!(c.detected, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn soft_errors_are_fixed_by_naive_reexecution() {
+        // Section 3.2: "a simple re-execution ... will recover the error".
+        let m = matrix();
+        let c = cell(
+            &m,
+            FaultClass::SoftTransient,
+            RecoveryStrategy::NaiveReexecution,
+        );
+        assert!(c.recovered, "{c:?}");
+    }
+
+    #[test]
+    fn hard_errors_defeat_both_strategies_unless_rebinding_avoids_the_unit() {
+        let m = matrix();
+        let naive = cell(
+            &m,
+            FaultClass::HardPermanent,
+            RecoveryStrategy::NaiveReexecution,
+        );
+        assert!(
+            !naive.recovered,
+            "a dead unit cannot be re-executed: {naive:?}"
+        );
+        // Re-binding happens to avoid the dead unit for the victim op, but
+        // the recovery computation may still route other ops through it —
+        // with an always-on fault the outcome depends on the binding. Both
+        // outcomes are legitimate; what matters is naive never works.
+        let _ = cell(
+            &m,
+            FaultClass::HardPermanent,
+            RecoveryStrategy::RuleBasedRebinding,
+        );
+    }
+
+    #[test]
+    fn trojans_defeat_naive_but_not_rebinding() {
+        // The paper's core claim, as a table lookup.
+        let m = matrix();
+        let naive = cell(&m, FaultClass::Trojan, RecoveryStrategy::NaiveReexecution);
+        let ruled = cell(&m, FaultClass::Trojan, RecoveryStrategy::RuleBasedRebinding);
+        assert!(!naive.recovered, "{naive:?}");
+        assert!(ruled.recovered, "{ruled:?}");
+    }
+
+    #[test]
+    fn matrix_has_all_six_cells() {
+        assert_eq!(matrix().len(), 6);
+    }
+}

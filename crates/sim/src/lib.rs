@@ -1,0 +1,61 @@
+//! Run-time hardware-Trojan simulation for the TroyHLS workspace.
+//!
+//! The DAC'14 paper's threat model and run-time behavior, executable:
+//!
+//! - [`Trojan`], [`Trigger`], [`Payload`]: the Section 3.1 taxonomy —
+//!   combinational and sequential (counter) triggers, memory-less payloads
+//!   (XOR / offset) plus the memoryful Fig. 3 contrast;
+//! - [`CoreLibrary`] + [`Datapath`]: behavioral, function-equivalent IP
+//!   cores per vendor, cycle-accurate execution of a synthesized
+//!   [`troyhls::Implementation`], with per-instance Trojan state;
+//! - [`PhaseController`]: the run-time flow of Figures 1 and 4 — NC ∥ RC
+//!   comparison, then the re-bound recovery execution on a mismatch;
+//! - [`run_campaign`]: Monte-Carlo injection campaigns measuring detection
+//!   and recovery rates, plus the naive re-execution baseline the paper's
+//!   Section 3.2 argues against.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use troy_dfg::benchmarks;
+//! use troy_sim::{CoreLibrary, InputVector, PhaseController};
+//! use troyhls::{Catalog, ExactSolver, Mode, SolveOptions, SynthesisProblem, Synthesizer};
+//!
+//! // Synthesize a Trojan-tolerant design, then run one clean mission step.
+//! let problem = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+//!     .mode(Mode::DetectionRecovery)
+//!     .detection_latency(4)
+//!     .recovery_latency(3)
+//!     .build()?;
+//! let design = ExactSolver::new().synthesize(&problem, &SolveOptions::quick())?;
+//! let library = CoreLibrary::new(); // no Trojans yet
+//! let mut controller = PhaseController::new(&problem, &design.implementation, &library);
+//! let report = controller.run(&InputVector::from_seed(problem.dfg(), 42));
+//! assert!(!report.mismatch);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod collusion;
+mod controller;
+mod datapath;
+mod fault;
+mod mission;
+mod profile;
+mod semantics;
+mod trace;
+mod trojan;
+
+pub use campaign::{naive_reexecution_recovery_rate, run_campaign, CampaignConfig, CampaignResult};
+pub use collusion::{collusion_audit, execute_with_collusion, ColludingTrojan, CollusionOutcome};
+pub use controller::{PhaseController, RunReport};
+pub use datapath::{CoreLibrary, Datapath, PhaseOutputs};
+pub use fault::{recovery_matrix, FaultClass, MatrixCell, RecoveryStrategy};
+pub use mission::{run_mission, MissionReport};
+pub use profile::{profile_related_pairs, profile_related_pairs_with, ProfileConfig};
+pub use semantics::{eval_op, golden_eval, operands, sink_outputs, InputVector};
+pub use trace::trace_run;
+pub use trojan::{Payload, Trigger, Trojan, TrojanState};

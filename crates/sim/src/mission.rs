@@ -1,0 +1,193 @@
+//! Mission-level reliability metrics.
+//!
+//! The paper motivates recovery with mission-critical systems that "are
+//! expected to continue working correctly until they can be replaced".
+//! This module quantifies that: run a long input sequence against a
+//! (possibly infected) design and report availability — the fraction of
+//! mission steps that delivered a correct output — together with alarm
+//! statistics.
+
+use troyhls::{Implementation, SynthesisProblem};
+
+use crate::controller::PhaseController;
+use crate::datapath::CoreLibrary;
+use crate::semantics::InputVector;
+
+/// Aggregate outcome of a simulated mission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissionReport {
+    /// Steps executed.
+    pub steps: usize,
+    /// Steps whose delivered output matched golden.
+    pub correct: usize,
+    /// Steps where the monitor raised the Trojan alarm.
+    pub alarms: usize,
+    /// Alarmed steps that still delivered a correct output (recovery won).
+    pub alarmed_but_correct: usize,
+    /// First step (0-based) at which an alarm fired, if any.
+    pub first_alarm: Option<usize>,
+}
+
+impl MissionReport {
+    /// Fraction of steps with correct delivered output.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.steps == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.steps as f64
+        }
+    }
+
+    /// Fraction of alarmed steps the recovery machinery saved.
+    #[must_use]
+    pub fn recovery_effectiveness(&self) -> f64 {
+        if self.alarms == 0 {
+            1.0
+        } else {
+            self.alarmed_but_correct as f64 / self.alarms as f64
+        }
+    }
+}
+
+/// Runs `steps` mission steps with seeded inputs (`seed`, `seed+1`, …).
+///
+/// Trojan state persists across steps (no power cycling), matching a
+/// deployed system; call with a fresh [`PhaseController`]-backing library
+/// to model maintenance.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troy_sim::{run_mission, CoreLibrary};
+/// use troyhls::{Catalog, ExactSolver, Mode, SolveOptions, SynthesisProblem, Synthesizer};
+///
+/// let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+///     .mode(Mode::DetectionRecovery)
+///     .detection_latency(4)
+///     .recovery_latency(3)
+///     .build()?;
+/// let d = ExactSolver::new().synthesize(&p, &SolveOptions::quick())?;
+/// let report = run_mission(&p, &d.implementation, &CoreLibrary::new(), 50, 7);
+/// assert_eq!(report.availability(), 1.0); // clean hardware: full uptime
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn run_mission(
+    problem: &SynthesisProblem,
+    imp: &Implementation,
+    library: &CoreLibrary,
+    steps: usize,
+    seed: u64,
+) -> MissionReport {
+    let mut ctrl = PhaseController::new(problem, imp, library);
+    let mut report = MissionReport {
+        steps,
+        ..MissionReport::default()
+    };
+    for step in 0..steps {
+        let inputs = InputVector::from_seed(problem.dfg(), seed.wrapping_add(step as u64));
+        let r = ctrl.run(&inputs);
+        if r.delivered_correct() {
+            report.correct += 1;
+        }
+        if r.mismatch {
+            report.alarms += 1;
+            report.first_alarm.get_or_insert(step);
+            if r.delivered_correct() {
+                report.alarmed_but_correct += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojan::{Payload, Trigger, Trojan};
+    use troy_dfg::{benchmarks, IpTypeId};
+    use troyhls::{Catalog, ExactSolver, License, Mode, Role, SolveOptions, Synthesizer};
+
+    fn design(mode: Mode) -> (SynthesisProblem, Implementation) {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(mode)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .build()
+            .unwrap();
+        let s = ExactSolver::new()
+            .synthesize(&p, &SolveOptions::quick())
+            .unwrap();
+        (p, s.implementation)
+    }
+
+    /// A Trojan that fires often: low-4-bit pattern on a multiplier.
+    fn noisy_library(imp: &Implementation) -> CoreLibrary {
+        let vendor = imp
+            .assignment(troy_dfg::NodeId::new(0), Role::Nc)
+            .unwrap()
+            .vendor;
+        let mut lib = CoreLibrary::new();
+        lib.infect(
+            License {
+                vendor,
+                ip_type: IpTypeId::MULTIPLIER,
+            },
+            Trojan {
+                trigger: Trigger::Combinational {
+                    mask_a: 0xF,
+                    pattern_a: 0x3,
+                    mask_b: 0,
+                    pattern_b: 0,
+                },
+                payload: Payload::AddOffset(999),
+            },
+        );
+        lib
+    }
+
+    #[test]
+    fn clean_mission_has_full_availability() {
+        let (p, imp) = design(Mode::DetectionRecovery);
+        let r = run_mission(&p, &imp, &CoreLibrary::new(), 40, 1);
+        assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.alarms, 0);
+        assert_eq!(r.first_alarm, None);
+    }
+
+    #[test]
+    fn recovery_design_keeps_availability_high_under_attack() {
+        let (p, imp) = design(Mode::DetectionRecovery);
+        let lib = noisy_library(&imp);
+        let r = run_mission(&p, &imp, &lib, 120, 5);
+        assert!(r.alarms > 5, "{r:?}");
+        assert!(r.availability() > 0.9, "{r:?}");
+        assert!(r.recovery_effectiveness() > 0.8, "{r:?}");
+        assert!(r.first_alarm.is_some());
+    }
+
+    #[test]
+    fn detection_only_design_loses_availability_under_attack() {
+        let (pr, impr) = design(Mode::DetectionRecovery);
+        let (pd, impd) = design(Mode::DetectionOnly);
+        let rec = run_mission(&pr, &impr, &noisy_library(&impr), 120, 5);
+        let det = run_mission(&pd, &impd, &noisy_library(&impd), 120, 5);
+        // Both alarm; only the recovery design keeps delivering outputs.
+        assert!(det.alarms > 0 && rec.alarms > 0);
+        assert!(
+            rec.availability() > det.availability(),
+            "recovery {rec:?} vs detection {det:?}"
+        );
+        assert_eq!(det.recovery_effectiveness(), 0.0, "{det:?}");
+    }
+
+    #[test]
+    fn empty_mission_is_trivially_available() {
+        let (p, imp) = design(Mode::DetectionRecovery);
+        let r = run_mission(&p, &imp, &CoreLibrary::new(), 0, 0);
+        assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.recovery_effectiveness(), 1.0);
+    }
+}

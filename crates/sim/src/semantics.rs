@@ -1,0 +1,229 @@
+//! Functional semantics: what each operation computes, per-op primary
+//! inputs, and golden (Trojan-free) DFG evaluation.
+
+use troy_dfg::{Dfg, NodeId, OpKind};
+
+/// Evaluates one operation on 64-bit two's-complement words.
+///
+/// Shift amounts wrap modulo the word width; `Less` is a signed compare
+/// producing 0/1.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::OpKind;
+/// use troy_sim::eval_op;
+///
+/// assert_eq!(eval_op(OpKind::Add, 3, 4), 7);
+/// assert_eq!(eval_op(OpKind::Sub, 3, 4), u64::MAX); // wrapping
+/// assert_eq!(eval_op(OpKind::Less, u64::MAX, 0), 1); // -1 < 0 signed
+/// ```
+#[must_use]
+pub fn eval_op(kind: OpKind, a: u64, b: u64) -> u64 {
+    match kind {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Less => u64::from((a as i64) < (b as i64)),
+        OpKind::And => a & b,
+        OpKind::Or => a | b,
+        OpKind::Xor => a ^ b,
+        OpKind::Shl => a << (b & 63),
+        OpKind::Shr => a >> (b & 63),
+        // `OpKind` is non-exhaustive; new kinds must be given semantics
+        // here before the simulator can execute them.
+        other => unimplemented!("no behavioral model for op kind `{other}`"),
+    }
+}
+
+/// Concrete primary-input values for every operation of a DFG.
+///
+/// An operation's operand list is its producers (in edge order) followed by
+/// its primary inputs; this type stores the latter.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::benchmarks;
+/// use troy_sim::InputVector;
+///
+/// let g = benchmarks::polynom();
+/// let iv = InputVector::from_seed(&g, 7);
+/// assert_eq!(iv.values(troy_dfg::NodeId::new(0)).len(), 2); // leaf mul
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputVector {
+    per_op: Vec<Vec<u64>>,
+}
+
+impl InputVector {
+    /// All primary inputs zero.
+    #[must_use]
+    pub fn zeros(dfg: &Dfg) -> Self {
+        InputVector {
+            per_op: dfg
+                .node_ids()
+                .map(|n| vec![0; dfg.node(n).primary_inputs()])
+                .collect(),
+        }
+    }
+
+    /// Deterministic pseudo-random inputs from a seed (SplitMix64 stream).
+    #[must_use]
+    pub fn from_seed(dfg: &Dfg, seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        InputVector {
+            per_op: dfg
+                .node_ids()
+                .map(|n| (0..dfg.node(n).primary_inputs()).map(|_| next()).collect())
+                .collect(),
+        }
+    }
+
+    /// The primary-input values of one op.
+    #[must_use]
+    pub fn values(&self, op: NodeId) -> &[u64] {
+        &self.per_op[op.index()]
+    }
+
+    /// Overrides one primary input (op, slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op`/`slot` is out of range.
+    pub fn set(&mut self, op: NodeId, slot: usize, value: u64) {
+        self.per_op[op.index()][slot] = value;
+    }
+}
+
+/// Resolves the two operands of `op` given already-computed producer
+/// outputs and the primary inputs. Operations with a single total operand
+/// duplicate it (unary usage of a binary core).
+#[must_use]
+pub fn operands(
+    dfg: &Dfg,
+    op: NodeId,
+    outputs: &[Option<u64>],
+    inputs: &InputVector,
+) -> (u64, u64) {
+    let mut ops: Vec<u64> = dfg
+        .preds(op)
+        .iter()
+        .map(|p| outputs[p.index()].expect("producer scheduled earlier"))
+        .collect();
+    ops.extend_from_slice(inputs.values(op));
+    match ops[..] {
+        [a, b] => (a, b),
+        [a] => (a, a),
+        [] => (0, 0),
+        _ => unreachable!("ops are at most binary"),
+    }
+}
+
+/// Golden (Trojan-free) evaluation of the whole DFG; returns every op's
+/// output indexed by node.
+///
+/// # Examples
+///
+/// ```
+/// use troy_dfg::{benchmarks, NodeId};
+/// use troy_sim::{golden_eval, InputVector};
+///
+/// let g = benchmarks::polynom();
+/// let mut iv = InputVector::zeros(&g);
+/// iv.set(NodeId::new(0), 0, 3); // x
+/// iv.set(NodeId::new(0), 1, 3); // x
+/// let out = golden_eval(&g, &iv);
+/// assert_eq!(out[0], 9); // x*x
+/// ```
+#[must_use]
+pub fn golden_eval(dfg: &Dfg, inputs: &InputVector) -> Vec<u64> {
+    let mut outputs: Vec<Option<u64>> = vec![None; dfg.len()];
+    for op in dfg.topo_order() {
+        let (a, b) = operands(dfg, op, &outputs, inputs);
+        outputs[op.index()] = Some(eval_op(dfg.kind(op), a, b));
+    }
+    outputs
+        .into_iter()
+        .map(|o| o.expect("topo covers all"))
+        .collect()
+}
+
+/// The DFG's primary outputs (sink-node values) from a full output vector.
+#[must_use]
+pub fn sink_outputs(dfg: &Dfg, outputs: &[u64]) -> Vec<u64> {
+    dfg.sinks().map(|s| outputs[s.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::benchmarks;
+
+    #[test]
+    fn eval_op_covers_all_kinds() {
+        assert_eq!(eval_op(OpKind::Add, 2, 3), 5);
+        assert_eq!(eval_op(OpKind::Sub, 2, 3), u64::MAX);
+        assert_eq!(eval_op(OpKind::Mul, 1 << 63, 2), 0); // wraps
+        assert_eq!(eval_op(OpKind::Less, 1, 2), 1);
+        assert_eq!(eval_op(OpKind::Less, 2, 1), 0);
+        assert_eq!(eval_op(OpKind::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_op(OpKind::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_op(OpKind::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(eval_op(OpKind::Shl, 1, 4), 16);
+        assert_eq!(eval_op(OpKind::Shr, 16, 4), 1);
+        assert_eq!(eval_op(OpKind::Shl, 1, 64), 1); // modulo width
+    }
+
+    #[test]
+    fn polynom_golden_matches_formula() {
+        // polynom computes x*x + a*x + b*c.
+        let g = benchmarks::polynom();
+        let mut iv = InputVector::zeros(&g);
+        let (x, a, b, c) = (5u64, 7u64, 11u64, 13u64);
+        iv.set(troy_dfg::NodeId::new(0), 0, x);
+        iv.set(troy_dfg::NodeId::new(0), 1, x);
+        iv.set(troy_dfg::NodeId::new(1), 0, a);
+        iv.set(troy_dfg::NodeId::new(1), 1, x);
+        iv.set(troy_dfg::NodeId::new(2), 0, b);
+        iv.set(troy_dfg::NodeId::new(2), 1, c);
+        let out = golden_eval(&g, &iv);
+        let sinks = sink_outputs(&g, &out);
+        assert_eq!(sinks, vec![x * x + a * x + b * c]);
+    }
+
+    #[test]
+    fn seeded_inputs_are_deterministic_and_seed_sensitive() {
+        let g = benchmarks::diff2();
+        assert_eq!(InputVector::from_seed(&g, 1), InputVector::from_seed(&g, 1));
+        assert_ne!(InputVector::from_seed(&g, 1), InputVector::from_seed(&g, 2));
+    }
+
+    #[test]
+    fn golden_eval_is_pure() {
+        let g = benchmarks::fir16();
+        let iv = InputVector::from_seed(&g, 99);
+        assert_eq!(golden_eval(&g, &iv), golden_eval(&g, &iv));
+    }
+
+    #[test]
+    fn unary_usage_duplicates_operand() {
+        // An op with one pred and zero primaries sees (a, a).
+        let mut g = troy_dfg::Dfg::new("u");
+        let a = g.add_op_with(OpKind::Add, "a", 2);
+        let b = g.add_op_with(OpKind::Mul, "sq", 0);
+        g.add_edge(a, b).unwrap();
+        let mut iv = InputVector::zeros(&g);
+        iv.set(a, 0, 3);
+        iv.set(a, 1, 4);
+        let out = golden_eval(&g, &iv);
+        assert_eq!(out[b.index()], 49); // (3+4)^2
+    }
+}

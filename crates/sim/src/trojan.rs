@@ -1,0 +1,249 @@
+//! Hardware-Trojan models: trigger mechanisms and payload functions.
+//!
+//! Follows the paper's Section 3.1 taxonomy:
+//!
+//! - triggers are **combinational** (a rare operand pattern, Fig. 2a) or
+//!   **sequential** (a counter over consecutive matching operations,
+//!   Fig. 2b);
+//! - payloads alter the host core's output. Memory-*less* payloads (the
+//!   paper's scope) corrupt the output only while the trigger holds;
+//!   [`Payload::Latched`] models the Fig. 3 memory*ful* contrast that stays
+//!   active forever once fired.
+
+/// Trigger mechanism: decides, per executed operation, whether the payload
+/// is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fires when `(a & mask_a) == pattern_a && (b & mask_b) == pattern_b`
+    /// (Fig. 2a). Wider masks = rarer trigger.
+    Combinational {
+        /// Mask applied to the first operand.
+        mask_a: u64,
+        /// Required first-operand bits under `mask_a`.
+        pattern_a: u64,
+        /// Mask applied to the second operand.
+        mask_b: u64,
+        /// Required second-operand bits under `mask_b`.
+        pattern_b: u64,
+    },
+    /// A `k`-bit counter incremented on every executed operation whose
+    /// first operand matches `(a & mask) == pattern`; a non-matching
+    /// operation resets it (the paper: the trigger "will be reset
+    /// otherwise"). Fires while the count reaches `threshold` (Fig. 2b).
+    Sequential {
+        /// Mask applied to the first operand.
+        mask: u64,
+        /// Required bits under `mask`.
+        pattern: u64,
+        /// Consecutive matches needed to set the trigger.
+        threshold: u32,
+    },
+}
+
+impl Trigger {
+    /// A combinational trigger matching one exact first-operand value.
+    #[must_use]
+    pub fn on_operand_a(value: u64) -> Self {
+        Trigger::Combinational {
+            mask_a: u64::MAX,
+            pattern_a: value,
+            mask_b: 0,
+            pattern_b: 0,
+        }
+    }
+}
+
+/// Payload function: how an activated Trojan corrupts the host output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// XOR a mask into the result (Fig. 2's XOR payload).
+    XorMask(u64),
+    /// Add a constant offset (wrapping) — the "offset" fault model of
+    /// Section 3.2.
+    AddOffset(u64),
+    /// Memoryful payload (Fig. 3): once triggered, keeps XOR-ing the mask
+    /// into every subsequent result of the instance. Outside the paper's
+    /// recovery scope — shipped to demonstrate *why* it is excluded.
+    Latched(u64),
+}
+
+/// A Trojan embedded in one vendor's IP-core product. Every instance of
+/// that product carries it, each with private sequential/latch state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trojan {
+    /// When it activates.
+    pub trigger: Trigger,
+    /// What it does.
+    pub payload: Payload,
+}
+
+/// Per-instance Trojan state (sequential counter / latch flip-flop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrojanState {
+    counter: u32,
+    latched: bool,
+}
+
+impl TrojanState {
+    /// Fresh state (counter 0, latch clear).
+    #[must_use]
+    pub fn new() -> Self {
+        TrojanState::default()
+    }
+
+    /// Whether the latch has fired (memoryful payloads only).
+    #[must_use]
+    pub fn is_latched(&self) -> bool {
+        self.latched
+    }
+}
+
+impl Trojan {
+    /// Executes the Trojan logic for one host operation.
+    ///
+    /// `result` is the correct output of the host core for operands
+    /// `(a, b)`; returns the (possibly corrupted) output and updates the
+    /// instance state.
+    #[must_use]
+    pub fn apply(&self, state: &mut TrojanState, a: u64, b: u64, result: u64) -> u64 {
+        let fired = match self.trigger {
+            Trigger::Combinational {
+                mask_a,
+                pattern_a,
+                mask_b,
+                pattern_b,
+            } => (a & mask_a) == pattern_a && (b & mask_b) == pattern_b,
+            Trigger::Sequential {
+                mask,
+                pattern,
+                threshold,
+            } => {
+                if (a & mask) == pattern {
+                    state.counter = state.counter.saturating_add(1);
+                } else {
+                    state.counter = 0; // trigger condition reset
+                }
+                state.counter >= threshold
+            }
+        };
+        match self.payload {
+            Payload::XorMask(mask) => {
+                if fired {
+                    result ^ mask
+                } else {
+                    result
+                }
+            }
+            Payload::AddOffset(delta) => {
+                if fired {
+                    result.wrapping_add(delta)
+                } else {
+                    result
+                }
+            }
+            Payload::Latched(mask) => {
+                if fired {
+                    state.latched = true;
+                }
+                if state.latched {
+                    result ^ mask
+                } else {
+                    result
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_trigger_exact_pattern() {
+        let t = Trojan {
+            trigger: Trigger::on_operand_a(0xDEAD),
+            payload: Payload::XorMask(0xFF),
+        };
+        let mut st = TrojanState::new();
+        assert_eq!(t.apply(&mut st, 1, 2, 3), 3); // dormant
+        assert_eq!(t.apply(&mut st, 0xDEAD, 2, 3), 3 ^ 0xFF); // fired
+        assert_eq!(t.apply(&mut st, 1, 2, 3), 3); // memory-less: clean again
+    }
+
+    #[test]
+    fn combinational_two_operand_condition() {
+        // Fig. 2a: fires when A = 0 and B = 0 (low bits).
+        let t = Trojan {
+            trigger: Trigger::Combinational {
+                mask_a: 0b11,
+                pattern_a: 0,
+                mask_b: 0b11,
+                pattern_b: 0,
+            },
+            payload: Payload::XorMask(1),
+        };
+        let mut st = TrojanState::new();
+        assert_eq!(t.apply(&mut st, 4, 8, 10), 11); // both low bits zero
+        assert_eq!(t.apply(&mut st, 5, 8, 10), 10); // A low bit set
+    }
+
+    #[test]
+    fn sequential_trigger_counts_consecutive_matches() {
+        let t = Trojan {
+            trigger: Trigger::Sequential {
+                mask: 0xF,
+                pattern: 0xA,
+                threshold: 3,
+            },
+            payload: Payload::AddOffset(100),
+        };
+        let mut st = TrojanState::new();
+        assert_eq!(t.apply(&mut st, 0xA, 0, 7), 7); // count 1
+        assert_eq!(t.apply(&mut st, 0x1A, 0, 7), 7); // count 2
+        assert_eq!(t.apply(&mut st, 0x2A, 0, 7), 107); // count 3: fired
+        assert_eq!(t.apply(&mut st, 0x3A, 0, 7), 107); // stays while matching
+        assert_eq!(t.apply(&mut st, 0x1, 0, 7), 7); // reset on mismatch
+        assert_eq!(
+            st,
+            TrojanState {
+                counter: 0,
+                latched: false
+            }
+        );
+    }
+
+    #[test]
+    fn latched_payload_persists_after_trigger_clears() {
+        let t = Trojan {
+            trigger: Trigger::on_operand_a(42),
+            payload: Payload::Latched(0b1000),
+        };
+        let mut st = TrojanState::new();
+        assert_eq!(t.apply(&mut st, 1, 1, 0), 0);
+        assert!(!st.is_latched());
+        assert_eq!(t.apply(&mut st, 42, 1, 0), 0b1000);
+        assert!(st.is_latched());
+        // Trigger condition gone, corruption persists (Fig. 3).
+        assert_eq!(t.apply(&mut st, 1, 1, 0), 0b1000);
+    }
+
+    #[test]
+    fn memoryless_payload_deactivates_with_trigger() {
+        // The property the paper's recovery relies on: feed different
+        // operand values and the Trojan is dormant again.
+        let t = Trojan {
+            trigger: Trigger::on_operand_a(7),
+            payload: Payload::XorMask(u64::MAX),
+        };
+        let mut st = TrojanState::new();
+        let _ = t.apply(&mut st, 7, 0, 1); // fire once
+        assert_eq!(t.apply(&mut st, 8, 0, 1), 1); // clean on other inputs
+    }
+
+    #[test]
+    fn state_default_is_clean() {
+        assert_eq!(TrojanState::new(), TrojanState::default());
+        assert!(!TrojanState::new().is_latched());
+    }
+}

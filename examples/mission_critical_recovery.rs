@@ -1,0 +1,94 @@
+//! Mission-critical scenario: a flight-control-style filter must keep
+//! producing correct outputs through an activated Trojan until the part can
+//! be replaced.
+//!
+//! ```text
+//! cargo run --release --example mission_critical_recovery
+//! ```
+//!
+//! Synthesizes the HAL differential-equation solver (`diff2`) with
+//! detection + recovery, then simulates a 60-step mission. The adversary's
+//! Trojan waits for a magic operand value; the attacker manages to inject
+//! that sample twice mid-mission. Both activations are detected by the
+//! NC/RC monitor and both are healed by the recovery re-binding — the
+//! mission's delivered outputs stay correct throughout, which is exactly
+//! the property the paper targets.
+
+use troy_dfg::{benchmarks, IpTypeId, NodeId};
+use troy_sim::{CoreLibrary, InputVector, Payload, PhaseController, Trigger, Trojan};
+use troyhls::{
+    Catalog, ExactSolver, License, Mode, Role, SolveOptions, SynthesisProblem, Synthesizer,
+};
+
+const MAGIC_SAMPLE: u64 = 0xFEED_FACE_CAFE_F00D;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = SynthesisProblem::builder(benchmarks::diff2(), Catalog::paper8())
+        .mode(Mode::DetectionRecovery)
+        .detection_latency(5)
+        .recovery_latency(5)
+        .area_limit(80_000)
+        .build()?;
+    let design = ExactSolver::new().synthesize(&problem, &SolveOptions::default())?;
+    println!(
+        "diff2 protected design: ${} in licenses, {}",
+        design.cost,
+        design.implementation.stats(&problem)
+    );
+
+    // The Trojan sits in the multiplier product that hosts o1's NC copy and
+    // waits for one exact operand value — a rare trigger in the paper's
+    // sense: no other operation will ever see this 64-bit value.
+    let victim = NodeId::new(0);
+    let vendor = design
+        .implementation
+        .assignment(victim, Role::Nc)
+        .expect("complete")
+        .vendor;
+    let mut library = CoreLibrary::new();
+    library.infect(
+        License {
+            vendor,
+            ip_type: IpTypeId::MULTIPLIER,
+        },
+        Trojan {
+            trigger: Trigger::on_operand_a(MAGIC_SAMPLE),
+            payload: Payload::AddOffset(1 << 20),
+        },
+    );
+
+    let mut controller = PhaseController::new(&problem, &design.implementation, &library);
+    let mut detections = 0usize;
+    let mut recovered = 0usize;
+    let steps = 60usize;
+    let attack_steps = [30usize, 45];
+    for step in 0..steps {
+        let mut inputs = InputVector::from_seed(problem.dfg(), 1000 + step as u64);
+        if attack_steps.contains(&step) {
+            // The attacker smuggles the magic sample into the input stream.
+            inputs.set(victim, 0, MAGIC_SAMPLE);
+        }
+        let report = controller.run(&inputs);
+        if report.mismatch {
+            detections += 1;
+            println!(
+                "  step {step:>2}: Trojan activated -> detected, recovery {}",
+                if report.delivered_correct() {
+                    "healed it"
+                } else {
+                    "FAILED"
+                }
+            );
+            if report.delivered_correct() {
+                recovered += 1;
+            }
+        } else {
+            assert!(report.delivered_correct(), "clean steps deliver golden");
+        }
+    }
+    println!("mission: {steps} steps, {detections} activations, {recovered} recovered");
+    assert_eq!(detections, attack_steps.len(), "both injections detected");
+    assert_eq!(detections, recovered, "every activation recovered");
+    println!("mission completed with correct outputs throughout");
+    Ok(())
+}

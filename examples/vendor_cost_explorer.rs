@@ -1,0 +1,76 @@
+//! Design-space exploration: how the license bill moves with latency,
+//! area and protection level — the trade-off a procurement engineer
+//! actually faces.
+//!
+//! ```text
+//! cargo run --release --example vendor_cost_explorer
+//! ```
+
+use troy_dfg::benchmarks;
+use troyhls::{Catalog, ExactSolver, Mode, SolveOptions, SynthesisProblem, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper8();
+    println!("fir16 (31 ops) on the 8-vendor catalog\n");
+    println!(
+        "{:<22} {:>7} {:>9} {:>8} {:>6} {:>6}",
+        "configuration", "lambda", "area cap", "cost", "u", "t"
+    );
+
+    // Sweep protection level x latency at a generous area cap.
+    for (mode, name) in [
+        (Mode::DetectionOnly, "detection only"),
+        (Mode::DetectionRecovery, "detection+recovery"),
+    ] {
+        for lambda in [6usize, 8, 10] {
+            let builder = SynthesisProblem::builder(benchmarks::fir16(), catalog.clone())
+                .mode(mode)
+                .area_limit(250_000);
+            let builder = match mode {
+                Mode::DetectionOnly => builder.detection_latency(lambda),
+                Mode::DetectionRecovery => builder.total_latency(2 * lambda),
+            };
+            let problem = builder.build()?;
+            match ExactSolver::new().synthesize(&problem, &SolveOptions::default()) {
+                Ok(s) => {
+                    let st = s.implementation.stats(&problem);
+                    println!(
+                        "{:<22} {:>7} {:>9} {:>8} {:>6} {:>6}",
+                        name,
+                        problem.total_latency(),
+                        250_000,
+                        format!("${}{}", s.cost, if s.proven_optimal { "" } else { "*" }),
+                        st.instances_used,
+                        st.licenses_used
+                    );
+                }
+                Err(e) => println!("{name:<22} {lambda:>7}: {e}"),
+            }
+        }
+    }
+
+    // Sweep the area cap at fixed latency: tighter silicon forces schedule
+    // serialization and eventually infeasibility.
+    println!("\narea sweep (detection+recovery, lambda = 12):");
+    for area in [250_000u64, 150_000, 120_000, 110_000, 100_000, 60_000] {
+        let problem = SynthesisProblem::builder(benchmarks::fir16(), catalog.clone())
+            .mode(Mode::DetectionRecovery)
+            .total_latency(12)
+            .area_limit(area)
+            .build()?;
+        match ExactSolver::new().synthesize(&problem, &SolveOptions::default()) {
+            Ok(s) => {
+                let st = s.implementation.stats(&problem);
+                println!(
+                    "  area <= {area:>7}: ${}{}  (u={}, actual area {})",
+                    s.cost,
+                    if s.proven_optimal { "" } else { "*" },
+                    st.instances_used,
+                    st.area
+                );
+            }
+            Err(e) => println!("  area <= {area:>7}: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! `troy-suite` — the workspace-level crate of the TroyHLS reproduction.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`); re-exports the member crates so examples
+//! and tests can use one import root.
+//!
+//! See the member crates for the actual functionality:
+//! [`troy_dfg`], [`troy_ilp`], [`troyhls`], [`troy_sim`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use troy_dfg;
+pub use troy_ilp;
+pub use troy_sim;
+pub use troyhls;

@@ -1,0 +1,140 @@
+//! End-to-end rule compliance: every solver output on every benchmark must
+//! satisfy all four design rules plus scheduling/area constraints, as
+//! checked by the independent validator.
+
+use troy_dfg::benchmarks;
+use troyhls::{
+    diversity_constraints, validate, Catalog, ExactSolver, GreedySolver, Mode, Role, SolveOptions,
+    SynthesisProblem, Synthesizer,
+};
+
+fn problems() -> Vec<SynthesisProblem> {
+    let mut out = Vec::new();
+    for dfg in benchmarks::paper_suite() {
+        let cp = dfg.critical_path_len();
+        for mode in [Mode::DetectionOnly, Mode::DetectionRecovery] {
+            out.push(
+                SynthesisProblem::builder(dfg.clone(), Catalog::paper8())
+                    .mode(mode)
+                    .detection_latency(cp + 1)
+                    .recovery_latency(cp + 1)
+                    .build()
+                    .expect("valid"),
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn exact_solver_designs_satisfy_every_rule() {
+    for problem in problems() {
+        let s = ExactSolver::new()
+            .synthesize(&problem, &SolveOptions::quick())
+            .unwrap_or_else(|e| panic!("{} {}: {e}", problem.dfg().name(), problem.mode()));
+        let violations = validate(&problem, &s.implementation);
+        assert!(
+            violations.is_empty(),
+            "{} {}: {violations:?}",
+            problem.dfg().name(),
+            problem.mode()
+        );
+    }
+}
+
+#[test]
+fn greedy_solver_designs_satisfy_every_rule() {
+    for problem in problems() {
+        let s = GreedySolver::new()
+            .synthesize(&problem, &SolveOptions::quick())
+            .unwrap_or_else(|e| panic!("{} {}: {e}", problem.dfg().name(), problem.mode()));
+        let violations = validate(&problem, &s.implementation);
+        assert!(
+            violations.is_empty(),
+            "{} {}: {violations:?}",
+            problem.dfg().name(),
+            problem.mode()
+        );
+    }
+}
+
+#[test]
+fn every_diversity_constraint_is_respected_pairwise() {
+    // Beyond the validator: re-check the raw constraint list directly.
+    for problem in problems() {
+        let s = ExactSolver::new()
+            .synthesize(&problem, &SolveOptions::quick())
+            .expect("feasible");
+        for dc in diversity_constraints(&problem) {
+            let a = s.implementation.assignment_of(dc.a).expect("complete");
+            let b = s.implementation.assignment_of(dc.b).expect("complete");
+            assert_ne!(
+                a.vendor,
+                b.vendor,
+                "{}: {} vs {} ({})",
+                problem.dfg().name(),
+                dc.a,
+                dc.b,
+                dc.rule
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_designs_never_reuse_detection_vendors_per_op() {
+    for problem in problems()
+        .into_iter()
+        .filter(|p| p.mode() == Mode::DetectionRecovery)
+    {
+        let s = ExactSolver::new()
+            .synthesize(&problem, &SolveOptions::quick())
+            .expect("feasible");
+        for op in problem.dfg().node_ids() {
+            let nc = s.implementation.assignment(op, Role::Nc).unwrap().vendor;
+            let rc = s.implementation.assignment(op, Role::Rc).unwrap().vendor;
+            let r = s
+                .implementation
+                .assignment(op, Role::Recovery)
+                .unwrap()
+                .vendor;
+            assert_ne!(nc, rc);
+            assert_ne!(r, nc);
+            assert_ne!(r, rc);
+        }
+    }
+}
+
+#[test]
+fn phases_are_time_disjoint() {
+    for problem in problems()
+        .into_iter()
+        .filter(|p| p.mode() == Mode::DetectionRecovery)
+    {
+        let s = ExactSolver::new()
+            .synthesize(&problem, &SolveOptions::quick())
+            .expect("feasible");
+        let det = problem.detection_latency();
+        for (copy, a) in s.implementation.iter() {
+            match copy.role {
+                Role::Nc | Role::Rc => assert!(a.cycle <= det),
+                Role::Recovery => assert!(a.cycle > det),
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    for problem in problems() {
+        let s = ExactSolver::new()
+            .synthesize(&problem, &SolveOptions::quick())
+            .expect("feasible");
+        let stats = s.implementation.stats(&problem);
+        assert_eq!(stats.license_cost, s.cost);
+        assert!(stats.vendors_used <= stats.licenses_used);
+        assert!(stats.licenses_used <= stats.instances_used);
+        assert!(stats.area <= problem.area_limit());
+        assert_eq!(stats.area, s.implementation.area(&problem));
+    }
+}
