@@ -1,0 +1,281 @@
+//! The analyzer: runs registered passes, filters and orders the findings,
+//! and summarizes the outcome.
+
+use std::collections::BTreeSet;
+
+use troyhls::{Implementation, SynthesisProblem};
+
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use crate::passes::{DesignRulesPass, FeasibilityPass, LintContext, LintPass, QualityPass};
+
+/// Filtering and gating options for one analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Drop diagnostics below this severity.
+    pub min_severity: Severity,
+    /// Drop diagnostics with these codes entirely.
+    pub suppressed: BTreeSet<Code>,
+    /// Treat warnings as blocking in [`AnalysisReport::is_blocking`].
+    pub deny_warnings: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            min_severity: Severity::Note,
+            suppressed: BTreeSet::new(),
+            deny_warnings: false,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Suppresses one code (chainable).
+    #[must_use]
+    pub fn allow(mut self, code: Code) -> Self {
+        self.suppressed.insert(code);
+        self
+    }
+
+    /// Sets the minimum reported severity (chainable).
+    #[must_use]
+    pub fn min_severity(mut self, severity: Severity) -> Self {
+        self.min_severity = severity;
+        self
+    }
+
+    /// Makes warnings blocking (chainable).
+    #[must_use]
+    pub fn deny_warnings(mut self) -> Self {
+        self.deny_warnings = true;
+        self
+    }
+}
+
+/// A pass pipeline over problems and implementations.
+pub struct Analyzer {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer {
+            passes: vec![
+                Box::new(FeasibilityPass),
+                Box::new(DesignRulesPass),
+                Box::new(QualityPass),
+            ],
+        }
+    }
+}
+
+impl Analyzer {
+    /// An analyzer with all built-in passes registered.
+    #[must_use]
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// An analyzer with no passes; register your own.
+    #[must_use]
+    pub fn empty() -> Self {
+        Analyzer { passes: Vec::new() }
+    }
+
+    /// Registers an additional pass, run after the existing ones.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) {
+        self.passes.push(pass);
+    }
+
+    /// Names of the registered passes, in run order.
+    #[must_use]
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass and assembles a filtered, deterministically ordered
+    /// report.
+    #[must_use]
+    pub fn analyze(
+        &self,
+        problem: &SynthesisProblem,
+        implementation: Option<&Implementation>,
+        options: &AnalysisOptions,
+    ) -> AnalysisReport {
+        let cx = LintContext {
+            problem,
+            implementation,
+        };
+        let mut diagnostics = Vec::new();
+        for pass in &self.passes {
+            pass.run(&cx, &mut diagnostics);
+        }
+        diagnostics.retain(|d| {
+            d.severity >= options.min_severity && !options.suppressed.contains(&d.code)
+        });
+        diagnostics.sort_by_key(Diagnostic::sort_key);
+        AnalysisReport {
+            design: problem.dfg().name().to_string(),
+            mode: problem.mode().to_string(),
+            deny_warnings: options.deny_warnings,
+            diagnostics,
+        }
+    }
+}
+
+/// The outcome of one analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Name of the analyzed DFG.
+    pub design: String,
+    /// The problem's protection mode, as displayed.
+    pub mode: String,
+    /// Whether warnings count as blocking.
+    pub deny_warnings: bool,
+    /// The findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Number of diagnostics at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` when nothing was reported.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` when the run must fail: any error, or any warning under
+    /// `--deny warnings`.
+    #[must_use]
+    pub fn is_blocking(&self) -> bool {
+        self.count(Severity::Error) > 0 || (self.deny_warnings && self.count(Severity::Warning) > 0)
+    }
+
+    /// The process exit code the CLI maps this report to: `0` clean or
+    /// non-blocking, `1` blocking (hard usage/input errors use `2`).
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.is_blocking())
+    }
+
+    /// One-line summary, e.g. `"2 errors, 1 warning, 0 notes"`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let plural = |n: usize, s: &str| format!("{n} {s}{}", if n == 1 { "" } else { "s" });
+        format!(
+            "{}, {}, {}",
+            plural(self.count(Severity::Error), "error"),
+            plural(self.count(Severity::Warning), "warning"),
+            plural(self.count(Severity::Note), "note")
+        )
+    }
+}
+
+/// Runs the default analyzer with default options.
+///
+/// The one-call entry point: `lint(problem, Some(&imp))` reports exactly
+/// the violations [`troyhls::validate`] reports (as `TD0xx` errors) plus
+/// the feasibility and quality findings.
+#[must_use]
+pub fn lint(problem: &SynthesisProblem, implementation: Option<&Implementation>) -> AnalysisReport {
+    Analyzer::new().analyze(problem, implementation, &AnalysisOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::benchmarks;
+    use troyhls::{Catalog, Mode};
+
+    fn problem() -> SynthesisProblem {
+        SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(50_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_implementation_reports_blocking_errors() {
+        let p = problem();
+        let imp = Implementation::new(p.dfg().len());
+        let report = lint(&p, Some(&imp));
+        assert!(report.is_blocking());
+        assert_eq!(report.exit_code(), 1);
+        assert_eq!(report.count(Severity::Error), 10); // one per missing copy
+    }
+
+    #[test]
+    fn severity_filter_and_suppression_apply() {
+        let p = problem();
+        let imp = Implementation::new(p.dfg().len());
+        let all = Analyzer::new().analyze(&p, Some(&imp), &AnalysisOptions::default());
+        let errors_only = Analyzer::new().analyze(
+            &p,
+            Some(&imp),
+            &AnalysisOptions::default().min_severity(Severity::Error),
+        );
+        assert!(errors_only.diagnostics.len() <= all.diagnostics.len());
+        assert!(errors_only
+            .diagnostics
+            .iter()
+            .all(|d| d.severity == Severity::Error));
+        let none = Analyzer::new().analyze(
+            &p,
+            Some(&imp),
+            &AnalysisOptions::default().allow(Code::UnassignedCopy),
+        );
+        assert!(none
+            .diagnostics
+            .iter()
+            .all(|d| d.code != Code::UnassignedCopy));
+    }
+
+    #[test]
+    fn deny_warnings_gates_warning_only_reports() {
+        let report = AnalysisReport {
+            design: "x".into(),
+            mode: "detection-only".into(),
+            deny_warnings: false,
+            diagnostics: vec![Diagnostic::new(Code::NearCollusion, "w")],
+        };
+        assert!(!report.is_blocking());
+        let denied = AnalysisReport {
+            deny_warnings: true,
+            ..report
+        };
+        assert!(denied.is_blocking());
+        assert_eq!(denied.exit_code(), 1);
+    }
+
+    #[test]
+    fn report_orders_most_severe_first() {
+        let p = problem();
+        let imp = Implementation::new(p.dfg().len());
+        let report = lint(&p, Some(&imp));
+        let severities: Vec<_> = report.diagnostics.iter().map(|d| d.severity).collect();
+        let mut sorted = severities.clone();
+        sorted.sort_by_key(|s| std::cmp::Reverse(*s));
+        assert_eq!(severities, sorted);
+    }
+
+    #[test]
+    fn summary_pluralizes() {
+        let p = problem();
+        let report = lint(&p, None);
+        assert!(
+            report.summary().contains("0 errors"),
+            "{}",
+            report.summary()
+        );
+    }
+}

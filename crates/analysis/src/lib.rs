@@ -1,0 +1,57 @@
+//! Pass-based static analysis for TroyHLS problems and bindings.
+//!
+//! The analyzer runs an extensible pipeline of [`LintPass`]es over a
+//! [`troyhls::SynthesisProblem`] and (optionally) an
+//! [`troyhls::Implementation`], emitting structured [`Diagnostic`]s with:
+//!
+//! - **stable codes** in three families — `TD0xx` design-rule findings
+//!   (one code per [`troyhls::Violation`] shape), `TP0xx` pre-solve
+//!   problem/feasibility findings, `TQ0xx` quality lints;
+//! - **severities** ([`Severity::Error`] / [`Severity::Warning`] /
+//!   [`Severity::Note`]) with filtering and per-code suppression;
+//! - **precise locations** (op copy, node, cycle, vendor, IP type);
+//! - **explanations** tying each finding back to the paper's equations;
+//! - **fix-it suggestions**, e.g. the legal alternative vendors that
+//!   repair a Rule 1/Rule 2 violation.
+//!
+//! Reports render as plain text, JSON or SARIF 2.1.0.
+//!
+//! The design-rule pass never re-implements a rule: it maps the output of
+//! [`troyhls::validate`] one-to-one (see
+//! [`passes::diagnostic_for_violation`]), so `validate` and `lint` cannot
+//! disagree about what is a violation.
+//!
+//! # Example
+//!
+//! ```
+//! use troy_dfg::benchmarks;
+//! use troyhls::{Catalog, Implementation, Mode, SynthesisProblem};
+//! use troy_analysis::{lint, Code, Severity};
+//!
+//! let problem = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+//!     .mode(Mode::DetectionOnly)
+//!     .detection_latency(4)
+//!     .build()?;
+//! // Nothing bound yet: every required copy is reported as TD001.
+//! let report = lint(&problem, Some(&Implementation::new(problem.dfg().len())));
+//! assert!(report.is_blocking());
+//! assert_eq!(report.count(Severity::Error), 10);
+//! assert!(report.diagnostics.iter().all(|d| d.code == Code::UnassignedCopy));
+//! println!("{}", report.to_text());
+//! # Ok::<(), troyhls::ProblemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnostic;
+mod engine;
+pub mod passes;
+mod render;
+
+pub use diagnostic::{Code, Diagnostic, FixIt, Location, Severity, NUM_CODES};
+pub use engine::{lint, AnalysisOptions, AnalysisReport, Analyzer};
+pub use passes::{
+    code_for_violation, diagnostic_for_violation, legal_vendors, DesignRulesPass, FeasibilityPass,
+    LintContext, LintPass, QualityPass,
+};

@@ -1,0 +1,352 @@
+//! The design-rule pass: every [`troyhls::Violation`] as a coded
+//! diagnostic with a repair suggestion.
+//!
+//! The pass does **not** re-implement any rule. It calls
+//! [`troyhls::validate`] — whose constraints come from the single source
+//! of truth, [`troyhls::diversity_constraints`] — and maps each violation
+//! through the total function [`diagnostic_for_violation`]. `troyhls
+//! validate` and `troyhls lint` therefore cannot disagree on what is a
+//! violation; the property tests in this crate pin the mapping to be
+//! one-to-one.
+
+use troyhls::{
+    diversity_constraints, validate, Implementation, OpCopy, RuleKind, SynthesisProblem, VendorId,
+    Violation,
+};
+
+use crate::diagnostic::{Code, Diagnostic, FixIt, Location};
+use crate::passes::{LintContext, LintPass};
+
+/// Maps every [`Violation`] to a coded diagnostic (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesignRulesPass;
+
+impl LintPass for DesignRulesPass {
+    fn name(&self) -> &'static str {
+        "design-rules"
+    }
+
+    fn description(&self) -> &'static str {
+        "checks an implementation against every paper constraint (TD001-TD010)"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(imp) = cx.implementation else {
+            return;
+        };
+        for v in validate(cx.problem, imp) {
+            out.push(diagnostic_for_violation(cx.problem, imp, &v));
+        }
+    }
+}
+
+/// The vendors `copy` could be bound to without breaking any diversity
+/// constraint against the *currently assigned* partners.
+///
+/// Sorted by vendor index; the copy's current vendor (if any) is excluded,
+/// so a non-empty result is always a real alternative.
+#[must_use]
+pub fn legal_vendors(
+    problem: &SynthesisProblem,
+    imp: &Implementation,
+    copy: OpCopy,
+) -> Vec<VendorId> {
+    let ip_type = problem.dfg().kind(copy.op).ip_type();
+    let current = imp.assignment_of(copy).map(|a| a.vendor);
+    let mut banned: Vec<VendorId> = Vec::new();
+    for dc in diversity_constraints(problem) {
+        let partner = if dc.a == copy {
+            dc.b
+        } else if dc.b == copy {
+            dc.a
+        } else {
+            continue;
+        };
+        if let Some(a) = imp.assignment_of(partner) {
+            banned.push(a.vendor);
+        }
+    }
+    problem
+        .catalog()
+        .vendors_for(ip_type)
+        .filter(|v| Some(*v) != current && !banned.contains(v))
+        .collect()
+}
+
+/// Attaches a rebind fix-it for `copy` when a legal alternative exists.
+fn with_rebind(
+    d: Diagnostic,
+    problem: &SynthesisProblem,
+    imp: &Implementation,
+    copy: OpCopy,
+) -> Diagnostic {
+    let alts = legal_vendors(problem, imp, copy);
+    if alts.is_empty() {
+        d
+    } else {
+        d.with_fixit(FixIt::rebind(copy, alts))
+    }
+}
+
+/// The stable code assigned to a violation shape.
+///
+/// Total: every [`Violation`] variant maps to exactly one code, with
+/// [`Violation::SameVendor`] split by its [`RuleKind`]. The property tests
+/// enforce that this stays a bijection onto the `TD0xx` family.
+#[must_use]
+pub fn code_for_violation(v: &Violation) -> Code {
+    match v {
+        Violation::Unassigned(_) => Code::UnassignedCopy,
+        Violation::OutsideWindow { .. } => Code::OutsideWindow,
+        Violation::DependencyOrder { .. } => Code::DependencyOrder,
+        Violation::NoSuchCore(_) => Code::NoSuchCore,
+        Violation::SameVendor { rule, .. } => match rule {
+            RuleKind::DetectionDuplicate => Code::Rule1Detection,
+            RuleKind::DetectionParentChild => Code::Rule2ParentChild,
+            RuleKind::DetectionSiblings => Code::Rule2Siblings,
+            RuleKind::RecoveryRebind => Code::Rule1Recovery,
+            RuleKind::RecoveryRelated => Code::Rule2Related,
+        },
+        Violation::AreaExceeded { .. } => Code::AreaExceeded,
+        // `Violation` is non_exhaustive: a new variant added upstream must
+        // be given a code here before it can reach users.
+        _ => unreachable!("unmapped violation variant: {v:?}"),
+    }
+}
+
+/// Converts one validator violation into a located, explained diagnostic
+/// with repair suggestions where a legal repair exists.
+#[must_use]
+pub fn diagnostic_for_violation(
+    problem: &SynthesisProblem,
+    imp: &Implementation,
+    v: &Violation,
+) -> Diagnostic {
+    let code = code_for_violation(v);
+    match v {
+        Violation::Unassigned(c) => {
+            let d = Diagnostic::new(
+                code,
+                format!("required copy {c} has no cycle/vendor assignment"),
+            )
+            .at(Location::copy(*c).of_type(problem.dfg().kind(c.op).ip_type()));
+            with_rebind(d, problem, imp, *c)
+        }
+        Violation::OutsideWindow {
+            copy,
+            cycle,
+            window,
+        } => Diagnostic::new(
+            code,
+            format!(
+                "{copy} is scheduled at cycle {cycle}, outside its {} window {}..={}",
+                phase_name(*copy),
+                window.0,
+                window.1
+            ),
+        )
+        .at(Location::copy(*copy).at_cycle(*cycle))
+        .with_fixit(FixIt::advice(format!(
+            "move {copy} into cycles {}..={}",
+            window.0, window.1
+        ))),
+        Violation::DependencyOrder { parent, child } => {
+            let (pc, cc) = (
+                imp.assignment_of(*parent).map(|a| a.cycle),
+                imp.assignment_of(*child).map(|a| a.cycle),
+            );
+            let mut d = Diagnostic::new(
+                code,
+                format!(
+                    "{child} consumes {parent} but does not run strictly after it{}",
+                    match (pc, cc) {
+                        (Some(p), Some(c)) => format!(" (producer at cycle {p}, consumer at {c})"),
+                        _ => String::new(),
+                    }
+                ),
+            )
+            .at(Location::copy(*child));
+            if let (Some(p), Some(c)) = (pc, cc) {
+                d = d
+                    .at(Location::copy(*child).at_cycle(c))
+                    .with_fixit(FixIt::advice(format!(
+                        "schedule {child} at cycle {} or later",
+                        p + 1
+                    )));
+            }
+            d
+        }
+        Violation::NoSuchCore(c) => {
+            let ip_type = problem.dfg().kind(c.op).ip_type();
+            let vendor = imp.assignment_of(*c).map(|a| a.vendor);
+            let d = Diagnostic::new(
+                code,
+                format!(
+                    "{c} is bound to {}, which sells no {} core",
+                    vendor.map_or_else(|| "an unknown vendor".into(), |v| v.to_string()),
+                    ip_type.name()
+                ),
+            )
+            .at({
+                let mut loc = Location::copy(*c).of_type(ip_type);
+                if let Some(v) = vendor {
+                    loc = loc.on_vendor(v);
+                }
+                loc
+            });
+            with_rebind(d, problem, imp, *c)
+        }
+        Violation::SameVendor { a, b, rule } => {
+            let vendor = imp.assignment_of(*b).map(|x| x.vendor);
+            let d = Diagnostic::new(
+                code,
+                format!(
+                    "{a} and {b} are bound to the same vendor{}, violating {rule}",
+                    vendor.map_or_else(String::new, |v| format!(" ({v})")),
+                ),
+            )
+            .at({
+                let mut loc = Location::copy(*b);
+                if let Some(x) = imp.assignment_of(*b) {
+                    loc = loc.at_cycle(x.cycle).on_vendor(x.vendor);
+                }
+                loc
+            });
+            // Prefer repairing the second copy; fall back to the first.
+            let alts_b = legal_vendors(problem, imp, *b);
+            if alts_b.is_empty() {
+                with_rebind(d, problem, imp, *a)
+            } else {
+                d.with_fixit(FixIt::rebind(*b, alts_b))
+            }
+        }
+        Violation::AreaExceeded { used, limit } => Diagnostic::new(
+            code,
+            format!(
+                "instantiated area {used} exceeds the limit {limit} by {}",
+                used - limit
+            ),
+        )
+        .with_fixit(FixIt::advice(
+            "raise the area limit or relax latency so instances can be shared across cycles",
+        )),
+        _ => unreachable!("unmapped violation variant: {v:?}"),
+    }
+}
+
+/// Which phase a copy's window belongs to, for messages.
+fn phase_name(copy: OpCopy) -> &'static str {
+    match copy.role {
+        troyhls::Role::Nc | troyhls::Role::Rc => "detection",
+        troyhls::Role::Recovery => "recovery",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::{benchmarks, NodeId};
+    use troyhls::{Assignment, Catalog, Mode, Role};
+
+    fn problem() -> SynthesisProblem {
+        SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(50_000)
+            .build()
+            .unwrap()
+    }
+
+    fn a(c: usize, v: usize) -> Assignment {
+        Assignment {
+            cycle: c,
+            vendor: VendorId::new(v),
+        }
+    }
+
+    /// The valid hand binding from `troyhls`'s validator tests.
+    fn valid_detection() -> Implementation {
+        let mut imp = Implementation::new(5);
+        imp.assign(NodeId::new(0), Role::Nc, a(1, 0));
+        imp.assign(NodeId::new(1), Role::Nc, a(1, 1));
+        imp.assign(NodeId::new(2), Role::Nc, a(1, 0));
+        imp.assign(NodeId::new(3), Role::Nc, a(2, 2));
+        imp.assign(NodeId::new(4), Role::Nc, a(3, 1));
+        imp.assign(NodeId::new(0), Role::Rc, a(2, 1));
+        imp.assign(NodeId::new(1), Role::Rc, a(2, 2));
+        imp.assign(NodeId::new(2), Role::Rc, a(2, 1));
+        imp.assign(NodeId::new(3), Role::Rc, a(3, 3));
+        imp.assign(NodeId::new(4), Role::Rc, a(4, 0));
+        imp
+    }
+
+    #[test]
+    fn clean_binding_yields_no_diagnostics() {
+        let p = problem();
+        let imp = valid_detection();
+        let mut out = Vec::new();
+        DesignRulesPass.run(
+            &LintContext {
+                problem: &p,
+                implementation: Some(&imp),
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn rule1_violation_gets_td005_with_rebind_fixit() {
+        let p = problem();
+        let mut imp = valid_detection();
+        // o1 RC onto o1 NC's vendor (Ven1).
+        imp.assign(NodeId::new(0), Role::Rc, a(2, 0));
+        let mut out = Vec::new();
+        DesignRulesPass.run(
+            &LintContext {
+                problem: &p,
+                implementation: Some(&imp),
+            },
+            &mut out,
+        );
+        let d = out
+            .iter()
+            .find(|d| d.code == Code::Rule1Detection)
+            .expect("TD005 emitted");
+        assert_eq!(d.location.copy, Some(OpCopy::new(NodeId::new(0), Role::Rc)));
+        assert_eq!(d.location.vendor, Some(VendorId::new(0)));
+        let fix = d.fixits.first().expect("fix-it present");
+        assert!(!fix.alternatives.is_empty());
+        // Suggested vendors must actually repair the violation: none of
+        // them may collide with any assigned diversity partner of o1[RC].
+        assert!(!fix.alternatives.contains(&VendorId::new(0)));
+    }
+
+    #[test]
+    fn every_suggested_vendor_is_legal() {
+        let p = problem();
+        let mut imp = valid_detection();
+        imp.assign(NodeId::new(0), Role::Rc, a(2, 0));
+        let copy = OpCopy::new(NodeId::new(0), Role::Rc);
+        for alt in legal_vendors(&p, &imp, copy) {
+            let mut trial = imp.clone();
+            trial.assign(copy.op, copy.role, a(2, alt.index()));
+            let still: Vec<_> = validate(&p, &trial)
+                .into_iter()
+                .filter(|v| matches!(v, Violation::SameVendor { b, .. } if *b == copy))
+                .collect();
+            assert!(still.is_empty(), "vendor {alt} does not repair: {still:?}");
+        }
+    }
+
+    #[test]
+    fn unassigned_copy_gets_td001() {
+        let p = problem();
+        let mut imp = valid_detection();
+        imp.unassign(NodeId::new(2), Role::Rc);
+        let vs = validate(&p, &imp);
+        let d = diagnostic_for_violation(&p, &imp, &vs[0]);
+        assert_eq!(d.code, Code::UnassignedCopy);
+        assert!(d.message.contains("o3[RC]"));
+    }
+}

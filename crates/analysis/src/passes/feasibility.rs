@@ -1,0 +1,344 @@
+//! Pre-solve feasibility analysis: provable infeasibility and structural
+//! risk flagged from the problem alone, before any solver runs.
+
+use troy_dfg::{IpTypeId, ScheduleWindows};
+use troyhls::{min_vendors_per_type, Mode, SynthesisProblem};
+
+use crate::diagnostic::{Code, Diagnostic, FixIt, Location};
+use crate::passes::{LintContext, LintPass};
+
+/// Emits `TP0xx` findings from the problem alone (no implementation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeasibilityPass;
+
+impl LintPass for FeasibilityPass {
+    fn name(&self) -> &'static str {
+        "feasibility"
+    }
+
+    fn description(&self) -> &'static str {
+        "pre-solve lower bounds: vendor counts, latency windows, forced area (TP001-TP006)"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let p = cx.problem;
+        vendor_pool_bounds(p, out);
+        latency_windows(p, out);
+        area_lower_bound(p, out);
+        unusable_vendors(p, out);
+    }
+}
+
+/// TP001 / TP005: per-type vendor-count lower bounds vs. the catalog.
+fn vendor_pool_bounds(p: &SynthesisProblem, out: &mut Vec<Diagnostic>) {
+    for (ip_type, need) in min_vendors_per_type(p) {
+        let have = p.catalog().vendors_for(ip_type).count();
+        if have < need {
+            out.push(
+                Diagnostic::new(
+                    Code::InsufficientVendors,
+                    format!(
+                        "{} mode needs at least {need} distinct vendors selling {} cores, \
+                         but the catalog licenses only {have}; no binding can satisfy the \
+                         diversity rules",
+                        p.mode(),
+                        ip_type.name()
+                    ),
+                )
+                .at(Location::none().of_type(ip_type))
+                .with_fixit(FixIt::advice(format!(
+                    "license {} more vendor(s) for {}",
+                    need - have,
+                    ip_type.name()
+                ))),
+            );
+        } else if have == need {
+            out.push(
+                Diagnostic::new(
+                    Code::TightVendorPool,
+                    format!(
+                        "exactly {need} vendors sell {} cores — the minimum for {} mode; \
+                         every binding must use all of them and no vendor can be dropped \
+                         for cost",
+                        ip_type.name(),
+                        p.mode()
+                    ),
+                )
+                .at(Location::none().of_type(ip_type)),
+            );
+        }
+    }
+}
+
+/// TP006 / TP002: latency vs. the critical path, and zero-mobility ops.
+fn latency_windows(p: &SynthesisProblem, out: &mut Vec<Diagnostic>) {
+    let dfg = p.dfg();
+    let cp = dfg.critical_path_len();
+    let phases: &[(&str, usize)] = match p.mode() {
+        Mode::DetectionOnly => &[("detection", 0)],
+        Mode::DetectionRecovery => &[("detection", 0), ("recovery", 1)],
+    };
+    for &(name, idx) in phases {
+        let latency = if idx == 0 {
+            p.detection_latency()
+        } else {
+            p.recovery_latency()
+        };
+        let Some(w) = ScheduleWindows::compute(dfg, latency) else {
+            out.push(
+                Diagnostic::new(
+                    Code::InfeasibleLatency,
+                    format!(
+                        "the {name} phase has {latency} cycles but the critical path of \
+                         '{}' is {cp} ops long; no schedule fits",
+                        dfg.name()
+                    ),
+                )
+                .with_fixit(FixIt::advice(format!(
+                    "raise the {name} latency to at least {cp}"
+                ))),
+            );
+            continue;
+        };
+        let forced: Vec<_> = dfg.node_ids().filter(|&n| w.mobility(n) == 0).collect();
+        if !forced.is_empty() && latency == cp {
+            let examples = forced
+                .iter()
+                .take(3)
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(
+                Diagnostic::new(
+                    Code::ZeroMobility,
+                    format!(
+                        "{} of {} ops have zero scheduling mobility in the {name} phase \
+                         ({latency} cycles = critical path): {examples}{} — vendor conflicts \
+                         there cannot be repaired by re-timing",
+                        forced.len(),
+                        dfg.len(),
+                        if forced.len() > 3 { ", ..." } else { "" }
+                    ),
+                )
+                .at(Location::node(forced[0])),
+            );
+        }
+    }
+}
+
+/// TP003: a forced-concurrency area lower bound vs. the area limit.
+///
+/// Within the detection window both the NC and RC computations run, so at
+/// least `2 * min_concurrency(det, t)` instances of type `t` exist
+/// simultaneously, each at least as large as the smallest cataloged `t`
+/// core. The sum over types is a provable area lower bound.
+fn area_lower_bound(p: &SynthesisProblem, out: &mut Vec<Diagnostic>) {
+    let dfg = p.dfg();
+    let det = p.detection_latency();
+    let mut bound = 0u64;
+    let mut terms: Vec<String> = Vec::new();
+    for t in IpTypeId::all() {
+        let mc = troy_dfg::min_concurrency(dfg, det, t);
+        if mc == 0 || mc == usize::MAX {
+            continue; // type unused, or latency infeasible (TP006 reports that)
+        }
+        let Some(min_area) = p
+            .catalog()
+            .vendors_for(t)
+            .filter_map(|v| p.catalog().offering(v, t))
+            .map(|o| o.area)
+            .min()
+        else {
+            continue;
+        };
+        let term = 2 * mc as u64 * min_area;
+        bound += term;
+        terms.push(format!("{}: 2x{mc}x{min_area}", t.name()));
+    }
+    if bound > p.area_limit() {
+        out.push(
+            Diagnostic::new(
+                Code::AreaInfeasible,
+                format!(
+                    "forced concurrency alone needs at least {bound} area units \
+                     ({}) but the limit is {}; no binding can fit",
+                    terms.join(", "),
+                    p.area_limit()
+                ),
+            )
+            .with_fixit(FixIt::advice(format!(
+                "raise the area limit to at least {bound} or extend the detection latency"
+            ))),
+        );
+    }
+}
+
+/// TP004: vendors whose whole catalog entry is irrelevant to this DFG.
+fn unusable_vendors(p: &SynthesisProblem, out: &mut Vec<Diagnostic>) {
+    let dfg = p.dfg();
+    let used_types: Vec<IpTypeId> = IpTypeId::all()
+        .filter(|&t| dfg.node_ids().any(|n| dfg.kind(n).ip_type() == t))
+        .collect();
+    for v in p.catalog().vendors() {
+        let sells_any = used_types
+            .iter()
+            .any(|&t| p.catalog().offering(v, t).is_some());
+        let sells_anything = IpTypeId::all().any(|t| p.catalog().offering(v, t).is_some());
+        if !sells_any && sells_anything {
+            out.push(
+                Diagnostic::new(
+                    Code::UnusableVendor,
+                    format!(
+                        "vendor {v} sells no IP type used by '{}'; it can never appear \
+                         in a binding and its licenses are dead weight",
+                        dfg.name()
+                    ),
+                )
+                .at(Location::none().on_vendor(v)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::benchmarks;
+    use troyhls::{Catalog, IpOffering, VendorId};
+
+    #[test]
+    fn two_vendor_catalog_flags_tp001_in_recovery_mode() {
+        // Only vendors 0 and 1 sell anything: recovery needs 3 per type.
+        let mut cat = Catalog::new();
+        for v in 0..2 {
+            cat.insert(
+                VendorId::new(v),
+                IpTypeId::ADDER,
+                IpOffering {
+                    area: 100,
+                    cost: 10,
+                },
+            );
+            cat.insert(
+                VendorId::new(v),
+                IpTypeId::MULTIPLIER,
+                IpOffering {
+                    area: 700,
+                    cost: 60,
+                },
+            );
+        }
+        let p = SynthesisProblem::builder(benchmarks::polynom(), cat)
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        FeasibilityPass.run(
+            &LintContext {
+                problem: &p,
+                implementation: None,
+            },
+            &mut out,
+        );
+        let short: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == Code::InsufficientVendors)
+            .collect();
+        // Both adder and multiplier pools are short (2 < 3).
+        assert_eq!(short.len(), 2, "{out:?}");
+        assert!(short.iter().all(|d| d.message.contains("only 2")));
+    }
+
+    #[test]
+    fn table1_detection_mode_is_tp001_clean() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        FeasibilityPass.run(
+            &LintContext {
+                problem: &p,
+                implementation: None,
+            },
+            &mut out,
+        );
+        assert!(out.iter().all(|d| d.code != Code::InsufficientVendors));
+        assert!(out.iter().all(|d| d.code != Code::InfeasibleLatency));
+    }
+
+    #[test]
+    fn critical_latency_flags_zero_mobility() {
+        let g = benchmarks::polynom();
+        let cp = g.critical_path_len();
+        let p = SynthesisProblem::builder(g, Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(cp)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        FeasibilityPass.run(
+            &LintContext {
+                problem: &p,
+                implementation: None,
+            },
+            &mut out,
+        );
+        assert!(out.iter().any(|d| d.code == Code::ZeroMobility), "{out:?}");
+    }
+
+    #[test]
+    fn tiny_area_limit_flags_tp003() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(10)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        FeasibilityPass.run(
+            &LintContext {
+                problem: &p,
+                implementation: None,
+            },
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|d| d.code == Code::AreaInfeasible),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn vendor_selling_only_unused_types_flags_tp004() {
+        // polynom uses adders and multipliers only; vendor 4 sells OTHER.
+        let mut cat = Catalog::table1();
+        cat.insert(
+            VendorId::new(4),
+            IpTypeId::OTHER,
+            IpOffering { area: 50, cost: 5 },
+        );
+        let p = SynthesisProblem::builder(benchmarks::polynom(), cat)
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        FeasibilityPass.run(
+            &LintContext {
+                problem: &p,
+                implementation: None,
+            },
+            &mut out,
+        );
+        let tp004: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == Code::UnusableVendor)
+            .collect();
+        assert_eq!(tp004.len(), 1, "{out:?}");
+        assert_eq!(tp004[0].location.vendor, Some(VendorId::new(4)));
+    }
+}

@@ -1,0 +1,37 @@
+//! The lint passes and the trait they implement.
+
+mod design_rules;
+mod feasibility;
+mod quality;
+
+pub use design_rules::{
+    code_for_violation, diagnostic_for_violation, legal_vendors, DesignRulesPass,
+};
+pub use feasibility::FeasibilityPass;
+pub use quality::QualityPass;
+
+use troyhls::{Implementation, SynthesisProblem};
+
+use crate::diagnostic::Diagnostic;
+
+/// Everything a pass may inspect.
+#[derive(Clone, Copy)]
+pub struct LintContext<'a> {
+    /// The synthesis instance under analysis.
+    pub problem: &'a SynthesisProblem,
+    /// The candidate binding, absent for pre-solve analysis.
+    pub implementation: Option<&'a Implementation>,
+}
+
+/// One analysis pass: inspects a [`LintContext`] and emits diagnostics.
+///
+/// Passes must be deterministic — same context, same diagnostics in the
+/// same order — so text/JSON/SARIF snapshots stay stable.
+pub trait LintPass {
+    /// Short unique pass name (kebab-case).
+    fn name(&self) -> &'static str;
+    /// One-line description of what the pass checks.
+    fn description(&self) -> &'static str;
+    /// Runs the pass, appending findings to `out`.
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}

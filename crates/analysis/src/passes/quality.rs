@@ -1,0 +1,311 @@
+//! Quality lints: legal-but-wasteful or legal-but-risky patterns in a
+//! complete binding.
+
+use std::collections::BTreeMap;
+
+use troyhls::{allocate_registers, is_valid, License, OpCopy, Role, SynthesisProblem, VendorId};
+
+use crate::diagnostic::{Code, Diagnostic, FixIt, Location};
+use crate::passes::{legal_vendors, LintContext, LintPass};
+
+/// Emits `TQ0xx` findings on a complete, rule-clean binding.
+///
+/// The pass stays silent while design-rule errors are present: cost and
+/// robustness advice on an invalid binding would be noise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QualityPass;
+
+impl LintPass for QualityPass {
+    fn name(&self) -> &'static str {
+        "quality"
+    }
+
+    fn description(&self) -> &'static str {
+        "cost and robustness lints on a valid binding (TQ001-TQ003)"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(imp) = cx.implementation else {
+            return;
+        };
+        if !imp.is_complete(cx.problem.mode()) || !is_valid(cx.problem, imp) {
+            return;
+        }
+        redundant_licenses(cx.problem, imp, out);
+        near_collusion(cx.problem, imp, out);
+        register_pressure(cx.problem, imp, out);
+    }
+}
+
+/// TQ001: a license whose single copy could legally move to a vendor that
+/// is already licensed for the same type — the fee is pure waste.
+fn redundant_licenses(
+    p: &SynthesisProblem,
+    imp: &troyhls::Implementation,
+    out: &mut Vec<Diagnostic>,
+) {
+    let dfg = p.dfg();
+    let mut users: BTreeMap<License, Vec<OpCopy>> = BTreeMap::new();
+    for (copy, a) in imp.iter() {
+        users
+            .entry(License {
+                vendor: a.vendor,
+                ip_type: dfg.kind(copy.op).ip_type(),
+            })
+            .or_default()
+            .push(copy);
+    }
+    for (license, copies) in &users {
+        let [copy] = copies.as_slice() else {
+            continue;
+        };
+        let licensed_elsewhere: Vec<VendorId> = users
+            .keys()
+            .filter(|l| l.ip_type == license.ip_type && l.vendor != license.vendor)
+            .map(|l| l.vendor)
+            .collect();
+        let alts: Vec<VendorId> = legal_vendors(p, imp, *copy)
+            .into_iter()
+            .filter(|v| licensed_elsewhere.contains(v))
+            .collect();
+        if alts.is_empty() {
+            continue;
+        }
+        let fee = p.catalog().offering_of(*license).map_or(0, |o| o.cost);
+        out.push(
+            Diagnostic::new(
+                Code::RedundantLicense,
+                format!(
+                    "the {} license of vendor {} serves only {copy}; rebinding it to an \
+                     already-licensed vendor drops the license and saves {fee} cost units",
+                    license.ip_type.name(),
+                    license.vendor
+                ),
+            )
+            .at(Location::copy(*copy)
+                .on_vendor(license.vendor)
+                .of_type(license.ip_type))
+            .with_fixit(FixIt::rebind(*copy, alts)),
+        );
+    }
+}
+
+/// TQ002: same-role copies exactly two dependency hops apart on one
+/// vendor — legal today, but one edge short of a Rule 2 pair, so a single
+/// malicious vendor brackets a two-hop data path.
+fn near_collusion(p: &SynthesisProblem, imp: &troyhls::Implementation, out: &mut Vec<Diagnostic>) {
+    let dfg = p.dfg();
+    for &role in Role::for_mode(p.mode()) {
+        for u in dfg.node_ids() {
+            for &mid in dfg.succs(u) {
+                for &w in dfg.succs(mid) {
+                    if w == u || dfg.succs(u).contains(&w) {
+                        continue; // direct edges are Rule 2's business
+                    }
+                    // Siblings (shared child) are also already constrained.
+                    if dfg.succs(u).iter().any(|c| dfg.succs(w).contains(c)) {
+                        continue;
+                    }
+                    let (ca, cb) = (OpCopy::new(u, role), OpCopy::new(w, role));
+                    let (Some(a), Some(b)) = (imp.assignment_of(ca), imp.assignment_of(cb)) else {
+                        continue;
+                    };
+                    if a.vendor != b.vendor {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::new(
+                            Code::NearCollusion,
+                            format!(
+                                "{ca} and {cb} both run on vendor {} two dependency hops \
+                                 apart (via {mid}); a single colluding vendor brackets \
+                                 that data path",
+                                a.vendor
+                            ),
+                        )
+                        .at(Location::copy(cb).at_cycle(b.cycle).on_vendor(b.vendor)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// TQ003: register-pressure hotspot — more than half of all copies live in
+/// one cycle.
+fn register_pressure(
+    p: &SynthesisProblem,
+    imp: &troyhls::Implementation,
+    out: &mut Vec<Diagnostic>,
+) {
+    let regs = allocate_registers(p, imp);
+    let peak = regs.peak_pressure();
+    let copies = p.dfg().len() * Role::for_mode(p.mode()).len();
+    if peak * 2 <= copies {
+        return;
+    }
+    // Find the first cycle where pressure peaks.
+    let mut peak_cycle = 0;
+    let mut best = 0usize;
+    let max_cycle = regs.lifetimes().iter().map(|l| l.to).max().unwrap_or(0);
+    for cycle in 0..=max_cycle {
+        let live = regs
+            .lifetimes()
+            .iter()
+            .filter(|l| l.from <= cycle && cycle <= l.to)
+            .count();
+        if live > best {
+            best = live;
+            peak_cycle = cycle;
+        }
+    }
+    out.push(
+        Diagnostic::new(
+            Code::RegisterPressure,
+            format!(
+                "register pressure peaks at {peak} live values in cycle {peak_cycle} \
+                 ({peak} of {copies} copies); consider more latency slack to stagger \
+                 lifetimes",
+            ),
+        )
+        .at(Location::none().at_cycle(peak_cycle)),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::{benchmarks, NodeId};
+    use troyhls::{Assignment, Catalog, Implementation, Mode};
+
+    fn problem() -> SynthesisProblem {
+        SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .area_limit(50_000)
+            .build()
+            .unwrap()
+    }
+
+    fn a(c: usize, v: usize) -> Assignment {
+        Assignment {
+            cycle: c,
+            vendor: VendorId::new(v),
+        }
+    }
+
+    fn valid_detection() -> Implementation {
+        let mut imp = Implementation::new(5);
+        imp.assign(NodeId::new(0), Role::Nc, a(1, 0));
+        imp.assign(NodeId::new(1), Role::Nc, a(1, 1));
+        imp.assign(NodeId::new(2), Role::Nc, a(1, 0));
+        imp.assign(NodeId::new(3), Role::Nc, a(2, 2));
+        imp.assign(NodeId::new(4), Role::Nc, a(3, 1));
+        imp.assign(NodeId::new(0), Role::Rc, a(2, 1));
+        imp.assign(NodeId::new(1), Role::Rc, a(2, 2));
+        imp.assign(NodeId::new(2), Role::Rc, a(2, 1));
+        imp.assign(NodeId::new(3), Role::Rc, a(3, 3));
+        imp.assign(NodeId::new(4), Role::Rc, a(4, 0));
+        imp
+    }
+
+    fn run_pass(p: &SynthesisProblem, imp: &Implementation) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        QualityPass.run(
+            &LintContext {
+                problem: p,
+                implementation: Some(imp),
+            },
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn silent_on_invalid_bindings() {
+        let p = problem();
+        let mut imp = valid_detection();
+        imp.assign(NodeId::new(0), Role::Rc, a(2, 0)); // rule 1 violation
+        assert!(run_pass(&p, &imp).is_empty());
+    }
+
+    #[test]
+    fn single_copy_license_with_cheaper_home_flags_tq001() {
+        let p = problem();
+        let imp = valid_detection();
+        // In the hand binding every adder license serves exactly one copy;
+        // e.g. Ven1's adder license serves only o5[RC], which could legally
+        // move to Ven3 (already licensed for adders via o4[NC]... at Ven3).
+        let out = run_pass(&p, &imp);
+        let tq001: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == Code::RedundantLicense)
+            .collect();
+        assert!(!tq001.is_empty(), "{out:?}");
+        // o4[RC] on Ven4 must NOT be flagged: all other vendors collide
+        // with its diversity partners, so no legal alternative exists.
+        assert!(
+            tq001
+                .iter()
+                .all(|d| d.location.vendor != Some(VendorId::new(3))),
+            "{out:?}"
+        );
+        // Every suggestion must keep the binding valid.
+        for d in &tq001 {
+            let fix = d.fixits.first().expect("fix-it");
+            let copy = fix.copy.expect("rebind target");
+            let cycle = imp.assignment_of(copy).unwrap().cycle;
+            for &alt in &fix.alternatives {
+                let mut trial = imp.clone();
+                trial.assign(copy.op, copy.role, a(cycle, alt.index()));
+                assert!(is_valid(&p, &trial), "suggested {alt} breaks the design");
+            }
+        }
+    }
+
+    #[test]
+    fn grandparent_same_vendor_flags_tq002() {
+        let p = problem();
+        // polynom: o2 -> o4 -> o5 is a two-hop path; o2 and o5 share no
+        // direct edge and no child, and the hand binding puts both NC
+        // copies on Ven2 — legal, but a single-vendor bracket.
+        let imp = valid_detection();
+        let out = run_pass(&p, &imp);
+        let near: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == Code::NearCollusion)
+            .collect();
+        assert!(
+            near.iter()
+                .any(|d| d.message.contains("o2[NC]") && d.message.contains("o5[NC]")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn register_pressure_note_on_wide_parallel_dfg() {
+        // Eight independent multiplies: every value stays live until the
+        // comparator, so all 16 copies are simultaneously live.
+        let mut g = troy_dfg::Dfg::new("wide");
+        for _ in 0..8 {
+            g.add_op(troy_dfg::OpKind::Mul);
+        }
+        let p = SynthesisProblem::builder(g, Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(2)
+            .area_limit(1_000_000)
+            .build()
+            .unwrap();
+        let mut imp = Implementation::new(8);
+        for i in 0..8 {
+            imp.assign(NodeId::new(i), Role::Nc, a(1, i % 2));
+            imp.assign(NodeId::new(i), Role::Rc, a(2, 2 + i % 2));
+        }
+        assert!(is_valid(&p, &imp), "{:?}", troyhls::validate(&p, &imp));
+        let out = run_pass(&p, &imp);
+        assert!(
+            out.iter().any(|d| d.code == Code::RegisterPressure),
+            "{out:?}"
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Rendering reports as human text, machine JSON and SARIF 2.1.0.
+//!
+//! The JSON is written by hand (no serialization dependency): the shapes
+//! are small and fixed, and the snapshot tests pin them byte-for-byte.
+
+use std::fmt::Write as _;
+
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use crate::engine::AnalysisReport;
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Quotes a string as a JSON literal.
+fn q(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+impl AnalysisReport {
+    /// Plain-text rendering: one block per diagnostic plus a summary line.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} ({} mode): {}",
+            if self.is_blocking() { "FAIL" } else { "ok" },
+            self.design,
+            self.mode,
+            self.summary()
+        );
+        out
+    }
+
+    /// Structured JSON rendering (the tool's own stable schema).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tool\": {},", q("troy-analysis"));
+        let _ = writeln!(out, "  \"version\": {},", q(env!("CARGO_PKG_VERSION")));
+        let _ = writeln!(out, "  \"design\": {},", q(&self.design));
+        let _ = writeln!(out, "  \"mode\": {},", q(&self.mode));
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"notes\": {}, \"blocking\": {}}},",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+            self.is_blocking()
+        );
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&diagnostic_json(d, "    "));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// SARIF 2.1.0 rendering.
+    ///
+    /// Locations are logical (op copies and nodes inside the design), not
+    /// physical files; each used rule is declared once in the driver's
+    /// rule registry with its paper reference in the help text.
+    #[must_use]
+    pub fn to_sarif(&self) -> String {
+        let used = self.used_codes();
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"$schema\": {},",
+            q("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+        );
+        let _ = writeln!(out, "  \"version\": {},", q("2.1.0"));
+        out.push_str("  \"runs\": [\n    {\n");
+        out.push_str("      \"tool\": {\n        \"driver\": {\n");
+        let _ = writeln!(out, "          \"name\": {},", q("troy-analysis"));
+        let _ = writeln!(
+            out,
+            "          \"version\": {},",
+            q(env!("CARGO_PKG_VERSION"))
+        );
+        let _ = writeln!(
+            out,
+            "          \"informationUri\": {},",
+            q("https://example.invalid/troyhls")
+        );
+        out.push_str("          \"rules\": [");
+        for (i, code) in used.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&rule_json(*code, "            "));
+        }
+        if !used.is_empty() {
+            out.push_str("\n          ");
+        }
+        out.push_str("]\n        }\n      },\n");
+        out.push_str("      \"results\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            let rule_index = used.iter().position(|c| *c == d.code).unwrap_or(0);
+            out.push_str(&result_json(d, rule_index, &self.design, "        "));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
+
+    /// The distinct codes present in the report, in code order.
+    fn used_codes(&self) -> Vec<Code> {
+        let mut used: Vec<Code> = Vec::new();
+        for d in &self.diagnostics {
+            if !used.contains(&d.code) {
+                used.push(d.code);
+            }
+        }
+        used.sort();
+        used
+    }
+}
+
+/// One diagnostic as a JSON object (tool schema).
+fn diagnostic_json(d: &Diagnostic, indent: &str) -> String {
+    let mut out = format!("{indent}{{\n");
+    let _ = writeln!(out, "{indent}  \"code\": {},", q(d.code.as_str()));
+    let _ = writeln!(out, "{indent}  \"name\": {},", q(d.code.name()));
+    let _ = writeln!(out, "{indent}  \"severity\": {},", q(d.severity.as_str()));
+    let _ = writeln!(out, "{indent}  \"message\": {},", q(&d.message));
+    if let Some(eq) = d.code.paper_ref() {
+        let _ = writeln!(out, "{indent}  \"paperRef\": {},", q(eq));
+    }
+    if !d.location.is_empty() {
+        let mut fields: Vec<String> = Vec::new();
+        if let Some(c) = d.location.copy {
+            fields.push(format!("\"copy\": {}", q(&c.to_string())));
+        } else if let Some(n) = d.location.node {
+            fields.push(format!("\"node\": {}", q(&n.to_string())));
+        }
+        if let Some(cy) = d.location.cycle {
+            fields.push(format!("\"cycle\": {cy}"));
+        }
+        if let Some(v) = d.location.vendor {
+            fields.push(format!("\"vendor\": {}", q(&v.to_string())));
+        }
+        if let Some(t) = d.location.ip_type {
+            fields.push(format!("\"ipType\": {}", q(t.name())));
+        }
+        let _ = writeln!(out, "{indent}  \"location\": {{{}}},", fields.join(", "));
+    }
+    let _ = write!(out, "{indent}  \"fixits\": [");
+    for (i, f) in d.fixits.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let alts = f
+            .alternatives
+            .iter()
+            .map(|v| q(&v.to_string()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            out,
+            "{{\"description\": {}, \"alternatives\": [{alts}]}}",
+            q(&f.description)
+        );
+    }
+    out.push_str("]\n");
+    let _ = write!(out, "{indent}}}");
+    out
+}
+
+/// One rule declaration for the SARIF driver registry.
+fn rule_json(code: Code, indent: &str) -> String {
+    let help = match code.paper_ref() {
+        Some(eq) => format!("{} (paper {eq})", code.summary()),
+        None => code.summary().to_string(),
+    };
+    let mut out = format!("{indent}{{\n");
+    let _ = writeln!(out, "{indent}  \"id\": {},", q(code.as_str()));
+    let _ = writeln!(out, "{indent}  \"name\": {},", q(code.name()));
+    let _ = writeln!(
+        out,
+        "{indent}  \"shortDescription\": {{\"text\": {}}},",
+        q(code.summary())
+    );
+    let _ = writeln!(out, "{indent}  \"help\": {{\"text\": {}}},", q(&help));
+    let _ = writeln!(
+        out,
+        "{indent}  \"defaultConfiguration\": {{\"level\": {}}}",
+        q(sarif_level(code.severity()))
+    );
+    let _ = write!(out, "{indent}}}");
+    out
+}
+
+/// One finding as a SARIF result object.
+fn result_json(d: &Diagnostic, rule_index: usize, design: &str, indent: &str) -> String {
+    // SARIF fixes require physical artifacts; fold fix-it text into the
+    // message so suggestions survive in this format too.
+    let mut text = d.message.clone();
+    for f in &d.fixits {
+        let _ = write!(text, "; help: {f}");
+    }
+    let location = d.location.logical_name();
+    let mut out = format!("{indent}{{\n");
+    let _ = writeln!(out, "{indent}  \"ruleId\": {},", q(d.code.as_str()));
+    let _ = writeln!(out, "{indent}  \"ruleIndex\": {rule_index},");
+    let _ = writeln!(out, "{indent}  \"level\": {},", q(sarif_level(d.severity)));
+    let comma = if location.is_some() { "," } else { "" };
+    let _ = writeln!(
+        out,
+        "{indent}  \"message\": {{\"text\": {}}}{comma}",
+        q(&text)
+    );
+    if let Some(name) = location {
+        let fq = format!("{design}::{name}");
+        let _ = writeln!(out, "{indent}  \"locations\": [");
+        let _ = writeln!(out, "{indent}    {{\"logicalLocations\": [{{");
+        let _ = writeln!(out, "{indent}      \"name\": {},", q(&name));
+        let _ = writeln!(out, "{indent}      \"fullyQualifiedName\": {},", q(&fq));
+        let _ = writeln!(out, "{indent}      \"kind\": {}", q("element"));
+        let _ = writeln!(out, "{indent}    }}]}}");
+        let _ = writeln!(out, "{indent}  ]");
+    }
+    let _ = write!(out, "{indent}}}");
+    out
+}
+
+/// SARIF `level` values for our severities.
+fn sarif_level(s: Severity) -> &'static str {
+    match s {
+        Severity::Note => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lint;
+    use troy_dfg::benchmarks;
+    use troyhls::{Catalog, Implementation, Mode, SynthesisProblem};
+
+    fn report_with_errors() -> AnalysisReport {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(4)
+            .build()
+            .unwrap();
+        let imp = Implementation::new(p.dfg().len());
+        lint(&p, Some(&imp))
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn text_render_carries_codes_and_summary() {
+        let r = report_with_errors();
+        let text = r.to_text();
+        assert!(text.contains("error[TD001]"), "{text}");
+        assert!(text.contains("FAIL: polynom"), "{text}");
+    }
+
+    #[test]
+    fn json_render_is_balanced_and_typed() {
+        let r = report_with_errors();
+        let json = r.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(json.contains("\"tool\": \"troy-analysis\""));
+        assert!(json.contains("\"code\": \"TD001\""));
+        assert!(json.contains("\"paperRef\": \"eq. (3)\""));
+    }
+
+    #[test]
+    fn sarif_render_has_required_shape() {
+        let r = report_with_errors();
+        let sarif = r.to_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("sarif-schema-2.1.0.json"));
+        assert!(sarif.contains("\"ruleId\": \"TD001\""));
+        assert!(sarif.contains("\"logicalLocations\""));
+        assert_eq!(
+            sarif.matches('{').count(),
+            sarif.matches('}').count(),
+            "{sarif}"
+        );
+        // Every result's ruleIndex must point at its own rule.
+        assert!(sarif.contains("\"ruleIndex\": 0"));
+    }
+
+    #[test]
+    fn clean_report_renders_ok_line_and_empty_arrays() {
+        let p = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionOnly)
+            .detection_latency(5)
+            .build()
+            .unwrap();
+        let r = lint(&p, None);
+        if r.is_clean() {
+            assert!(r.to_text().starts_with("ok:"), "{}", r.to_text());
+            assert!(r.to_json().contains("\"diagnostics\": []"));
+            assert!(r.to_sarif().contains("\"results\": []"));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Property tests pinning the analyzer's two load-bearing contracts:
+//!
+//! 1. the `Violation` → `Code` mapping is total, deterministic and lands
+//!    every violation on exactly one `TD0xx` code at `Error` severity;
+//! 2. `lint` and `troyhls::validate` agree exactly — a design is
+//!    lint-error-free if and only if the validator reports no violations,
+//!    and the multiset of `TD` diagnostics mirrors the violation list —
+//!    across solver outputs and random corruptions of them.
+
+use proptest::prelude::*;
+use troy_analysis::{code_for_violation, diagnostic_for_violation, lint, Code, Severity};
+use troy_dfg::{benchmarks, NodeId};
+use troyhls::{
+    validate, Assignment, Catalog, GreedySolver, Mode, OpCopy, Role, RuleKind, SolveOptions,
+    SynthesisProblem, Synthesizer, VendorId, Violation,
+};
+
+fn problem(mode: Mode) -> SynthesisProblem {
+    let dfg = benchmarks::polynom();
+    let cp = dfg.critical_path_len();
+    SynthesisProblem::builder(dfg, Catalog::table1())
+        .mode(mode)
+        .detection_latency(cp + 1)
+        .recovery_latency(cp + 1)
+        .build()
+        .expect("valid problem")
+}
+
+fn solved(problem: &SynthesisProblem) -> troyhls::Implementation {
+    GreedySolver::new()
+        .synthesize(problem, &SolveOptions::quick())
+        .expect("greedy solves polynom/table1")
+        .implementation
+}
+
+/// A strategy over `(op, role, cycle, vendor, rule)` raw material from
+/// which each violation shape is assembled. Op indices stay inside the
+/// polynom benchmark (5 operations).
+fn raw() -> impl Strategy<Value = (usize, usize, usize, usize, usize)> {
+    (0usize..5, 0usize..3, 1usize..12, 0usize..5, 0usize..5)
+}
+
+fn copy_of(op: usize, role: usize) -> OpCopy {
+    let role = [Role::Nc, Role::Rc, Role::Recovery][role % 3];
+    OpCopy::new(NodeId::new(op), role)
+}
+
+fn rule_of(i: usize) -> RuleKind {
+    [
+        RuleKind::DetectionDuplicate,
+        RuleKind::DetectionParentChild,
+        RuleKind::DetectionSiblings,
+        RuleKind::RecoveryRebind,
+        RuleKind::RecoveryRelated,
+    ][i % 5]
+}
+
+/// Assembles one violation of every shape from the raw tuple; the `shape`
+/// selector picks which.
+fn violation_of(
+    shape: usize,
+    (op, role, cycle, vendor, rule): (usize, usize, usize, usize, usize),
+) -> Violation {
+    let copy = copy_of(op, role);
+    let other = copy_of((op + 1) % 5, (role + 1) % 3);
+    match shape % 6 {
+        0 => Violation::Unassigned(copy),
+        1 => Violation::OutsideWindow {
+            copy,
+            cycle,
+            window: (1, cycle.max(2) - 1),
+        },
+        2 => Violation::DependencyOrder {
+            parent: copy,
+            child: other,
+        },
+        3 => Violation::NoSuchCore(copy),
+        4 => Violation::SameVendor {
+            a: copy,
+            b: other,
+            rule: rule_of(rule),
+        },
+        _ => Violation::AreaExceeded {
+            used: 1000 + vendor as u64,
+            limit: 999,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Contract 1: every violation shape maps to exactly one `TD` code at
+    /// `Error` severity, and the full diagnostic keeps that code.
+    #[test]
+    fn every_violation_maps_to_one_td_error_code(
+        shape in 0usize..6,
+        raw in raw(),
+    ) {
+        let v = violation_of(shape, raw);
+        let code = code_for_violation(&v);
+        prop_assert!(code.as_str().starts_with("TD"), "{v:?} -> {code}");
+        prop_assert_eq!(code.severity(), Severity::Error);
+
+        let p = problem(Mode::DetectionRecovery);
+        let imp = solved(&p);
+        let d = diagnostic_for_violation(&p, &imp, &v);
+        prop_assert_eq!(d.code, code);
+        prop_assert_eq!(d.severity, Severity::Error);
+        prop_assert!(!d.message.is_empty());
+    }
+
+    /// The mapping is deterministic and rule-sensitive: each `RuleKind`
+    /// lands on its own code.
+    #[test]
+    fn rule_kinds_get_distinct_codes(raw in raw()) {
+        let codes: Vec<Code> = (0..5)
+            .map(|r| {
+                code_for_violation(&Violation::SameVendor {
+                    a: copy_of(raw.0, raw.1),
+                    b: copy_of((raw.0 + 1) % 5, raw.1),
+                    rule: rule_of(r),
+                })
+            })
+            .collect();
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                prop_assert!(a != b, "two rules map to {a}");
+            }
+        }
+    }
+
+    /// Contract 2: after randomly corrupting a solver output (rebinding
+    /// one copy and rescheduling another), lint reports an error if and
+    /// only if validate reports a violation — and the `TD` codes mirror
+    /// the violation list one-for-one.
+    #[test]
+    fn lint_clean_iff_validate_clean_under_corruption(
+        mode_sel in 0usize..2,
+        op in 0usize..10,
+        role in 0usize..3,
+        vendor in 0usize..5,
+        op2 in 0usize..10,
+        cycle in 1usize..12,
+    ) {
+        let mode = [Mode::DetectionOnly, Mode::DetectionRecovery][mode_sel];
+        let p = problem(mode);
+        let mut imp = solved(&p);
+
+        // Corrupt: rebind one copy to an arbitrary catalog vendor, and
+        // reschedule another copy's NC to an arbitrary cycle. Either edit
+        // may happen to stay legal — that is the point of the property.
+        let roles = Role::for_mode(mode);
+        let role = roles[role % roles.len()];
+        let node = NodeId::new(op % p.dfg().len());
+        if let Some(a) = imp.assignment(node, role) {
+            imp.assign(node, role, Assignment { vendor: VendorId::new(vendor), ..a });
+        }
+        let node2 = NodeId::new(op2 % p.dfg().len());
+        if let Some(a) = imp.assignment(node2, Role::Nc) {
+            imp.assign(node2, Role::Nc, Assignment { cycle, ..a });
+        }
+
+        let violations = validate(&p, &imp);
+        let report = lint(&p, Some(&imp));
+        prop_assert_eq!(
+            violations.is_empty(),
+            report.count(Severity::Error) == 0,
+            "validate found {} violations but lint reports {} errors",
+            violations.len(),
+            report.count(Severity::Error)
+        );
+
+        let mut expected: Vec<Code> = violations.iter().map(code_for_violation).collect();
+        let mut got: Vec<Code> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.as_str().starts_with("TD"))
+            .map(|d| d.code)
+            .collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expected, got);
+    }
+
+    /// Every rebind fix-it the analyzer attaches is sound: applying any
+    /// suggested vendor removes that copy's violations of the suggesting
+    /// kind (the alternatives came from `legal_vendors`).
+    #[test]
+    fn fixit_alternatives_are_legal(
+        op in 0usize..10,
+        role in 0usize..3,
+        vendor in 0usize..5,
+    ) {
+        let p = problem(Mode::DetectionOnly);
+        let mut imp = solved(&p);
+        let node = NodeId::new(op % p.dfg().len());
+        let role = [Role::Nc, Role::Rc][role % 2];
+        if let Some(a) = imp.assignment(node, role) {
+            imp.assign(node, role, Assignment { vendor: VendorId::new(vendor), ..a });
+        }
+        let report = lint(&p, Some(&imp));
+        for d in &report.diagnostics {
+            for fix in &d.fixits {
+                let Some(copy) = fix.copy else { continue };
+                for &alt in &fix.alternatives {
+                    let legal = troy_analysis::legal_vendors(&p, &imp, copy);
+                    prop_assert!(
+                        legal.contains(&alt),
+                        "{}: suggested {alt} for {copy} is not legal",
+                        d.code
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_outputs_lint_clean_and_validate_clean() {
+    for mode in [Mode::DetectionOnly, Mode::DetectionRecovery] {
+        let p = problem(mode);
+        let imp = solved(&p);
+        assert!(
+            validate(&p, &imp).is_empty(),
+            "{mode}: solver output invalid"
+        );
+        let report = lint(&p, Some(&imp));
+        assert_eq!(
+            report.count(Severity::Error),
+            0,
+            "{mode}: {}",
+            report.to_text()
+        );
+    }
+}

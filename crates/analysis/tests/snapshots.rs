@@ -1,0 +1,115 @@
+//! Snapshot tests: the text, JSON and SARIF renderings of a report
+//! containing one diagnostic of every published code are pinned to
+//! committed files under `tests/snapshots/`.
+//!
+//! On an intentional format change, regenerate with:
+//!
+//! ```sh
+//! TROY_UPDATE_SNAPSHOTS=1 cargo test -p troy-analysis --test snapshots
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::path::Path;
+
+use troy_analysis::{AnalysisReport, Code, Diagnostic, FixIt, Location};
+use troy_dfg::{IpTypeId, NodeId};
+use troyhls::{OpCopy, Role, VendorId};
+
+/// One deterministic diagnostic per code, each exercising the location and
+/// fix-it fields that code typically carries.
+fn sample(code: Code) -> Diagnostic {
+    let o1_rc = OpCopy::new(NodeId::new(0), Role::Rc);
+    let o2_nc = OpCopy::new(NodeId::new(1), Role::Nc);
+    let o3_r = OpCopy::new(NodeId::new(2), Role::Recovery);
+    let ven1 = VendorId::new(0);
+    let ven3 = VendorId::new(2);
+    let ven4 = VendorId::new(3);
+    let d = Diagnostic::new(code, format!("sample finding for {}", code.name()));
+    match code {
+        Code::UnassignedCopy => d.at(Location::copy(o1_rc)),
+        Code::OutsideWindow => d.at(Location::copy(o1_rc).at_cycle(7)),
+        Code::DependencyOrder => d.at(Location::copy(o2_nc).at_cycle(1)),
+        Code::NoSuchCore => d
+            .at(Location::copy(o1_rc).on_vendor(ven1))
+            .with_fixit(FixIt::rebind(o1_rc, vec![ven3, ven4])),
+        Code::Rule1Detection | Code::Rule2ParentChild | Code::Rule2Siblings => d
+            .at(Location::copy(o2_nc).at_cycle(2).on_vendor(ven1))
+            .with_fixit(FixIt::rebind(o2_nc, vec![ven3])),
+        Code::Rule1Recovery | Code::Rule2Related => d
+            .at(Location::copy(o3_r).at_cycle(5).on_vendor(ven1))
+            .with_fixit(FixIt::rebind(o3_r, vec![ven4])),
+        Code::AreaExceeded => d.with_fixit(FixIt::advice("raise --area or drop a license")),
+        Code::InsufficientVendors | Code::TightVendorPool => {
+            d.at(Location::default().of_type(IpTypeId::MULTIPLIER))
+        }
+        Code::ZeroMobility => d.at(Location::node(NodeId::new(1))),
+        Code::AreaInfeasible | Code::InfeasibleLatency => d,
+        Code::UnusableVendor => d.at(Location::default().on_vendor(ven4)),
+        Code::RedundantLicense => d
+            .at(Location::copy(o2_nc)
+                .on_vendor(ven4)
+                .of_type(IpTypeId::ADDER))
+            .with_fixit(FixIt::rebind(o2_nc, vec![ven1])),
+        Code::NearCollusion => d.at(Location::copy(o2_nc).on_vendor(ven1)),
+        Code::RegisterPressure => d.at(Location::default().at_cycle(3)),
+    }
+}
+
+fn report() -> AnalysisReport {
+    let mut diagnostics: Vec<Diagnostic> = Code::all().into_iter().map(sample).collect();
+    diagnostics.sort_by_key(Diagnostic::sort_key);
+    AnalysisReport {
+        design: "snapshot".into(),
+        mode: "detection+recovery".into(),
+        deny_warnings: false,
+        diagnostics,
+    }
+}
+
+/// Compares `actual` against the committed snapshot, or rewrites it when
+/// `TROY_UPDATE_SNAPSHOTS` is set.
+fn check(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name);
+    if std::env::var_os("TROY_UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    assert!(
+        expected == actual,
+        "snapshot {name} is stale; regenerate with TROY_UPDATE_SNAPSHOTS=1 \
+         and review the diff.\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn text_rendering_of_every_code_is_stable() {
+    check("all_codes.txt", &report().to_text());
+}
+
+#[test]
+fn json_rendering_of_every_code_is_stable() {
+    check("all_codes.json", &report().to_json());
+}
+
+#[test]
+fn sarif_rendering_of_every_code_is_stable() {
+    check("all_codes.sarif", &report().to_sarif());
+}
+
+#[test]
+fn every_code_appears_in_each_format() {
+    let r = report();
+    let (text, json, sarif) = (r.to_text(), r.to_json(), r.to_sarif());
+    for code in Code::all() {
+        let id = code.as_str();
+        assert!(text.contains(id), "{id} missing from text");
+        assert!(json.contains(id), "{id} missing from JSON");
+        assert!(sarif.contains(id), "{id} missing from SARIF");
+    }
+}

@@ -76,7 +76,7 @@ fn bench_ilp(c: &mut Criterion) {
                 let r = black_box(&model).solve(&params);
                 assert_eq!(r.status(), SolveStatus::Optimal);
                 r.objective().unwrap()
-            })
+            });
         });
     }
     for n in [4usize, 6] {
@@ -86,7 +86,7 @@ fn bench_ilp(c: &mut Criterion) {
                 let r = black_box(&model).solve(&params);
                 assert_eq!(r.status(), SolveStatus::Optimal);
                 r.objective().unwrap()
-            })
+            });
         });
     }
     g.finish();

@@ -24,7 +24,7 @@ fn bench_motivational(c: &mut Criterion) {
                 .expect("feasible");
             assert_eq!(s.cost, 4160);
             s.cost
-        })
+        });
     });
     g.bench_function("greedy_upper_bound", |b| {
         b.iter(|| {
@@ -32,7 +32,7 @@ fn bench_motivational(c: &mut Criterion) {
                 .synthesize(black_box(&problem), &options)
                 .expect("feasible")
                 .cost
-        })
+        });
     });
     g.finish();
 }

@@ -24,7 +24,7 @@ fn bench_runtime(c: &mut Criterion) {
             let report = ctrl.run(black_box(&inputs));
             assert!(!report.mismatch);
             report.nc.len()
-        })
+        });
     });
 
     g.bench_function("campaign_50_runs", |b| {
@@ -34,7 +34,7 @@ fn bench_runtime(c: &mut Criterion) {
             targeted_percent: 70,
             ..CampaignConfig::default()
         };
-        b.iter(|| run_campaign(&problem, black_box(&design.implementation), &cfg).detected)
+        b.iter(|| run_campaign(&problem, black_box(&design.implementation), &cfg).detected);
     });
 
     g.finish();

@@ -44,7 +44,7 @@ fn bench_ablation(c: &mut Criterion) {
                 .synthesize(black_box(&problem), &options)
                 .expect("feasible")
                 .cost
-        })
+        });
     });
     g.bench_function("greedy_heuristic", |b| {
         b.iter(|| {
@@ -52,7 +52,7 @@ fn bench_ablation(c: &mut Criterion) {
                 .synthesize(black_box(&problem), &options)
                 .expect("feasible")
                 .cost
-        })
+        });
     });
     g.bench_function("annealing_metaheuristic", |b| {
         b.iter(|| {
@@ -60,7 +60,7 @@ fn bench_ablation(c: &mut Criterion) {
                 .synthesize(black_box(&problem), &options)
                 .expect("feasible")
                 .cost
-        })
+        });
     });
     g.bench_function("ilp_tight_linking", |b| {
         b.iter(|| {
@@ -68,14 +68,14 @@ fn bench_ablation(c: &mut Criterion) {
                 .synthesize(black_box(&problem), &options)
                 .expect("feasible")
                 .cost
-        })
+        });
     });
     g.bench_function("ilp_model_build_only", |b| {
         b.iter(|| {
             troyhls::formulate(black_box(&problem), &FormulationOptions::default())
                 .model
                 .num_vars()
-        })
+        });
     });
     g.bench_function("ilp_model_build_big_z", |b| {
         let opts = FormulationOptions {
@@ -86,7 +86,7 @@ fn bench_ablation(c: &mut Criterion) {
             troyhls::formulate(black_box(&problem), &opts)
                 .model
                 .num_vars()
-        })
+        });
     });
     g.finish();
 }

@@ -35,7 +35,7 @@ fn bench_scaling(c: &mut Criterion) {
                     .synthesize(black_box(&p), &options)
                     .map(|s| s.cost)
                     .ok()
-            })
+            });
         });
     }
 
@@ -54,7 +54,7 @@ fn bench_scaling(c: &mut Criterion) {
                     .synthesize(black_box(&p), &options)
                     .map(|s| s.cost)
                     .ok()
-            })
+            });
         });
     }
     g.finish();

@@ -21,7 +21,7 @@ fn bench_table3(c: &mut Criterion) {
                     .synthesize(black_box(&problem), &options)
                     .map(|s| s.cost)
                     .ok()
-            })
+            });
         });
     }
     g.finish();

@@ -19,7 +19,7 @@ fn bench_table4(c: &mut Criterion) {
                     .synthesize(black_box(&problem), &options)
                     .map(|s| s.cost)
                     .ok()
-            })
+            });
         });
     }
     g.finish();

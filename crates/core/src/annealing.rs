@@ -41,7 +41,7 @@ pub struct AnnealingConfig {
 impl Default for AnnealingConfig {
     fn default() -> Self {
         AnnealingConfig {
-            seed: 0xA11EA1,
+            seed: 0x00A1_1EA1,
             steps_per_level: 400,
             levels: 60,
             start_temperature: 800.0,
@@ -101,7 +101,7 @@ struct Walker<'a> {
     rng: u64,
 }
 
-impl<'a> Walker<'a> {
+impl Walker<'_> {
     fn rand(&mut self) -> u64 {
         self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.rng;

@@ -166,12 +166,11 @@ pub fn allocate_registers(problem: &SynthesisProblem, imp: &Implementation) -> R
         // before this one is produced (same-cycle write-after-read is
         // allowed in a registered datapath: read happens on the edge).
         let slot = free_at.iter().position(|&f| f <= lt.from);
-        let r = match slot {
-            Some(r) => r,
-            None => {
-                free_at.push(0);
-                free_at.len() - 1
-            }
+        let r = if let Some(r) = slot {
+            r
+        } else {
+            free_at.push(0);
+            free_at.len() - 1
         };
         free_at[r] = lt.to + 1;
         assignment.insert(

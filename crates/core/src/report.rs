@@ -211,7 +211,7 @@ mod tests {
         let (p, imp) = solved();
         let chart = schedule_chart(&p, &imp);
         // 5 ops x 3 roles = 15 cells occupied.
-        let cells = chart.matches("o").count(); // each copy prints oN[role]
+        let cells = chart.matches('o').count(); // each copy prints oN[role]
         assert!(cells >= 15, "{chart}");
         assert!(chart.contains("det"));
         assert!(chart.contains("rec"));

@@ -54,17 +54,14 @@ proptest! {
 
     #[test]
     fn exact_designs_always_validate((p, _) in small_problem()) {
-        match ExactSolver::new().synthesize(&p, &opts()) {
-            Ok(s) => {
-                let vs = validate(&p, &s.implementation);
-                prop_assert!(vs.is_empty(), "{:?}", vs);
-                prop_assert_eq!(s.cost, s.implementation.license_cost(&p));
-                prop_assert!(s.implementation.area(&p) <= p.area_limit());
-            }
-            Err(_) => {
-                // Tight areas can make instances genuinely infeasible, and
-                // hard ones can exhaust the test budget.
-            }
+        if let Ok(s) = ExactSolver::new().synthesize(&p, &opts()) {
+            let vs = validate(&p, &s.implementation);
+            prop_assert!(vs.is_empty(), "{:?}", vs);
+            prop_assert_eq!(s.cost, s.implementation.license_cost(&p));
+            prop_assert!(s.implementation.area(&p) <= p.area_limit());
+        } else {
+            // Tight areas can make instances genuinely infeasible, and
+            // hard ones can exhaust the test budget.
         }
     }
 

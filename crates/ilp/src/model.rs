@@ -176,6 +176,14 @@ impl LinExpr {
         out
     }
 
+    /// Consumes the expression, returning its normalized terms and its
+    /// constant part.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<(VarId, f64)>, f64) {
+        let constant = self.constant;
+        (self.normalize(), constant)
+    }
+
     /// Evaluates the expression against a dense assignment.
     #[must_use]
     pub fn eval(&self, values: &[f64]) -> f64 {
@@ -427,8 +435,9 @@ impl Model {
 
     /// Sets the objective expression (its constant becomes a fixed offset).
     pub fn set_objective(&mut self, expr: LinExpr) {
-        self.objective = expr.normalize();
-        self.objective_offset = expr.constant();
+        let (terms, constant) = expr.into_parts();
+        self.objective = terms;
+        self.objective_offset = constant;
     }
 
     /// The normalized objective terms.
@@ -464,7 +473,7 @@ impl Model {
     ///
     /// Panics if the expression references a variable not in this model.
     pub fn add_constraint(&mut self, name: impl Into<String>, expr: LinExpr, sense: Cmp, rhs: f64) {
-        let terms = expr.normalize();
+        let (terms, constant) = expr.into_parts();
         for &(v, _) in &terms {
             assert!(
                 v.index() < self.vars.len(),
@@ -475,7 +484,7 @@ impl Model {
             name: name.into(),
             terms,
             sense,
-            rhs: rhs - expr.constant(),
+            rhs: rhs - constant,
         });
     }
 

@@ -320,14 +320,13 @@ impl Model {
             }
 
             match solve_lp(&prob, params.lp_iter_limit) {
-                LpOutcome::Infeasible => continue,
+                LpOutcome::Infeasible => {}
                 LpOutcome::IterLimit => {
                     // Cannot bound or explore this subtree: give up on it
                     // and downgrade every proof-dependent claim.
                     limit_hit = true;
                     infeasible_proven = false;
                     lp_failures = true;
-                    continue;
                 }
                 LpOutcome::Optimal { x, objective } => {
                     if let Some((_, inc_obj)) = &incumbent {

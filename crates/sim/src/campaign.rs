@@ -46,7 +46,7 @@ impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             runs: 200,
-            seed: 0xC0FFEE,
+            seed: 0x00C0_FFEE,
             rarity_bits: 6,
             sequential: false,
             targeted_percent: 50,

@@ -165,9 +165,7 @@ pub fn recovery_matrix(
             RecoveryStrategy::NaiveReexecution,
             RecoveryStrategy::RuleBasedRebinding,
         ] {
-            let recovered = if !detected {
-                false // nothing observable to recover from
-            } else {
+            let recovered = if detected {
                 let mut dp = Datapath::new(problem, imp, lib_after);
                 match strategy {
                     RecoveryStrategy::NaiveReexecution => {
@@ -180,6 +178,8 @@ pub fn recovery_matrix(
                         r == golden
                     }
                 }
+            } else {
+                false // nothing observable to recover from
             };
             out.push(MatrixCell {
                 fault,

@@ -1,0 +1,25 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! The workspace's `serde` cargo feature (on `troyhls` and `troy-dfg`) is
+//! **off by default** and exists for downstream users with crates.io
+//! access. This placeholder only satisfies dependency *resolution* in the
+//! network-less build environment; it ships no derive macros, so enabling
+//! the feature against this placeholder will not compile. Swap the
+//! workspace `serde` entry back to the registry version to use it for
+//! real.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Serialization half of the placeholder API surface.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization half of the placeholder API surface.
+pub mod de {
+    pub use crate::Deserialize;
+}
