@@ -21,6 +21,7 @@ fn bench_scaling(c: &mut Criterion) {
     let options = SolveOptions {
         time_limit: Duration::from_secs(30),
         node_limit: 300_000,
+        ..SolveOptions::default()
     };
     let mut g = c.benchmark_group("solver_scaling");
     g.sample_size(10).measurement_time(Duration::from_secs(3));

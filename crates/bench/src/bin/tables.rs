@@ -5,9 +5,10 @@
 //! ```
 
 use troy_bench::{
-    format_table, harness_options, motivational_problem, run_row, table3_specs, table4_specs,
+    format_table, harness_options, motivational_problem, run_rows, table3_specs, table4_specs,
 };
 use troy_dfg::{benchmarks, IpTypeId};
+use troy_portfolio::BatchConfig;
 use troyhls::{
     unprotected_cost, Catalog, ExactSolver, Mode, SolveOptions, SynthesisProblem, Synthesizer,
 };
@@ -92,8 +93,14 @@ fn table(which: usize) {
             table4_specs(),
         )
     };
-    let options = harness_options();
-    let results: Vec<_> = specs.iter().map(|s| run_row(s, &options)).collect();
+    // Rows are independent: spread them over the batch pool (TROY_JOBS or
+    // the machine width) with the same exact engine as before.
+    let config = BatchConfig {
+        portfolio: false,
+        options: harness_options(),
+        ..BatchConfig::default()
+    };
+    let results = run_rows(&specs, &config, None);
     println!("{}", format_table(title, &results));
     // The paper's headline observation: detection-only underestimates the
     // diversity (and cost) a recoverable design needs.

@@ -13,6 +13,7 @@
 use std::time::{Duration, Instant};
 
 use troy_dfg::benchmarks;
+use troy_portfolio::{solve_batch, BatchConfig, ResultCache};
 use troyhls::{
     Catalog, DesignStats, ExactSolver, Implementation, Mode, SolveOptions, SynthesisProblem,
     Synthesizer,
@@ -191,6 +192,45 @@ pub fn run_row(spec: &RowSpec, options: &SolveOptions) -> RowResult {
     }
 }
 
+/// Runs a whole table's rows concurrently over the portfolio batch pool,
+/// returning results in spec order.
+///
+/// With `config.portfolio` off and [`troy_portfolio::Backend::Exact`]
+/// selected (the [`BatchConfig::default`] backend) every row is solved by
+/// the same engine [`run_row`] uses, so the two paths agree row for row;
+/// the win is wall-clock (rows spread over `config.jobs` workers) and,
+/// when `cache` is given, free re-runs of unchanged grids.
+#[must_use]
+pub fn run_rows(
+    specs: &[RowSpec],
+    config: &BatchConfig,
+    cache: Option<&ResultCache>,
+) -> Vec<RowResult> {
+    let problems: Vec<SynthesisProblem> = specs.iter().map(problem_for).collect();
+    let results = solve_batch(&problems, config, cache);
+    specs
+        .iter()
+        .zip(problems.iter())
+        .zip(results)
+        .map(|((spec, problem), outcome)| match outcome {
+            Ok(r) => RowResult {
+                spec: *spec,
+                stats: Some(r.synthesis.implementation.stats(problem)),
+                proven_optimal: r.synthesis.proven_optimal,
+                implementation: Some(r.synthesis.implementation),
+                elapsed: r.elapsed,
+            },
+            Err(_) => RowResult {
+                spec: *spec,
+                stats: None,
+                implementation: None,
+                proven_optimal: false,
+                elapsed: Duration::ZERO,
+            },
+        })
+        .collect()
+}
+
 /// Formats a full table (header + one line per row result), paper numbers
 /// beside measured ones.
 #[must_use]
@@ -266,6 +306,7 @@ pub fn harness_options() -> SolveOptions {
     SolveOptions {
         time_limit: Duration::from_secs(60),
         node_limit: 500_000,
+        ..SolveOptions::default()
     }
 }
 
@@ -314,6 +355,48 @@ mod tests {
         assert!(stats.license_cost > 0);
         let p = problem_for(&spec);
         assert!(troyhls::validate(&p, r.implementation.as_ref().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn run_rows_agrees_with_run_row() {
+        let specs = vec![table3_specs()[0], table3_specs()[1]];
+        let config = BatchConfig {
+            jobs: 2,
+            portfolio: false,
+            options: SolveOptions::quick(),
+            ..BatchConfig::default()
+        };
+        let batch = run_rows(&specs, &config, None);
+        assert_eq!(batch.len(), specs.len());
+        for (spec, b) in specs.iter().zip(&batch) {
+            let single = run_row(spec, &SolveOptions::quick());
+            assert_eq!(
+                single.stats.as_ref().map(|s| s.license_cost),
+                b.stats.as_ref().map(|s| s.license_cost),
+                "{}",
+                spec.benchmark
+            );
+            assert_eq!(single.proven_optimal, b.proven_optimal);
+        }
+    }
+
+    #[test]
+    fn run_rows_cache_serves_second_pass() {
+        let specs = vec![table3_specs()[0]];
+        let config = BatchConfig {
+            jobs: 1,
+            portfolio: false,
+            options: SolveOptions::quick(),
+            ..BatchConfig::default()
+        };
+        let cache = ResultCache::in_memory();
+        let cold = run_rows(&specs, &config, Some(&cache));
+        let warm = run_rows(&specs, &config, Some(&cache));
+        assert_eq!(
+            cold[0].stats.as_ref().map(|s| s.license_cost),
+            warm[0].stats.as_ref().map(|s| s.license_cost)
+        );
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

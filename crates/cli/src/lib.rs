@@ -9,6 +9,7 @@
 //! troyhls-cli list
 //! troyhls-cli show <benchmark|file.dfg>
 //! troyhls-cli synth <benchmark|file.dfg> [options]
+//! troyhls-cli batch [table3|table4|all] [options]
 //! troyhls-cli lint <benchmark|file.dfg> [options]
 //! troyhls-cli profile <benchmark|file.dfg> [--samples N] [--distance D]
 //!
@@ -19,9 +20,21 @@
 //!   --lambda-rec N                recovery window    (default: critical path)
 //!   --area N                      area cap           (default: unlimited)
 //!   --solver exact|greedy|ilp|annealing              (default exact)
+//!   --portfolio                   race all four back ends, best wins
+//!   --jobs N                      racing threads     (default: TROY_JOBS/cores)
+//!   --cache-dir DIR               content-addressed result cache on disk
 //!   --time-limit SECS             solve budget       (default 60)
 //!   --chart --dot --markdown --verilog --vcd         extra report sections
 //!   --lint                        append the full diagnostics report
+//!
+//! batch options (regenerates the paper's experiment grid concurrently):
+//!   table3|table4|all             which grid         (default all)
+//!   --jobs N                      pool workers       (default: TROY_JOBS/cores)
+//!   --portfolio                   race all back ends per row (default: exact)
+//!   --cache-dir DIR               content-addressed result cache on disk
+//!   --time-limit SECS             per-row budget     (default 60)
+//!   --bench-json FILE             also time a sequential pass and write a
+//!                                 speedup record (CI artifact)
 //!
 //! lint options (problem flags as for synth, plus):
 //!   --solver NAME                 synthesize first, then lint the binding;
@@ -42,10 +55,14 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use troy_analysis::{AnalysisOptions, Analyzer, Code, Severity};
+use troy_bench::{format_table, harness_options, run_rows, table3_specs, table4_specs};
 use troy_dfg::{parse_dfg, Dfg};
+use troy_portfolio::{
+    cache_key, default_jobs, race, Backend, BatchConfig, PortfolioResult, ResultCache,
+};
 use troyhls::{
     emit_verilog, implementation_dot, markdown_summary, schedule_chart, AnnealingSolver, Catalog,
     ExactSolver, GreedySolver, IlpSolver, Implementation, Mode, SolveOptions, SynthesisProblem,
@@ -121,15 +138,21 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let rest: Vec<String> = it.cloned().collect();
             synth(target, &rest, out).map(|()| 0)
         }
+        Some("batch") => {
+            let rest: Vec<String> = it.cloned().collect();
+            batch(&rest, out).map(|()| 0)
+        }
         Some("lint") => {
             let target = it.next().ok_or_else(|| err("lint: missing <dfg>"))?;
             let rest: Vec<String> = it.cloned().collect();
             lint_cmd(target, &rest, out)
         }
         Some(other) => Err(err(format!(
-            "unknown command `{other}`; expected list|show|synth|lint|profile"
+            "unknown command `{other}`; expected list|show|synth|batch|lint|profile"
         ))),
-        None => Err(err("usage: troyhls <list|show|synth|lint|profile> ...")),
+        None => Err(err(
+            "usage: troyhls <list|show|synth|batch|lint|profile> ...",
+        )),
     }
 }
 
@@ -272,12 +295,166 @@ fn make_solver(name: &str) -> Result<Box<dyn Synthesizer>, CliError> {
     }
 }
 
+fn parse_jobs(v: &str) -> Result<usize, CliError> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| err("--jobs: expected a positive number"))
+}
+
+fn open_cache(dir: Option<&str>) -> Result<Option<ResultCache>, CliError> {
+    match dir {
+        None => Ok(None),
+        Some(d) => ResultCache::on_disk(d)
+            .map(Some)
+            .map_err(|e| err(format!("--cache-dir: cannot open `{d}`: {e}"))),
+    }
+}
+
+/// `batch`: regenerate the paper's experiment grids over the worker pool.
+#[allow(clippy::too_many_lines)]
+fn batch(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut which = "all".to_owned();
+    let mut jobs: Option<usize> = None;
+    let mut portfolio = false;
+    let mut cache_dir: Option<String> = None;
+    let mut time_limit = 60u64;
+    let mut bench_json: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "table3" | "table4" | "all" => args[i].clone_into(&mut which),
+            "--jobs" => {
+                jobs = Some(parse_jobs(take_value(args, &mut i, "--jobs")?)?);
+            }
+            "--portfolio" => portfolio = true,
+            "--cache-dir" => {
+                cache_dir = Some(take_value(args, &mut i, "--cache-dir")?.to_owned());
+            }
+            "--time-limit" => {
+                time_limit = take_value(args, &mut i, "--time-limit")?
+                    .parse()
+                    .map_err(|_| err("--time-limit: expected seconds"))?;
+            }
+            "--bench-json" => {
+                bench_json = Some(take_value(args, &mut i, "--bench-json")?.to_owned());
+            }
+            other => {
+                return Err(err(format!(
+                    "batch: unknown argument `{other}`; expected table3|table4|all or a flag"
+                )))
+            }
+        }
+        i += 1;
+    }
+
+    let mut grids = Vec::new();
+    if matches!(which.as_str(), "table3" | "all") {
+        grids.push((
+            "table3",
+            "Table 3 — designs with detection only (8-vendor catalog)",
+            table3_specs(),
+        ));
+    }
+    if matches!(which.as_str(), "table4" | "all") {
+        grids.push((
+            "table4",
+            "Table 4 — designs with detection and recovery (8-vendor catalog)",
+            table4_specs(),
+        ));
+    }
+
+    let config = BatchConfig {
+        jobs: jobs.unwrap_or_else(default_jobs),
+        portfolio,
+        options: SolveOptions {
+            time_limit: Duration::from_secs(time_limit),
+            ..harness_options()
+        },
+        ..BatchConfig::default()
+    };
+    let cache = open_cache(cache_dir.as_deref())?;
+
+    // (short name, rows, sequential seconds, batch seconds) per grid; the
+    // sequential reference pass only runs when a bench record was asked
+    // for, and deliberately skips the cache so it times real solves.
+    let mut measured = Vec::new();
+    for (short, title, specs) in &grids {
+        let sequential = if bench_json.is_some() {
+            let reference = BatchConfig {
+                jobs: 1,
+                ..config.clone()
+            };
+            let t0 = Instant::now();
+            let _ = run_rows(specs, &reference, None);
+            Some(t0.elapsed().as_secs_f64())
+        } else {
+            None
+        };
+        let t0 = Instant::now();
+        let results = run_rows(specs, &config, cache.as_ref());
+        let elapsed = t0.elapsed().as_secs_f64();
+        let _ = writeln!(out, "{}", format_table(title, &results));
+        let _ = writeln!(
+            out,
+            "{short}: {} rows in {elapsed:.2}s (jobs {}, engine {})\n",
+            specs.len(),
+            config.jobs,
+            config.engine(),
+        );
+        measured.push((*short, specs.len(), sequential, elapsed));
+    }
+
+    if let Some(path) = &bench_json {
+        let json = bench_record(&config, &measured);
+        std::fs::write(path, json).map_err(|e| err(format!("--bench-json: `{path}`: {e}")))?;
+        let _ = writeln!(out, "wrote bench record to {path}");
+    }
+    Ok(())
+}
+
+/// Renders the `--bench-json` speedup record (hand-rolled: the workspace
+/// serde is an API stub, see `troy-portfolio`'s cache layer).
+fn bench_record(config: &BatchConfig, measured: &[(&str, usize, Option<f64>, f64)]) -> String {
+    let speedup = |seq: f64, par: f64| if par > 0.0 { seq / par } else { 0.0 };
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"jobs\": {},", config.jobs);
+    let _ = writeln!(json, "  \"engine\": \"{}\",", config.engine());
+    let _ = writeln!(json, "  \"tables\": [");
+    for (i, (short, rows, sequential, parallel)) in measured.iter().enumerate() {
+        let seq = sequential.unwrap_or(0.0);
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"table\": \"{short}\",");
+        let _ = writeln!(json, "      \"rows\": {rows},");
+        let _ = writeln!(json, "      \"sequential_seconds\": {seq:.6},");
+        let _ = writeln!(json, "      \"parallel_seconds\": {parallel:.6},");
+        let _ = writeln!(json, "      \"speedup\": {:.3}", speedup(seq, *parallel));
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < measured.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let total_seq: f64 = measured.iter().filter_map(|m| m.2).sum();
+    let total_par: f64 = measured.iter().map(|m| m.3).sum();
+    let _ = writeln!(json, "  \"total_sequential_seconds\": {total_seq:.6},");
+    let _ = writeln!(json, "  \"total_parallel_seconds\": {total_par:.6},");
+    let _ = writeln!(json, "  \"speedup\": {:.3}", speedup(total_seq, total_par));
+    json.push_str("}\n");
+    json
+}
+
 #[allow(clippy::too_many_lines)]
 fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError> {
     let g = load_dfg(target)?;
     let mut flags = ProblemFlags::new();
     let mut solver_name = "exact".to_owned();
     let mut time_limit = 60u64;
+    let mut portfolio = false;
+    let mut jobs: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
     let (mut chart, mut dot, mut markdown, mut verilog, mut vcd, mut want_lint) =
         (false, false, false, false, false, false);
 
@@ -290,6 +467,13 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
         match args[i].as_str() {
             "--solver" => {
                 take_value(args, &mut i, "--solver")?.clone_into(&mut solver_name);
+            }
+            "--portfolio" => portfolio = true,
+            "--jobs" => {
+                jobs = Some(parse_jobs(take_value(args, &mut i, "--jobs")?)?);
+            }
+            "--cache-dir" => {
+                cache_dir = Some(take_value(args, &mut i, "--cache-dir")?.to_owned());
             }
             "--time-limit" => {
                 time_limit = take_value(args, &mut i, "--time-limit")?
@@ -314,17 +498,52 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
         time_limit: Duration::from_secs(time_limit),
         ..SolveOptions::default()
     };
-    let solver = make_solver(&solver_name)?;
-    let result = solver
-        .synthesize(&problem, &options)
+    let backend = Backend::parse(&solver_name)
+        .ok_or_else(|| err(format!("--solver: unknown `{solver_name}`")))?;
+    let engine = if portfolio {
+        "portfolio"
+    } else {
+        backend.name()
+    };
+    let cache = open_cache(cache_dir.as_deref())?;
+    let key = cache_key(&problem, engine, &options);
+
+    let solved = if let Some(hit) = cache.as_ref().and_then(|c| c.lookup(&key, &problem)) {
+        hit
+    } else {
+        let fresh = if portfolio {
+            race(&problem, &options, jobs.unwrap_or_else(default_jobs))
+        } else {
+            let t0 = Instant::now();
+            backend
+                .solver()
+                .synthesize(&problem, &options)
+                .map(|s| PortfolioResult {
+                    timed_out: !s.proven_optimal,
+                    synthesis: s,
+                    winner: backend,
+                    from_cache: false,
+                    elapsed: t0.elapsed(),
+                })
+        }
         .map_err(|e| err(format!("synthesis failed: {e}")))?;
+        if let Some(cache) = &cache {
+            cache.store(&key, &fresh);
+        }
+        fresh
+    };
+    let result = &solved.synthesis;
+    let engine_label = if portfolio {
+        format!("portfolio[{}]", solved.winner)
+    } else {
+        backend.name().to_owned()
+    };
     // Post-solve check through the same engine `lint` uses: a solver bug
     // surfaces as the full coded diagnostics report, not a bare assert.
     let check = troy_analysis::lint(&problem, Some(&result.implementation));
     if check.count(Severity::Error) > 0 {
         return Err(err(format!(
-            "internal: {} produced an invalid design\n{}",
-            solver.name(),
+            "internal: {engine_label} produced an invalid design\n{}",
             check.to_text()
         )));
     }
@@ -332,8 +551,8 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
     let stats = result.implementation.stats(&problem);
     let _ = writeln!(
         out,
-        "{} on {} ({}): ${}{}",
-        solver.name(),
+        "{} on {} ({}): ${}{}{}",
+        engine_label,
         problem.dfg().name(),
         mode,
         result.cost,
@@ -342,6 +561,7 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
         } else {
             " (best effort)"
         },
+        if solved.from_cache { " (cached)" } else { "" },
     );
     let _ = writeln!(out, "{stats}");
     let _ = writeln!(out, "licenses:");
@@ -763,5 +983,114 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("ok: polynom"), "{out}");
+    }
+
+    #[test]
+    fn synth_portfolio_races_to_the_motivational_optimum() {
+        let out = cli(&[
+            "synth",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--lambda-det",
+            "4",
+            "--lambda-rec",
+            "3",
+            "--area",
+            "22000",
+            "--portfolio",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("portfolio[exact]"), "{out}");
+        assert!(out.contains("$4160"), "{out}");
+        assert!(!out.contains("best effort"), "{out}");
+    }
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("troyhls-cli-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn synth_cache_dir_serves_the_second_run() {
+        let dir = scratch_dir("synth-cache");
+        let args = [
+            "synth",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--mode",
+            "detection",
+            "--cache-dir",
+            dir.to_str().unwrap(),
+        ];
+        let cold = cli(&args).unwrap();
+        assert!(!cold.contains("(cached)"), "{cold}");
+        // A fresh CLI invocation only has the on-disk layer to hit.
+        let warm = cli(&args).unwrap();
+        assert!(warm.contains("(cached)"), "{warm}");
+        assert_eq!(
+            cold.lines().next(),
+            warm.lines()
+                .next()
+                .map(|l| l.strip_suffix(" (cached)").unwrap_or(l))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_regenerates_table3_and_writes_the_bench_record() {
+        let dir = scratch_dir("batch-cache");
+        let json_path = dir.join("BENCH_portfolio.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("cache");
+        let out = cli(&[
+            "batch",
+            "table3",
+            "--jobs",
+            "2",
+            "--time-limit",
+            "5",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--bench-json",
+            json_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("Table 3"), "{out}");
+        assert!(out.contains("table3: 12 rows"), "{out}");
+        let record = std::fs::read_to_string(&json_path).unwrap();
+        assert!(record.contains("\"table\": \"table3\""), "{record}");
+        assert!(record.contains("\"speedup\""), "{record}");
+        // The warm pass is served from the on-disk cache and still renders
+        // the same grid.
+        let warm = cli(&[
+            "batch",
+            "table3",
+            "--jobs",
+            "1",
+            "--time-limit",
+            "5",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(warm.contains("table3: 12 rows"), "{warm}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_rejects_unknown_grids() {
+        assert!(cli(&["batch", "table9"])
+            .unwrap_err()
+            .0
+            .contains("unknown argument"));
+        assert!(cli(&["batch", "--jobs", "0"])
+            .unwrap_err()
+            .0
+            .contains("--jobs"));
     }
 }

@@ -223,7 +223,7 @@ impl Synthesizer for AnnealingSolver {
         let mut temperature = self.config.start_temperature;
         for _level in 0..self.config.levels {
             for _step in 0..self.config.steps_per_level {
-                if start.elapsed() > options.time_limit {
+                if options.out_of_time(start) {
                     break;
                 }
                 let undo = walker.perturb(&mut state);

@@ -133,7 +133,7 @@ impl Synthesizer for ExactSolver {
         let mut uncertain = false;
 
         while let Some(Reverse((cost, idx))) = heap.pop() {
-            if start.elapsed() > options.time_limit {
+            if options.out_of_time(start) {
                 return Err(SynthesisError::BudgetExhausted);
             }
             // Expand neighbors (increment one coordinate each).
@@ -556,7 +556,7 @@ impl SearchContext {
         if state.nodes > node_limit {
             return SearchResult::NodeBudget;
         }
-        if state.nodes % 4096 == 0 && start.elapsed() > options.time_limit {
+        if state.nodes % 4096 == 0 && options.out_of_time(start) {
             return SearchResult::TimedOut;
         }
 

@@ -158,6 +158,7 @@ fn solve_point(dfg: &Dfg, catalog: &Catalog, mode: Mode, lambda: usize, area: u6
     let options = SolveOptions {
         time_limit: Duration::from_secs(10),
         node_limit: 150_000,
+        ..SolveOptions::default()
     };
     match ExactSolver::new().synthesize(&problem, &options) {
         Ok(s) => SweepPoint {

@@ -458,6 +458,7 @@ impl Synthesizer for IlpSolver {
             integral_objective: true,
             mip_start,
             branch_priority,
+            cancel: options.cancel.clone(),
             ..SolveParams::default()
         };
         let result = ilp.model.solve(&params);

@@ -107,7 +107,7 @@ impl Synthesizer for GreedySolver {
 
         // Grow until feasible.
         let mut best = loop {
-            if start.elapsed() > options.time_limit {
+            if options.out_of_time(start) {
                 return Err(SynthesisError::BudgetExhausted);
             }
             if let Some(imp) = checker.find(&chosen, options.node_limit, start, options) {
@@ -128,7 +128,7 @@ impl Synthesizer for GreedySolver {
             std::cmp::Reverse(catalog.offering_of(*l).expect("chosen license").cost)
         });
         for cand in order {
-            if start.elapsed() > options.time_limit {
+            if options.out_of_time(start) {
                 break;
             }
             let trial: Vec<License> = chosen.iter().copied().filter(|&l| l != cand).collect();

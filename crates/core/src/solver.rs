@@ -2,7 +2,9 @@
 //! trait shared by the exact, ILP and heuristic back ends.
 
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use troy_ilp::Cancellation;
 
 use crate::implementation::Implementation;
 use crate::problem::SynthesisProblem;
@@ -17,6 +19,10 @@ pub struct SolveOptions {
     /// Backtracking-node budget per candidate license subset (exact solver)
     /// or per improvement round (heuristic).
     pub node_limit: usize,
+    /// Cooperative cancellation/deadline token. Solvers poll it in their
+    /// inner loops (alongside `time_limit`) and wind down gracefully when
+    /// it expires — the hook the portfolio racer and batch deadlines use.
+    pub cancel: Cancellation,
 }
 
 impl Default for SolveOptions {
@@ -24,6 +30,7 @@ impl Default for SolveOptions {
         SolveOptions {
             time_limit: Duration::from_secs(60),
             node_limit: 400_000,
+            cancel: Cancellation::new(),
         }
     }
 }
@@ -35,7 +42,24 @@ impl SolveOptions {
         SolveOptions {
             time_limit: Duration::from_secs(10),
             node_limit: 60_000,
+            ..SolveOptions::default()
         }
+    }
+
+    /// Same budgets, different cancellation token — how the portfolio
+    /// derives per-backend options from one shared configuration.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Cancellation) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// `true` once the solve that started at `start` is out of budget:
+    /// past `time_limit`, cancelled, or past the token's deadline. The
+    /// single check every solver inner loop performs.
+    #[must_use]
+    pub fn out_of_time(&self, start: Instant) -> bool {
+        start.elapsed() > self.time_limit || self.cancel.is_expired()
     }
 }
 

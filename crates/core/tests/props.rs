@@ -46,6 +46,7 @@ fn opts() -> SolveOptions {
     SolveOptions {
         time_limit: Duration::from_secs(15),
         node_limit: 120_000,
+        ..SolveOptions::default()
     }
 }
 

@@ -34,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod export;
 mod model;
 mod presolve;
 mod simplex;
 mod solve;
 
+pub use cancel::Cancellation;
 pub use export::to_lp_format;
 pub use model::{Cmp, Constraint, LinExpr, Model, Sense, VarId, VarKind, Variable};
 pub use presolve::{presolve, Presolved};

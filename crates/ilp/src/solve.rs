@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::cancel::Cancellation;
 use crate::model::{Cmp, Model, Sense, VarKind};
 use crate::simplex::{solve_lp, LpOutcome, LpProblem, SparseCol};
 
@@ -41,6 +42,10 @@ pub struct SolveParams {
     /// the fractional integer variables of the highest priority present,
     /// the most fractional one is chosen.
     pub branch_priority: Vec<i32>,
+    /// Cooperative cancellation token polled once per branch-and-bound
+    /// node. Expiry behaves exactly like the time limit: the best
+    /// incumbent (if any) is returned as [`SolveStatus::Feasible`].
+    pub cancel: Cancellation,
 }
 
 impl Default for SolveParams {
@@ -53,6 +58,7 @@ impl Default for SolveParams {
             mip_start: None,
             integral_objective: false,
             branch_priority: Vec::new(),
+            cancel: Cancellation::new(),
         }
     }
 }
@@ -299,6 +305,10 @@ impl Model {
                     limit_hit = true;
                     break;
                 }
+            }
+            if params.cancel.is_expired() {
+                limit_hit = true;
+                break;
             }
             if nodes >= params.node_limit {
                 limit_hit = true;

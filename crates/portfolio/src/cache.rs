@@ -1,0 +1,650 @@
+//! Content-addressed result cache.
+//!
+//! A solved problem is memoized under a canonical 128-bit fingerprint of
+//! everything that determines the answer: the DFG (name, node kinds,
+//! edges), the catalog (every offering's area and cost), the constraint
+//! set (mode, λ_det, λ_rec, A̅, closely-related pairs), the engine that
+//! solved it and its budget. Two layers back the fingerprint: a
+//! process-local map and an optional on-disk directory of one JSON file
+//! per entry, so a re-run of an unchanged experiment grid (all Table 3/4
+//! rows) costs file reads instead of solver hours.
+//!
+//! Cached designs are **re-validated on load** against the problem they
+//! claim to solve — a corrupted or stale file silently degrades to a
+//! cache miss, never to a wrong answer.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use troyhls::{
+    Assignment, Implementation, Mode, Role, SolveOptions, Synthesis, SynthesisProblem, VendorId,
+};
+
+use crate::race::{Backend, PortfolioResult};
+
+/// 128-bit content fingerprint, rendered as 32 hex digits (also the
+/// on-disk file stem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u64, u64);
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// Two independent FNV-1a streams over the same bytes; 64-bit FNV alone
+/// is too collision-prone to address results by content.
+struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        // Standard FNV-1a offset basis, and the same basis advanced over
+        // a domain-separation tag for the second stream.
+        let mut f = Fingerprint {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0xcbf2_9ce4_8422_2325,
+        };
+        for byte in b"troy-portfolio-cache-v1" {
+            f.b = (f.b ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        f
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.a = (self.a ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            self.b = (self.b ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Length-prefix free framing: a field separator byte prevents
+        // adjacent variable-length fields from aliasing.
+        self.write_raw(0xfe);
+    }
+
+    fn write_raw(&mut self, byte: u8) {
+        self.a = (self.a ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        self.b = (self.b ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> CacheKey {
+        CacheKey(self.a, self.b)
+    }
+}
+
+/// Canonical fingerprint of `(problem, engine, budget)`.
+///
+/// `engine` names what will solve the problem (`"portfolio"` or a
+/// [`Backend::name`]); the budget is part of the key because timed-out
+/// best-effort answers legitimately differ across budgets.
+#[must_use]
+pub fn cache_key(problem: &SynthesisProblem, engine: &str, options: &SolveOptions) -> CacheKey {
+    let mut f = Fingerprint::new();
+    f.write(engine.as_bytes());
+    f.write_u64(options.time_limit.as_millis() as u64);
+    f.write_u64(options.node_limit as u64);
+
+    let dfg = problem.dfg();
+    f.write(dfg.name().as_bytes());
+    f.write_u64(dfg.len() as u64);
+    for n in dfg.node_ids() {
+        f.write_raw(dfg.kind(n) as u8);
+    }
+    for (from, to) in dfg.edges() {
+        f.write_u64(from.index() as u64);
+        f.write_u64(to.index() as u64);
+    }
+
+    let catalog = problem.catalog();
+    f.write_u64(catalog.num_vendors() as u64);
+    for vendor in catalog.vendors() {
+        for ip_type in troy_dfg::IpTypeId::all() {
+            if let Some(o) = catalog.offering(vendor, ip_type) {
+                f.write_u64(vendor.index() as u64);
+                f.write_u64(ip_type.index() as u64);
+                f.write_u64(o.area);
+                f.write_u64(o.cost);
+            }
+        }
+    }
+
+    f.write_raw(match problem.mode() {
+        Mode::DetectionOnly => 1,
+        Mode::DetectionRecovery => 2,
+    });
+    f.write_u64(problem.detection_latency() as u64);
+    f.write_u64(problem.recovery_latency() as u64);
+    f.write_u64(problem.area_limit());
+    for &(a, b) in problem.related_pairs() {
+        f.write_u64(a.index() as u64);
+        f.write_u64(b.index() as u64);
+    }
+    f.finish()
+}
+
+/// The serializable payload of one cache entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedEntry {
+    /// License cost of the cached design.
+    pub cost: u64,
+    /// Whether the cost was proven optimal.
+    pub proven_optimal: bool,
+    /// Whether the run was best-effort (the paper's `*`).
+    pub timed_out: bool,
+    /// [`Backend::name`] of the winning back end.
+    pub winner: String,
+    /// Number of operations the implementation covers.
+    pub num_ops: usize,
+    /// Flat assignments: `(op, role index, cycle, vendor)`.
+    pub assignments: Vec<(usize, usize, usize, usize)>,
+}
+
+impl CachedEntry {
+    /// Snapshot of a portfolio result.
+    #[must_use]
+    pub fn from_result(r: &PortfolioResult) -> Self {
+        CachedEntry {
+            cost: r.synthesis.cost,
+            proven_optimal: r.synthesis.proven_optimal,
+            timed_out: r.timed_out,
+            winner: r.winner.name().to_owned(),
+            num_ops: r.synthesis.implementation.num_ops(),
+            assignments: r
+                .synthesis
+                .implementation
+                .iter()
+                .map(|(copy, a)| {
+                    (
+                        copy.op.index(),
+                        copy.role.index(),
+                        a.cycle,
+                        a.vendor.index(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Rehydrates and **re-validates** the entry against `problem`.
+    /// Returns `None` when the entry does not describe a valid design of
+    /// the right cost for this problem (treated as a cache miss).
+    #[must_use]
+    pub fn to_result(&self, problem: &SynthesisProblem) -> Option<PortfolioResult> {
+        let winner = Backend::parse(&self.winner)?;
+        if self.num_ops != problem.dfg().len() {
+            return None;
+        }
+        let mut imp = Implementation::new(self.num_ops);
+        for &(op, role, cycle, vendor) in &self.assignments {
+            if op >= self.num_ops || vendor >= problem.catalog().num_vendors() {
+                return None;
+            }
+            let role = match role {
+                0 => Role::Nc,
+                1 => Role::Rc,
+                2 => Role::Recovery,
+                _ => return None,
+            };
+            imp.assign(
+                troy_dfg::NodeId::new(op),
+                role,
+                Assignment {
+                    cycle,
+                    vendor: VendorId::new(vendor),
+                },
+            );
+        }
+        if !troyhls::validate(problem, &imp).is_empty() || imp.license_cost(problem) != self.cost {
+            return None;
+        }
+        Some(PortfolioResult {
+            synthesis: Synthesis {
+                implementation: imp,
+                cost: self.cost,
+                proven_optimal: self.proven_optimal,
+            },
+            winner,
+            timed_out: self.timed_out,
+            from_cache: true,
+            elapsed: Duration::ZERO,
+        })
+    }
+
+    /// Serializes the entry as one line of JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"cost\":{},\"proven_optimal\":{},\"timed_out\":{},\"winner\":\"{}\",\"num_ops\":{},\"assignments\":[",
+            self.cost, self.proven_optimal, self.timed_out, self.winner, self.num_ops
+        );
+        for (i, (op, role, cycle, vendor)) in self.assignments.iter().enumerate() {
+            let comma = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{comma}[{op},{role},{cycle},{vendor}]");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses [`CachedEntry::to_json`] output (tolerant of key order).
+    #[must_use]
+    pub fn from_json(text: &str) -> Option<Self> {
+        let value = json::parse(text)?;
+        let obj = value.as_object()?;
+        let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let assignments = field("assignments")?
+            .as_array()?
+            .iter()
+            .map(|row| {
+                let quad = row.as_array()?;
+                if quad.len() != 4 {
+                    return None;
+                }
+                Some((
+                    quad[0].as_u64()? as usize,
+                    quad[1].as_u64()? as usize,
+                    quad[2].as_u64()? as usize,
+                    quad[3].as_u64()? as usize,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(CachedEntry {
+            cost: field("cost")?.as_u64()?,
+            proven_optimal: field("proven_optimal")?.as_bool()?,
+            timed_out: field("timed_out")?.as_bool()?,
+            winner: field("winner")?.as_str()?.to_owned(),
+            num_ops: field("num_ops")?.as_u64()? as usize,
+            assignments,
+        })
+    }
+}
+
+/// Two-layer (memory + optional disk) result cache, shareable across the
+/// batch pool's worker threads.
+#[derive(Debug)]
+pub struct ResultCache {
+    memory: Mutex<HashMap<CacheKey, CachedEntry>>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// A process-local cache with no disk layer.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            dir: None,
+        }
+    }
+
+    /// A cache persisted under `dir` (one `<fingerprint>.json` per entry),
+    /// created if missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error when `dir` cannot be created.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            dir: Some(dir),
+        })
+    }
+
+    /// The disk directory, when this cache has one.
+    #[must_use]
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of entries in the memory layer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.memory.lock().expect("cache lock").len()
+    }
+
+    /// `true` when the memory layer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key`, re-validating against `problem`. Disk hits are
+    /// promoted into the memory layer; invalid entries are misses.
+    #[must_use]
+    pub fn lookup(&self, key: &CacheKey, problem: &SynthesisProblem) -> Option<PortfolioResult> {
+        if let Some(entry) = self.memory.lock().expect("cache lock").get(key) {
+            return entry.to_result(problem);
+        }
+        let dir = self.dir.as_ref()?;
+        let text = std::fs::read_to_string(dir.join(format!("{key}.json"))).ok()?;
+        let entry = CachedEntry::from_json(&text)?;
+        let result = entry.to_result(problem)?;
+        self.memory.lock().expect("cache lock").insert(*key, entry);
+        Some(result)
+    }
+
+    /// Stores `result` under `key` in both layers. Disk write failures
+    /// are swallowed — the cache is an accelerator, not a database.
+    pub fn store(&self, key: &CacheKey, result: &PortfolioResult) {
+        let entry = CachedEntry::from_result(result);
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::write(dir.join(format!("{key}.json")), entry.to_json());
+        }
+        self.memory.lock().expect("cache lock").insert(*key, entry);
+    }
+}
+
+/// A deliberately tiny JSON subset parser (numbers, strings, bools,
+/// arrays, objects) — exactly what [`CachedEntry::to_json`] emits. The
+/// vendored `serde` is an API stub, so the cache carries its own codec.
+mod json {
+    pub(super) enum Value {
+        Num(u64),
+        Bool(bool),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    pub(super) fn parse(text: &str) -> Option<Value> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        (pos == bytes.len()).then_some(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while bytes
+            .get(*pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            *pos += 1;
+        }
+    }
+
+    fn eat(bytes: &[u8], pos: &mut usize, expected: u8) -> Option<()> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&expected) {
+            *pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b'{' => parse_object(bytes, pos),
+            b'[' => parse_array(bytes, pos),
+            b'"' => parse_string(bytes, pos).map(Value::Str),
+            b'0'..=b'9' => parse_number(bytes, pos),
+            b't' => parse_literal(bytes, pos, b"true").map(|()| Value::Bool(true)),
+            b'f' => parse_literal(bytes, pos, b"false").map(|()| Value::Bool(false)),
+            _ => None,
+        }
+    }
+
+    fn parse_literal(bytes: &[u8], pos: &mut usize, word: &[u8]) -> Option<()> {
+        if bytes[*pos..].starts_with(word) {
+            *pos += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        let start = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(Value::Num)
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+        eat(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos)? {
+                b'"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match bytes.get(*pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        _ => return None,
+                    }
+                    *pos += 1;
+                }
+                &byte if byte < 0x80 => {
+                    out.push(char::from(byte));
+                    *pos += 1;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        eat(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Some(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b']' => {
+                    *pos += 1;
+                    return Some(Value::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        eat(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Some(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            eat(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b'}' => {
+                    *pos += 1;
+                    return Some(Value::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::benchmarks;
+    use troyhls::{Catalog, ExactSolver, Synthesizer};
+
+    fn fig5() -> SynthesisProblem {
+        SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(22_000)
+            .build()
+            .expect("figure 5 instance is well-formed")
+    }
+
+    fn solved(problem: &SynthesisProblem) -> PortfolioResult {
+        let s = ExactSolver::new()
+            .synthesize(problem, &SolveOptions::quick())
+            .expect("figure 5 is feasible");
+        PortfolioResult {
+            timed_out: !s.proven_optimal,
+            synthesis: s,
+            winner: Backend::Exact,
+            from_cache: false,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_content_sensitive() {
+        let p = fig5();
+        let opts = SolveOptions::quick();
+        let k1 = cache_key(&p, "portfolio", &opts);
+        let k2 = cache_key(&p, "portfolio", &opts);
+        assert_eq!(k1, k2, "same content, same key");
+        assert_ne!(
+            k1,
+            cache_key(&p, "exact", &opts),
+            "engine tag is part of the key"
+        );
+
+        let tighter = SynthesisProblem::builder(benchmarks::polynom(), Catalog::table1())
+            .mode(Mode::DetectionRecovery)
+            .detection_latency(4)
+            .recovery_latency(3)
+            .area_limit(21_999)
+            .build()
+            .expect("still well-formed");
+        assert_ne!(
+            k1,
+            cache_key(&tighter, "portfolio", &opts),
+            "area bound is part of the key"
+        );
+        assert_eq!(k1.to_string().len(), 32);
+    }
+
+    #[test]
+    fn entry_round_trips_through_json() {
+        let p = fig5();
+        let entry = CachedEntry::from_result(&solved(&p));
+        let back = CachedEntry::from_json(&entry.to_json()).expect("own output parses");
+        assert_eq!(entry, back);
+    }
+
+    #[test]
+    fn rehydrated_entry_is_revalidated() {
+        let p = fig5();
+        let result = solved(&p);
+        let entry = CachedEntry::from_result(&result);
+        let again = entry.to_result(&p).expect("valid entry rehydrates");
+        assert_eq!(again.synthesis.cost, 4160);
+        assert!(again.from_cache);
+
+        // Corrupt the cost: validation rejects the entry.
+        let mut bad = entry.clone();
+        bad.cost = 1;
+        assert!(bad.to_result(&p).is_none(), "cost mismatch is a miss");
+
+        // Wrong problem shape: rejected too.
+        let mut tiny = entry;
+        tiny.num_ops = 1;
+        assert!(tiny.to_result(&p).is_none());
+    }
+
+    #[test]
+    fn garbage_json_is_a_miss_not_a_panic() {
+        for text in ["", "{", "[1,2", "{\"cost\":}", "nonsense", "{\"cost\":1}"] {
+            assert!(CachedEntry::from_json(text).is_none(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("troy-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = fig5();
+        let key = cache_key(&p, "portfolio", &SolveOptions::quick());
+
+        let cache = ResultCache::on_disk(&dir).expect("create cache dir");
+        assert!(cache.lookup(&key, &p).is_none(), "cold cache misses");
+        cache.store(&key, &solved(&p));
+        assert_eq!(cache.len(), 1);
+
+        // A fresh handle (empty memory layer) must hit via disk.
+        let reopened = ResultCache::on_disk(&dir).expect("reopen cache dir");
+        assert!(reopened.is_empty());
+        let hit = reopened.lookup(&key, &p).expect("warm cache hits");
+        assert!(hit.from_cache);
+        assert_eq!(hit.synthesis.cost, 4160);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,105 @@
+//! A minimal work-stealing pool over scoped threads.
+//!
+//! Tasks are identified by index so results come back in input order
+//! regardless of which worker ran them — the substrate that makes
+//! [`crate::solve_batch`] order-deterministic. Tasks are dealt
+//! round-robin into per-worker deques; an idle worker pops from its own
+//! queue front and steals from a rival's back, so neighbouring (often
+//! similarly sized) tasks stay with their owner and stolen work is the
+//! coldest in the victim's queue.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `run(0..tasks)` across up to `jobs` worker threads and returns
+/// the results in task order.
+///
+/// `jobs` is clamped to `1..=tasks`; with one job everything runs inline
+/// on the caller's thread in index order. Worker threads are scoped, so
+/// `run` may borrow from the caller's stack.
+///
+/// # Panics
+///
+/// Propagates a panic from any task (the scope joins all workers first).
+pub fn run_indexed<T, F>(jobs: usize, tasks: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, tasks.max(1));
+    if jobs <= 1 {
+        return (0..tasks).map(run).collect();
+    }
+
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((0..tasks).filter(|i| i % jobs == w).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let queues = &queues;
+            let slots = &slots;
+            let run = &run;
+            scope.spawn(move || loop {
+                let mut next = queues[w].lock().expect("queue lock").pop_front();
+                if next.is_none() {
+                    for off in 1..jobs {
+                        let victim = (w + off) % jobs;
+                        if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
+                            next = Some(i);
+                            break;
+                        }
+                    }
+                }
+                let Some(i) = next else { break };
+                let out = run(i);
+                *slots[i].lock().expect("slot lock") = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every task index was executed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for jobs in [1, 2, 4, 7] {
+            let out = run_indexed(jobs, 20, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "{jobs}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(4, 50, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let out: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_tasks_is_fine() {
+        let out = run_indexed(16, 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Racing the four synthesis back ends on one problem.
+//!
+//! The portfolio's contract is *deterministic* racing: the winner is the
+//! minimum of `(cost, backend priority)` over every back end that
+//! produced a design, never the first to cross the line. Cancellation
+//! only ever removes back ends that cannot win under that order:
+//!
+//! - the exact solver proving optimality (or infeasibility) cancels
+//!   everyone — no rival can beat a proven optimum, and on a cost tie the
+//!   exact solver wins by priority;
+//! - the ILP prover cancels the two heuristics (they cannot cost less
+//!   than a proven optimum and lose ties by priority) but **not** the
+//!   exact solver, which would win a tie and may still be racing;
+//! - the heuristics never prove anything and cancel nobody.
+//!
+//! Consequently `jobs = 1` (sequential with skip rules) and `jobs = N`
+//! (threads with cancellation) select the same winner whenever the back
+//! ends finish within budget, which the determinism suite pins down.
+
+use std::time::{Duration, Instant};
+
+use troyhls::{
+    AnnealingSolver, Cancellation, ExactSolver, GreedySolver, IlpSolver, SolveOptions, Synthesis,
+    SynthesisError, SynthesisProblem, Synthesizer,
+};
+
+/// Budget of the grace pass: when every racer died on an already-expired
+/// deadline, one greedy run with this budget (and a fresh token) still
+/// produces a valid incumbent, so a 1 ms deadline degrades to a fast
+/// best-effort answer instead of an error.
+const GRACE_TIME: Duration = Duration::from_secs(5);
+const GRACE_NODES: usize = 100_000;
+
+/// One synthesis back end of the portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// License-lattice best-first search ([`ExactSolver`]); proves.
+    Exact,
+    /// The paper's ILP formulation on `troy-ilp` ([`IlpSolver`]); proves.
+    Ilp,
+    /// Grow/shrink heuristic ([`GreedySolver`]); best effort.
+    Greedy,
+    /// Simulated annealing seeded from greedy ([`AnnealingSolver`]);
+    /// best effort, deterministic per seed.
+    Annealing,
+}
+
+impl Backend {
+    /// All back ends, in priority order (see [`Backend::priority`]).
+    pub const ALL: [Backend; 4] = [
+        Backend::Exact,
+        Backend::Ilp,
+        Backend::Greedy,
+        Backend::Annealing,
+    ];
+
+    /// Stable name used in reports, cache keys and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Exact => "exact",
+            Backend::Ilp => "ilp",
+            Backend::Greedy => "greedy",
+            Backend::Annealing => "annealing",
+        }
+    }
+
+    /// Parses a [`Backend::name`] string.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == s)
+    }
+
+    /// Tie-break rank for winner selection: lower wins on equal cost.
+    /// Provers outrank heuristics so a proven design is preferred among
+    /// equals, and the order is fixed so selection is deterministic.
+    #[must_use]
+    pub fn priority(self) -> usize {
+        match self {
+            Backend::Exact => 0,
+            Backend::Ilp => 1,
+            Backend::Greedy => 2,
+            Backend::Annealing => 3,
+        }
+    }
+
+    /// Whether this back end can prove optimality or infeasibility.
+    #[must_use]
+    pub fn can_prove(self) -> bool {
+        matches!(self, Backend::Exact | Backend::Ilp)
+    }
+
+    /// Instantiates the back end with its default configuration.
+    #[must_use]
+    pub fn solver(self) -> Box<dyn Synthesizer> {
+        match self {
+            Backend::Exact => Box::new(ExactSolver::new()),
+            Backend::Ilp => Box::new(IlpSolver::new()),
+            Backend::Greedy => Box::new(GreedySolver::new()),
+            Backend::Annealing => Box::new(AnnealingSolver::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of a portfolio run on one problem.
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// The winning design. `proven_optimal` is `true` when *any* back end
+    /// proved the winning cost optimal, even if the selected design came
+    /// from another back end at the same cost.
+    pub synthesis: Synthesis,
+    /// The back end whose design was selected.
+    pub winner: Backend,
+    /// `true` when the result is best-effort — the paper's `*` rows.
+    /// Always the negation of `synthesis.proven_optimal`.
+    pub timed_out: bool,
+    /// `true` when the result was served from a [`crate::ResultCache`].
+    pub from_cache: bool,
+    /// Wall-clock time of this run (zero-ish for cache hits).
+    pub elapsed: Duration,
+}
+
+/// Which rivals a freshly finished back end may cancel, given what it
+/// established. Only rivals that can no longer win selection go.
+fn cancellable_rivals(
+    finished: Backend,
+    outcome: &Result<Synthesis, SynthesisError>,
+) -> &'static [Backend] {
+    match outcome {
+        // A proof of infeasibility ends the race outright.
+        Err(SynthesisError::Infeasible) if finished.can_prove() => &Backend::ALL,
+        Ok(s) if s.proven_optimal => match finished {
+            Backend::Exact => &[Backend::Ilp, Backend::Greedy, Backend::Annealing],
+            Backend::Ilp => &[Backend::Greedy, Backend::Annealing],
+            _ => &[],
+        },
+        _ => &[],
+    }
+}
+
+/// Races all four back ends on `problem` and returns the deterministic
+/// winner (minimum `(cost, priority)` over all successful back ends).
+///
+/// `jobs >= 2` runs the back ends on scoped threads with cooperative
+/// cancellation; `jobs = 1` runs them sequentially in priority order,
+/// skipping back ends an earlier proof already eliminated — the same
+/// selection either way.
+///
+/// When every back end fails on an expired deadline, one bounded greedy
+/// *grace pass* (fresh token) still produces a valid best-effort design
+/// marked [`PortfolioResult::timed_out`] rather than an error.
+///
+/// # Errors
+///
+/// [`SynthesisError::Infeasible`] when a proving back end showed no
+/// design exists; [`SynthesisError::BudgetExhausted`] when even the
+/// grace pass found nothing in time.
+pub fn race(
+    problem: &SynthesisProblem,
+    options: &SolveOptions,
+    jobs: usize,
+) -> Result<PortfolioResult, SynthesisError> {
+    let t0 = Instant::now();
+    let outcomes = if jobs >= 2 {
+        race_parallel(problem, options)
+    } else {
+        race_sequential(problem, options)
+    };
+    select(problem, options, &outcomes, t0)
+}
+
+/// Per-backend outcome; `None` when the back end was skipped (sequential
+/// mode, eliminated by an earlier proof before it started).
+type Outcomes = [Option<Result<Synthesis, SynthesisError>>; 4];
+
+fn race_parallel(problem: &SynthesisProblem, options: &SolveOptions) -> Outcomes {
+    use std::sync::Mutex;
+
+    let tokens: Vec<Cancellation> = Backend::ALL
+        .iter()
+        .map(|_| options.cancel.child())
+        .collect();
+    let slots: Vec<Mutex<Option<Result<Synthesis, SynthesisError>>>> =
+        Backend::ALL.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for (i, backend) in Backend::ALL.into_iter().enumerate() {
+            let tokens = &tokens;
+            let slots = &slots;
+            let opts = options.clone().with_cancel(tokens[i].clone());
+            scope.spawn(move || {
+                let outcome = backend.solver().synthesize(problem, &opts);
+                for rival in cancellable_rivals(backend, &outcome) {
+                    tokens[rival.priority()].cancel();
+                }
+                *slots[i].lock().expect("outcome slot") = Some(outcome);
+            });
+        }
+    });
+
+    let mut out: Outcomes = [None, None, None, None];
+    for (i, slot) in slots.into_iter().enumerate() {
+        out[i] = slot.into_inner().expect("outcome slot");
+    }
+    out
+}
+
+fn race_sequential(problem: &SynthesisProblem, options: &SolveOptions) -> Outcomes {
+    let mut out: Outcomes = [None, None, None, None];
+    let mut eliminated = [false; 4];
+    for (i, backend) in Backend::ALL.into_iter().enumerate() {
+        if eliminated[i] {
+            continue;
+        }
+        let opts = options.clone().with_cancel(options.cancel.child());
+        let outcome = backend.solver().synthesize(problem, &opts);
+        for rival in cancellable_rivals(backend, &outcome) {
+            eliminated[rival.priority()] = true;
+        }
+        out[i] = Some(outcome);
+    }
+    out
+}
+
+fn select(
+    problem: &SynthesisProblem,
+    options: &SolveOptions,
+    outcomes: &Outcomes,
+    t0: Instant,
+) -> Result<PortfolioResult, SynthesisError> {
+    let mut best: Option<(u64, usize)> = None;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if let Some(Ok(s)) = outcome {
+            let key = (s.cost, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+    }
+
+    if let Some((cost, idx)) = best {
+        let winner = Backend::ALL[idx];
+        let Some(Ok(s)) = &outcomes[idx] else {
+            unreachable!("selection index points at a success")
+        };
+        let proven = outcomes
+            .iter()
+            .flatten()
+            .any(|o| matches!(o, Ok(p) if p.proven_optimal && p.cost == cost));
+        return Ok(PortfolioResult {
+            synthesis: Synthesis {
+                proven_optimal: proven,
+                ..s.clone()
+            },
+            winner,
+            timed_out: !proven,
+            from_cache: false,
+            elapsed: t0.elapsed(),
+        });
+    }
+
+    // A proof of infeasibility outranks budget failures.
+    let proven_infeasible = Backend::ALL.iter().any(|b| {
+        b.can_prove()
+            && matches!(
+                outcomes[b.priority()],
+                Some(Err(SynthesisError::Infeasible))
+            )
+    });
+    if proven_infeasible {
+        return Err(SynthesisError::Infeasible);
+    }
+
+    // Grace pass: every racer fell to the deadline. A fresh token and a
+    // small fixed budget keep the promise that a portfolio run returns a
+    // valid best incumbent whenever one is findable at all.
+    let grace = SolveOptions {
+        time_limit: GRACE_TIME,
+        node_limit: options.node_limit.min(GRACE_NODES),
+        cancel: Cancellation::new(),
+    };
+    match GreedySolver::new().synthesize(problem, &grace) {
+        Ok(s) => Ok(PortfolioResult {
+            synthesis: Synthesis {
+                proven_optimal: false,
+                ..s
+            },
+            winner: Backend::Greedy,
+            timed_out: true,
+            from_cache: false,
+            elapsed: t0.elapsed(),
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(Backend::parse("lingo"), None);
+    }
+
+    #[test]
+    fn priorities_are_distinct_and_ordered() {
+        let ps: Vec<usize> = Backend::ALL.iter().map(|b| b.priority()).collect();
+        assert_eq!(ps, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn only_provers_cancel() {
+        let proven = Ok(Synthesis {
+            implementation: troyhls::Implementation::new(1),
+            cost: 1,
+            proven_optimal: true,
+        });
+        assert_eq!(cancellable_rivals(Backend::Exact, &proven).len(), 3);
+        assert_eq!(cancellable_rivals(Backend::Ilp, &proven).len(), 2);
+        assert!(cancellable_rivals(Backend::Greedy, &proven).is_empty());
+        assert!(cancellable_rivals(Backend::Annealing, &proven).is_empty());
+
+        let unproven = Ok(Synthesis {
+            implementation: troyhls::Implementation::new(1),
+            cost: 1,
+            proven_optimal: false,
+        });
+        assert!(cancellable_rivals(Backend::Exact, &unproven).is_empty());
+
+        let infeasible = Err(SynthesisError::Infeasible);
+        assert_eq!(cancellable_rivals(Backend::Exact, &infeasible).len(), 4);
+        assert!(cancellable_rivals(Backend::Greedy, &infeasible).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Deadline and cancellation behavior: a portfolio run under an absurdly
+//! tight (or already expired) deadline must still return a *valid*
+//! best-effort design marked timed-out — the paper's `*` semantics — and
+//! must never panic or return garbage.
+
+use std::time::Duration;
+
+use troy_dfg::benchmarks;
+use troy_portfolio::race;
+use troyhls::{validate, Cancellation, Catalog, Mode, SolveOptions, SynthesisProblem};
+
+fn problem(name: &str, lambda: usize, area: u64) -> SynthesisProblem {
+    SynthesisProblem::builder(
+        benchmarks::by_name(name).expect("known benchmark"),
+        Catalog::paper8(),
+    )
+    .mode(Mode::DetectionOnly)
+    .detection_latency(lambda)
+    .area_limit(area)
+    .build()
+    .expect("table rows are well-formed")
+}
+
+fn options_with_deadline(budget: Duration) -> SolveOptions {
+    SolveOptions {
+        cancel: Cancellation::with_deadline(budget),
+        ..SolveOptions::quick()
+    }
+}
+
+/// The deadline contract: a feasible instance under any deadline — even
+/// one already in the past — yields a *valid* design, never a panic or an
+/// error. Whether it is the proven optimum (a back end beat the clock) or
+/// a best-effort incumbent marked `*` is the machine's business; the two
+/// flags must simply agree.
+#[track_caller]
+fn assert_survives_deadline(name: &str, lambda: usize, area: u64, budget: Duration, jobs: usize) {
+    let p = problem(name, lambda, area);
+    let r = race(&p, &options_with_deadline(budget), jobs)
+        .expect("grace pass guarantees an incumbent on feasible instances");
+    assert_eq!(
+        r.timed_out, !r.synthesis.proven_optimal,
+        "{name}: `*` must mean exactly `not proven`"
+    );
+    let violations = validate(&p, &r.synthesis.implementation);
+    assert!(violations.is_empty(), "{name}: {violations:?}");
+    assert_eq!(
+        r.synthesis.implementation.license_cost(&p),
+        r.synthesis.cost
+    );
+}
+
+#[test]
+fn millisecond_deadline_on_ellipticicass_returns_valid_incumbent() {
+    // Table 3 row: ellipticicass, λ = 8, A̅ = 30000.
+    assert_survives_deadline("ellipticicass", 8, 30_000, Duration::from_millis(1), 1);
+}
+
+#[test]
+fn millisecond_deadline_on_fir16_returns_valid_incumbent() {
+    // Table 3 row: fir16, λ = 6, A̅ = 200000.
+    assert_survives_deadline("fir16", 6, 200_000, Duration::from_millis(1), 1);
+}
+
+#[test]
+fn millisecond_deadline_with_parallel_race_is_equally_safe() {
+    assert_survives_deadline("ellipticicass", 8, 30_000, Duration::from_millis(1), 4);
+}
+
+#[test]
+fn already_expired_deadline_is_not_a_panic() {
+    assert_survives_deadline("fir16", 6, 200_000, Duration::ZERO, 2);
+}
+
+#[test]
+fn pre_cancelled_token_degrades_to_best_effort() {
+    let p = problem("ellipticicass", 8, 30_000);
+    let options = SolveOptions {
+        cancel: Cancellation::new(),
+        ..SolveOptions::quick()
+    };
+    options.cancel.cancel();
+    let r = race(&p, &options, 2).expect("grace pass still runs");
+    assert!(r.timed_out);
+    assert!(validate(&p, &r.synthesis.implementation).is_empty());
+}
+
+#[test]
+fn generous_deadline_changes_nothing() {
+    let p = problem("polynom", 3, 30_000);
+    let plain = race(&p, &SolveOptions::quick(), 1).expect("feasible");
+    let fenced = race(&p, &options_with_deadline(Duration::from_secs(3600)), 1).expect("feasible");
+    assert_eq!(plain.synthesis.cost, fenced.synthesis.cost);
+    assert_eq!(plain.winner, fenced.winner);
+    assert_eq!(plain.timed_out, fenced.timed_out);
+}
