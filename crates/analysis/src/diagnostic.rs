@@ -51,13 +51,16 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes.
 ///
-/// Three families:
+/// Four families:
 ///
 /// - `TD0xx` — **design-rule** findings: one code per [`troyhls::Violation`]
 ///   shape (the five vendor-diversity rules get one code each);
 /// - `TP0xx` — **problem/feasibility** findings computed *before* any
 ///   solver runs;
-/// - `TQ0xx` — **quality** lints on an otherwise complete binding.
+/// - `TQ0xx` — **quality** lints on an otherwise complete binding;
+/// - `TR0xx` — **resilience** findings: how a supervised synthesis run
+///   degraded (backend demotions, constraint relaxation, transient
+///   retries) on its way to the reported design.
 ///
 /// Codes are append-only: a published code never changes meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -108,10 +111,22 @@ pub enum Code {
     NearCollusion,
     /// TQ003: register pressure peaks with most copies live at once.
     RegisterPressure,
+    /// TR001: the reported design came from a fallback back end, not the
+    /// primary rung of the degradation ladder.
+    DegradedBackend,
+    /// TR002: the design satisfies a latency-relaxed variant of the
+    /// problem, not the constraints as originally stated.
+    ConstraintRelaxed,
+    /// TR003: a back end faulted (panicked or returned an invalid
+    /// design) and was demoted for the rest of the run.
+    BackendFault,
+    /// TR004: a transient fault (spurious cancellation) was absorbed by
+    /// retrying with backoff.
+    TransientRetried,
 }
 
 /// Total number of published codes.
-pub const NUM_CODES: usize = 19;
+pub const NUM_CODES: usize = 23;
 
 impl Code {
     /// Every published code, in code order.
@@ -137,6 +152,10 @@ impl Code {
             Code::RedundantLicense,
             Code::NearCollusion,
             Code::RegisterPressure,
+            Code::DegradedBackend,
+            Code::ConstraintRelaxed,
+            Code::BackendFault,
+            Code::TransientRetried,
         ]
     }
 
@@ -163,6 +182,10 @@ impl Code {
             Code::RedundantLicense => "TQ001",
             Code::NearCollusion => "TQ002",
             Code::RegisterPressure => "TQ003",
+            Code::DegradedBackend => "TR001",
+            Code::ConstraintRelaxed => "TR002",
+            Code::BackendFault => "TR003",
+            Code::TransientRetried => "TR004",
         }
     }
 
@@ -189,6 +212,10 @@ impl Code {
             Code::RedundantLicense => "redundant-license",
             Code::NearCollusion => "near-collusion",
             Code::RegisterPressure => "register-pressure",
+            Code::DegradedBackend => "degraded-backend",
+            Code::ConstraintRelaxed => "constraint-relaxed",
+            Code::BackendFault => "backend-fault",
+            Code::TransientRetried => "transient-retried",
         }
     }
 
@@ -229,6 +256,14 @@ impl Code {
             }
             Code::NearCollusion => "same-role copies two dependency hops apart share a vendor",
             Code::RegisterPressure => "register pressure peaks with most copies live at once",
+            Code::DegradedBackend => {
+                "the design came from a fallback back end, not the primary solver"
+            }
+            Code::ConstraintRelaxed => {
+                "the design satisfies latency-relaxed constraints, not the original ones"
+            }
+            Code::BackendFault => "a back end faulted during synthesis and was demoted",
+            Code::TransientRetried => "a transient fault was absorbed by retrying with backoff",
         }
     }
 
@@ -255,6 +290,10 @@ impl Code {
             Code::RedundantLicense => Some("eqs. (11)-(12)"),
             Code::NearCollusion => Some("eqs. (6)-(7)"),
             Code::RegisterPressure => None,
+            Code::DegradedBackend
+            | Code::ConstraintRelaxed
+            | Code::BackendFault
+            | Code::TransientRetried => None,
         }
     }
 
@@ -275,10 +314,16 @@ impl Code {
             | Code::InsufficientVendors
             | Code::AreaInfeasible
             | Code::InfeasibleLatency => Severity::Error,
-            Code::UnusableVendor | Code::RedundantLicense | Code::NearCollusion => {
-                Severity::Warning
-            }
-            Code::ZeroMobility | Code::TightVendorPool | Code::RegisterPressure => Severity::Note,
+            Code::UnusableVendor
+            | Code::RedundantLicense
+            | Code::NearCollusion
+            | Code::DegradedBackend
+            | Code::ConstraintRelaxed
+            | Code::BackendFault => Severity::Warning,
+            Code::ZeroMobility
+            | Code::TightVendorPool
+            | Code::RegisterPressure
+            | Code::TransientRetried => Severity::Note,
         }
     }
 
@@ -569,7 +614,12 @@ mod tests {
     fn families_match_prefixes() {
         for c in Code::all() {
             let s = c.as_str();
-            assert!(s.starts_with("TD") || s.starts_with("TP") || s.starts_with("TQ"));
+            assert!(
+                s.starts_with("TD")
+                    || s.starts_with("TP")
+                    || s.starts_with("TQ")
+                    || s.starts_with("TR")
+            );
             assert_eq!(s.len(), 5);
         }
     }

@@ -53,6 +53,13 @@ fn sample(code: Code) -> Diagnostic {
             .with_fixit(FixIt::rebind(o2_nc, vec![ven1])),
         Code::NearCollusion => d.at(Location::copy(o2_nc).on_vendor(ven1)),
         Code::RegisterPressure => d.at(Location::default().at_cycle(3)),
+        Code::DegradedBackend => d.with_fixit(FixIt::advice(
+            "raise --deadline to give the primary solver room",
+        )),
+        Code::ConstraintRelaxed => d.with_fixit(FixIt::advice(
+            "accept the relaxed latency or loosen other constraints",
+        )),
+        Code::BackendFault | Code::TransientRetried => d,
     }
 }
 

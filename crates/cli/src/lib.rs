@@ -27,6 +27,17 @@
 //!   --chart --dot --markdown --verilog --vcd         extra report sections
 //!   --lint                        append the full diagnostics report
 //!
+//! synth resilience options (any of them engages the supervisor, which
+//! runs the degradation ladder ILP → exact → annealing → greedy with
+//! per-rung deadlines, retry/backoff and panic isolation; incompatible
+//! with --solver, --portfolio and --cache-dir):
+//!   --deadline DUR                total wall-clock budget, e.g. 2s, 500ms
+//!   --max-retries N               retries per rung for transient faults
+//!   --no-degrade                  fail instead of descending the ladder
+//!   --chaos-seed N                deterministic fault injection (testing);
+//!                                 TROY_CHAOS=N in the environment does the
+//!                                 same for supervised runs
+//!
 //! batch options (regenerates the paper's experiment grid concurrently):
 //!   table3|table4|all             which grid         (default all)
 //!   --jobs N                      pool workers       (default: TROY_JOBS/cores)
@@ -46,7 +57,9 @@
 //! ```
 //!
 //! Exit codes: `0` success, `1` blocking diagnostics from `lint`, `2`
-//! usage/input/synthesis errors.
+//! usage/input/synthesis errors, `3` a supervised `synth` returned a
+//! *degraded* result (fallback back end, relaxed constraints or the
+//! grace pass — see the report for details).
 //!
 //! `synth` checks every solver result through the same `troy-analysis`
 //! engine `lint` uses, so the two paths cannot report differently.
@@ -57,11 +70,14 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use troy_analysis::{AnalysisOptions, Analyzer, Code, Severity};
+use troy_analysis::{AnalysisOptions, Analyzer, Code, Diagnostic, FixIt, Severity};
 use troy_bench::{format_table, harness_options, run_rows, table3_specs, table4_specs};
 use troy_dfg::{parse_dfg, Dfg};
 use troy_portfolio::{
     cache_key, default_jobs, race, Backend, BatchConfig, PortfolioResult, ResultCache,
+};
+use troy_resilience::{
+    parse_duration, supervise, Chaos, Supervised, SupervisorConfig, CHAOS_PANIC_MARKER, LADDER,
 };
 use troyhls::{
     emit_verilog, implementation_dot, markdown_summary, schedule_chart, AnnealingSolver, Catalog,
@@ -89,7 +105,8 @@ fn err(msg: impl Into<String>) -> CliError {
 /// output is appended to `out`.
 ///
 /// Returns the process exit code: `0` on success, `1` when `lint` found
-/// blocking diagnostics.
+/// blocking diagnostics, `3` when a supervised `synth` returned a
+/// degraded result.
 ///
 /// # Errors
 ///
@@ -112,7 +129,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
                 "fft8",
                 "dct8",
             ] {
-                let g = troy_dfg::benchmarks::by_name(name).expect("built-in");
+                let g = troy_dfg::benchmarks::by_name(name)
+                    .ok_or_else(|| err(format!("internal: built-in benchmark `{name}` missing")))?;
                 let _ = writeln!(
                     out,
                     "  {name:<14} {:>3} ops, depth {}",
@@ -136,7 +154,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
         Some("synth") => {
             let target = it.next().ok_or_else(|| err("synth: missing <dfg>"))?;
             let rest: Vec<String> = it.cloned().collect();
-            synth(target, &rest, out).map(|()| 0)
+            synth(target, &rest, out)
         }
         Some("batch") => {
             let rest: Vec<String> = it.cloned().collect();
@@ -446,15 +464,99 @@ fn bench_record(config: &BatchConfig, measured: &[(&str, usize, Option<f64>, f64
     json
 }
 
+/// Quietens the process panic hook for *injected* chaos panics (their
+/// payloads carry [`CHAOS_PANIC_MARKER`]) while forwarding real ones —
+/// a chaos run's stderr stays readable. Installed at most once.
+fn quiet_injected_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains(CHAOS_PANIC_MARKER))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains(CHAOS_PANIC_MARKER));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Translates a supervised run's degradation events into the stable
+/// `TR0xx` diagnostic codes, so `--lint` reports them alongside the
+/// design-rule findings.
+fn resilience_diagnostics(sup: &Supervised) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if sup.backend != LADDER[0] || sup.degradation.grace {
+        let via = if sup.degradation.grace {
+            "the grace pass".to_owned()
+        } else {
+            format!("fallback back end `{}`", sup.backend)
+        };
+        out.push(
+            Diagnostic::new(
+                Code::DegradedBackend,
+                format!(
+                    "design produced by {via}, not the primary `{}` rung",
+                    LADDER[0]
+                ),
+            )
+            .with_fixit(FixIt::advice(
+                "raise --deadline to give the primary solver room",
+            )),
+        );
+    }
+    if sup.relaxation > 0 {
+        out.push(
+            Diagnostic::new(
+                Code::ConstraintRelaxed,
+                format!(
+                    "latency constraints were relaxed by {} cycle(s): the design meets \
+                     λ_det={}, λ_rec={}, not the bounds as stated",
+                    sup.relaxation,
+                    sup.problem.detection_latency(),
+                    sup.problem.recovery_latency(),
+                ),
+            )
+            .with_fixit(FixIt::advice(
+                "accept the relaxed latency or loosen the area/catalog constraints",
+            )),
+        );
+    }
+    for (backend, reason) in &sup.degradation.demoted {
+        out.push(Diagnostic::new(
+            Code::BackendFault,
+            format!("back end `{backend}` faulted and was demoted: {reason}"),
+        ));
+    }
+    let retries = sup.degradation.retries();
+    if retries > 0 {
+        out.push(Diagnostic::new(
+            Code::TransientRetried,
+            format!("{retries} transient fault(s) absorbed by retrying with backoff"),
+        ));
+    }
+    out
+}
+
 #[allow(clippy::too_many_lines)]
-fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError> {
+fn synth(target: &str, args: &[String], out: &mut String) -> Result<i32, CliError> {
     let g = load_dfg(target)?;
     let mut flags = ProblemFlags::new();
-    let mut solver_name = "exact".to_owned();
+    let mut solver_name: Option<String> = None;
     let mut time_limit = 60u64;
     let mut portfolio = false;
     let mut jobs: Option<usize> = None;
     let mut cache_dir: Option<String> = None;
+    let mut deadline: Option<Duration> = None;
+    let mut max_retries: Option<usize> = None;
+    let mut no_degrade = false;
+    let mut chaos_seed: Option<u64> = None;
     let (mut chart, mut dot, mut markdown, mut verilog, mut vcd, mut want_lint) =
         (false, false, false, false, false, false);
 
@@ -466,7 +568,7 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
         }
         match args[i].as_str() {
             "--solver" => {
-                take_value(args, &mut i, "--solver")?.clone_into(&mut solver_name);
+                solver_name = Some(take_value(args, &mut i, "--solver")?.to_owned());
             }
             "--portfolio" => portfolio = true,
             "--jobs" => {
@@ -480,6 +582,29 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
                     .parse()
                     .map_err(|_| err("--time-limit: expected seconds"))?;
             }
+            "--deadline" => {
+                let v = take_value(args, &mut i, "--deadline")?;
+                deadline = Some(parse_duration(v).ok_or_else(|| {
+                    err(format!(
+                        "--deadline: cannot parse `{v}` (try 2s, 500ms, 1m)"
+                    ))
+                })?);
+            }
+            "--max-retries" => {
+                max_retries = Some(
+                    take_value(args, &mut i, "--max-retries")?
+                        .parse()
+                        .map_err(|_| err("--max-retries: expected a number"))?,
+                );
+            }
+            "--no-degrade" => no_degrade = true,
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    take_value(args, &mut i, "--chaos-seed")?
+                        .parse()
+                        .map_err(|_| err("--chaos-seed: expected a u64 seed"))?,
+                );
+            }
             "--chart" => chart = true,
             "--dot" => dot = true,
             "--markdown" => markdown = true,
@@ -491,6 +616,16 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
         i += 1;
     }
 
+    let supervised_run =
+        deadline.is_some() || max_retries.is_some() || no_degrade || chaos_seed.is_some();
+    if supervised_run && (solver_name.is_some() || portfolio || cache_dir.is_some()) {
+        return Err(err(
+            "resilience flags (--deadline/--max-retries/--no-degrade/--chaos-seed) pick \
+             their own back ends and bypass the result cache; drop --solver, --portfolio \
+             and --cache-dir",
+        ));
+    }
+
     let mode = flags.mode;
     let problem = flags.build(g)?;
 
@@ -498,54 +633,105 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
         time_limit: Duration::from_secs(time_limit),
         ..SolveOptions::default()
     };
-    let backend = Backend::parse(&solver_name)
-        .ok_or_else(|| err(format!("--solver: unknown `{solver_name}`")))?;
-    let engine = if portfolio {
-        "portfolio"
-    } else {
-        backend.name()
-    };
-    let cache = open_cache(cache_dir.as_deref())?;
-    let key = cache_key(&problem, engine, &options);
 
-    let solved = if let Some(hit) = cache.as_ref().and_then(|c| c.lookup(&key, &problem)) {
-        hit
+    // (result, engine label, the problem the design actually satisfies,
+    //  the supervision record when the supervisor ran)
+    let (solved, engine_label, solved_problem, supervision): (
+        PortfolioResult,
+        String,
+        SynthesisProblem,
+        Option<Supervised>,
+    ) = if supervised_run {
+        let chaos = chaos_seed.map_or_else(Chaos::from_env, Chaos::seeded);
+        if chaos.is_enabled() {
+            quiet_injected_panics();
+        }
+        let config = SupervisorConfig {
+            deadline: deadline.unwrap_or_else(|| Duration::from_secs(time_limit)),
+            max_retries: max_retries.unwrap_or(2),
+            degrade: !no_degrade,
+            options: options.clone(),
+            ..SupervisorConfig::default()
+        };
+        let sup = supervise(&problem, &config, &chaos).map_err(|e| {
+            err(format!(
+                "synthesis failed: {e}\ndegradation report:\n{}",
+                e.degradation.summary().trim_end()
+            ))
+        })?;
+        let solved = PortfolioResult {
+            timed_out: !sup.synthesis.proven_optimal,
+            synthesis: sup.synthesis.clone(),
+            winner: sup.backend,
+            from_cache: false,
+            elapsed: sup.elapsed,
+        };
+        let label = format!("supervised[{}]", sup.backend);
+        let solved_problem = sup.problem.clone();
+        (solved, label, solved_problem, Some(sup))
     } else {
-        let fresh = if portfolio {
-            race(&problem, &options, jobs.unwrap_or_else(default_jobs))
+        let backend = match &solver_name {
+            Some(name) => {
+                Backend::parse(name).ok_or_else(|| err(format!("--solver: unknown `{name}`")))?
+            }
+            None => Backend::Exact,
+        };
+        let engine = if portfolio {
+            "portfolio"
         } else {
-            let t0 = Instant::now();
-            backend
-                .solver()
-                .synthesize(&problem, &options)
-                .map(|s| PortfolioResult {
-                    timed_out: !s.proven_optimal,
-                    synthesis: s,
-                    winner: backend,
-                    from_cache: false,
-                    elapsed: t0.elapsed(),
-                })
-        }
-        .map_err(|e| err(format!("synthesis failed: {e}")))?;
-        if let Some(cache) = &cache {
-            cache.store(&key, &fresh);
-        }
-        fresh
+            backend.name()
+        };
+        let cache = open_cache(cache_dir.as_deref())?;
+        let key = cache_key(&problem, engine, &options);
+
+        let solved = if let Some(hit) = cache.as_ref().and_then(|c| c.lookup(&key, &problem)) {
+            hit
+        } else {
+            let fresh = if portfolio {
+                race(&problem, &options, jobs.unwrap_or_else(default_jobs))
+            } else {
+                let t0 = Instant::now();
+                backend
+                    .solver()
+                    .synthesize(&problem, &options)
+                    .map(|s| PortfolioResult {
+                        timed_out: !s.proven_optimal,
+                        synthesis: s,
+                        winner: backend,
+                        from_cache: false,
+                        elapsed: t0.elapsed(),
+                    })
+            }
+            .map_err(|e| err(format!("synthesis failed: {e}")))?;
+            if let Some(cache) = &cache {
+                cache.store(&key, &fresh);
+            }
+            fresh
+        };
+        let label = if portfolio {
+            format!("portfolio[{}]", solved.winner)
+        } else {
+            backend.name().to_owned()
+        };
+        (solved, label, problem, None)
     };
+    let problem = solved_problem;
     let result = &solved.synthesis;
-    let engine_label = if portfolio {
-        format!("portfolio[{}]", solved.winner)
-    } else {
-        backend.name().to_owned()
-    };
     // Post-solve check through the same engine `lint` uses: a solver bug
     // surfaces as the full coded diagnostics report, not a bare assert.
-    let check = troy_analysis::lint(&problem, Some(&result.implementation));
+    // Supervised runs are linted against the problem the design actually
+    // satisfies (possibly latency-relaxed), so a legitimate relaxation is
+    // reported as TR002, not a spurious scheduling error.
+    let mut check = troy_analysis::lint(&problem, Some(&result.implementation));
     if check.count(Severity::Error) > 0 {
         return Err(err(format!(
             "internal: {engine_label} produced an invalid design\n{}",
             check.to_text()
         )));
+    }
+    if let Some(sup) = &supervision {
+        check.diagnostics.extend(resilience_diagnostics(sup));
+        check.diagnostics.sort_by_key(Diagnostic::sort_key);
     }
 
     let stats = result.implementation.stats(&problem);
@@ -564,9 +750,18 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
         if solved.from_cache { " (cached)" } else { "" },
     );
     let _ = writeln!(out, "{stats}");
+    if let Some(sup) = &supervision {
+        if sup.degraded() {
+            let _ = writeln!(out, "degraded result (exit 3):");
+            let _ = write!(out, "{}", sup.degradation.summary());
+        }
+    }
     let _ = writeln!(out, "licenses:");
     for l in result.implementation.licenses_used(&problem) {
-        let off = problem.catalog().offering_of(l).expect("used license");
+        let off = problem
+            .catalog()
+            .offering_of(l)
+            .ok_or_else(|| err(format!("internal: design uses unknown license `{l}`")))?;
         let _ = writeln!(out, "  {l:<22} area {:>6}  ${}", off.area, off.cost);
     }
     if chart {
@@ -607,7 +802,10 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<(), CliError
     if want_lint {
         let _ = writeln!(out, "\n{}", check.to_text().trim_end());
     }
-    Ok(())
+    Ok(match &supervision {
+        Some(sup) if sup.degraded() => 3,
+        _ => 0,
+    })
 }
 
 #[allow(clippy::too_many_lines)]
@@ -1006,6 +1204,89 @@ mod tests {
         assert!(out.contains("portfolio[exact]"), "{out}");
         assert!(out.contains("$4160"), "{out}");
         assert!(!out.contains("best effort"), "{out}");
+    }
+
+    #[test]
+    fn synth_deadline_engages_the_supervisor() {
+        let (out, code) = cli_with_code(&[
+            "synth",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--mode",
+            "detection",
+            "--deadline",
+            "10s",
+        ])
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("supervised[ilp]"), "{out}");
+        assert!(!out.contains("degraded result"), "{out}");
+    }
+
+    #[test]
+    fn synth_resilience_flags_reject_solver_portfolio_and_cache() {
+        for extra in [
+            ["--solver", "exact"],
+            ["--portfolio", "--jobs"],
+            ["--cache-dir", "/tmp/x"],
+        ] {
+            let mut args = vec!["synth", "polynom", "--deadline", "2s"];
+            args.extend(extra.iter().filter(|a| !a.is_empty()));
+            if args.contains(&"--jobs") {
+                args.push("2");
+            }
+            let e = cli(&args).unwrap_err();
+            assert!(e.0.contains("resilience flags"), "{args:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn synth_resilience_flag_values_are_validated() {
+        assert!(cli(&["synth", "polynom", "--deadline", "soon"])
+            .unwrap_err()
+            .0
+            .contains("--deadline"));
+        assert!(cli(&["synth", "polynom", "--max-retries", "many"])
+            .unwrap_err()
+            .0
+            .contains("--max-retries"));
+        assert!(cli(&["synth", "polynom", "--chaos-seed", "-1"])
+            .unwrap_err()
+            .0
+            .contains("--chaos-seed"));
+    }
+
+    #[test]
+    fn synth_chaos_panic_degrades_with_exit_3_and_tr_diagnostics() {
+        use troy_resilience::InjectedFault;
+        // A seed whose schedule panics the primary (ILP) rung's first
+        // attempt: the supervisor must demote it and descend, making the
+        // result degraded by construction — deterministic, no timing.
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                Chaos::seeded(s).fault_for_attempt(Backend::Ilp, 0, 0) == Some(InjectedFault::Panic)
+            })
+            .expect("some seed panics the first ILP attempt");
+        let (out, code) = cli_with_code(&[
+            "synth",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--mode",
+            "detection",
+            "--deadline",
+            "10s",
+            "--chaos-seed",
+            &seed.to_string(),
+            "--lint",
+        ])
+        .unwrap();
+        assert_eq!(code, 3, "{out}");
+        assert!(out.contains("degraded result (exit 3):"), "{out}");
+        assert!(!out.contains("supervised[ilp]"), "{out}");
+        assert!(out.contains("TR001"), "{out}");
+        assert!(out.contains("TR003"), "{out}");
     }
 
     fn scratch_dir(name: &str) -> std::path::PathBuf {

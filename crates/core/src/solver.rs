@@ -83,6 +83,11 @@ pub enum SynthesisError {
     Infeasible,
     /// The budget ran out before any valid design was found.
     BudgetExhausted,
+    /// The back end panicked and was caught at an isolation boundary
+    /// (portfolio race, batch pool or resilience supervisor); the payload
+    /// is the panic message. A panicking back end never aborts a run — it
+    /// is reported as this typed failure and demoted.
+    Panicked(String),
 }
 
 impl fmt::Display for SynthesisError {
@@ -93,6 +98,9 @@ impl fmt::Display for SynthesisError {
             }
             SynthesisError::BudgetExhausted => {
                 write!(f, "solve budget exhausted before a design was found")
+            }
+            SynthesisError::Panicked(msg) => {
+                write!(f, "solver back end panicked: {msg}")
             }
         }
     }
@@ -141,5 +149,8 @@ mod tests {
         assert!(SynthesisError::BudgetExhausted
             .to_string()
             .contains("budget"));
+        assert!(SynthesisError::Panicked("index out of bounds".into())
+            .to_string()
+            .contains("index out of bounds"));
     }
 }

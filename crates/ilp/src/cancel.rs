@@ -103,6 +103,33 @@ impl Cancellation {
         }
     }
 
+    /// A child token that additionally expires `budget` from now.
+    ///
+    /// The effective deadline is the *earlier* of the parent's deadline
+    /// and `now + budget`, so a supervisor can hand each attempt a slice
+    /// of its own budget without ever extending it — the per-backend
+    /// deadline hook the resilience supervisor builds on.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use troy_ilp::Cancellation;
+    ///
+    /// let run = Cancellation::with_deadline(Duration::from_secs(60));
+    /// let attempt = run.child_with_deadline(Duration::from_millis(0));
+    /// assert!(attempt.is_expired(), "attempt budget binds first");
+    /// assert!(!run.is_expired(), "the run keeps its own deadline");
+    /// ```
+    #[must_use]
+    pub fn child_with_deadline(&self, budget: Duration) -> Cancellation {
+        let mut child = self.child();
+        let attempt = Instant::now().checked_add(budget);
+        child.deadline = match (child.deadline, attempt) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        child
+    }
+
     /// The absolute deadline, when one was set.
     #[must_use]
     pub fn deadline(&self) -> Option<Instant> {
@@ -194,6 +221,32 @@ mod tests {
         parent.cancel();
         assert!(child.is_expired());
         assert!(grandchild.is_expired());
+    }
+
+    #[test]
+    fn child_with_deadline_takes_the_earlier_bound() {
+        // Tighter child budget binds while the parent stays live.
+        let parent = Cancellation::with_deadline(Duration::from_secs(3600));
+        let attempt = parent.child_with_deadline(Duration::from_millis(0));
+        assert!(attempt.is_expired());
+        assert!(!attempt.is_cancelled());
+        assert!(!parent.is_expired());
+
+        // A looser child budget cannot extend past the parent's deadline.
+        let tight = Cancellation::with_deadline(Duration::from_millis(0));
+        let loose = tight.child_with_deadline(Duration::from_secs(3600));
+        assert!(loose.is_expired());
+
+        // Without any parent deadline, the child budget alone applies.
+        let free = Cancellation::new();
+        let sliced = free.child_with_deadline(Duration::from_secs(3600));
+        assert!(!sliced.is_expired());
+        assert!(sliced.deadline().is_some());
+        assert!(free.deadline().is_none());
+
+        // Parent cancellation still reaches the deadline child.
+        free.cancel();
+        assert!(sliced.is_expired());
     }
 
     #[test]

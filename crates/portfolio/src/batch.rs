@@ -13,7 +13,7 @@ use troyhls::{SolveOptions, SynthesisError, SynthesisProblem};
 
 use crate::cache::{cache_key, ResultCache};
 use crate::pool::run_indexed;
-use crate::race::{race, Backend, PortfolioResult};
+use crate::race::{race, synthesize_isolated, Backend, PortfolioResult};
 
 /// How a batch runs.
 #[derive(Debug, Clone)]
@@ -97,17 +97,13 @@ fn solve_one(
         race(problem, &options, 1)
     } else {
         let t0 = Instant::now();
-        config
-            .backend
-            .solver()
-            .synthesize(problem, &options)
-            .map(|s| PortfolioResult {
-                timed_out: !s.proven_optimal,
-                synthesis: s,
-                winner: config.backend,
-                from_cache: false,
-                elapsed: t0.elapsed(),
-            })
+        synthesize_isolated(config.backend, problem, &options).map(|s| PortfolioResult {
+            timed_out: !s.proven_optimal,
+            synthesis: s,
+            winner: config.backend,
+            from_cache: false,
+            elapsed: t0.elapsed(),
+        })
     };
     if let (Some(cache), Ok(r)) = (cache, &result) {
         cache.store(&key, r);

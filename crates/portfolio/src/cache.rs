@@ -273,10 +273,19 @@ impl CachedEntry {
 
 /// Two-layer (memory + optional disk) result cache, shareable across the
 /// batch pool's worker threads.
+///
+/// Disk writes are **atomic**: each entry is written to a temporary file
+/// in the cache directory, fsynced, then renamed over the final name (and
+/// the directory fsynced), so a process killed mid-store can never leave
+/// a torn entry under a live key. Disk entries that fail parsing or
+/// re-validation on load are **quarantined** — renamed to
+/// `<fingerprint>.json.corrupt` — instead of being silently re-read on
+/// every lookup; [`ResultCache::quarantined`] counts them.
 #[derive(Debug)]
 pub struct ResultCache {
     memory: Mutex<HashMap<CacheKey, CachedEntry>>,
     dir: Option<PathBuf>,
+    quarantined: std::sync::atomic::AtomicUsize,
 }
 
 impl ResultCache {
@@ -286,6 +295,7 @@ impl ResultCache {
         ResultCache {
             memory: Mutex::new(HashMap::new()),
             dir: None,
+            quarantined: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -301,7 +311,15 @@ impl ResultCache {
         Ok(ResultCache {
             memory: Mutex::new(HashMap::new()),
             dir: Some(dir),
+            quarantined: std::sync::atomic::AtomicUsize::new(0),
         })
+    }
+
+    /// Number of disk entries this handle quarantined (renamed to
+    /// `.corrupt`) after they failed parsing or re-validation.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The disk directory, when this cache has one.
@@ -323,29 +341,80 @@ impl ResultCache {
     }
 
     /// Looks up `key`, re-validating against `problem`. Disk hits are
-    /// promoted into the memory layer; invalid entries are misses.
+    /// promoted into the memory layer; invalid entries are misses, and a
+    /// disk file that fails parsing or re-validation is quarantined (see
+    /// the type docs) so it is never re-read.
     #[must_use]
     pub fn lookup(&self, key: &CacheKey, problem: &SynthesisProblem) -> Option<PortfolioResult> {
         if let Some(entry) = self.memory.lock().expect("cache lock").get(key) {
             return entry.to_result(problem);
         }
         let dir = self.dir.as_ref()?;
-        let text = std::fs::read_to_string(dir.join(format!("{key}.json"))).ok()?;
-        let entry = CachedEntry::from_json(&text)?;
-        let result = entry.to_result(problem)?;
+        let path = dir.join(format!("{key}.json"));
+        let text = std::fs::read_to_string(&path).ok()?;
+        let validated = CachedEntry::from_json(&text).and_then(|e| {
+            let r = e.to_result(problem)?;
+            Some((e, r))
+        });
+        let Some((entry, result)) = validated else {
+            // Move the bad file aside (best effort): subsequent lookups
+            // miss cleanly, and the evidence survives for inspection.
+            let _ = std::fs::rename(&path, dir.join(format!("{key}.json.corrupt")));
+            self.quarantined
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return None;
+        };
         self.memory.lock().expect("cache lock").insert(*key, entry);
         Some(result)
     }
 
     /// Stores `result` under `key` in both layers. Disk write failures
-    /// are swallowed — the cache is an accelerator, not a database.
+    /// are swallowed — the cache is an accelerator, not a database — but
+    /// the write itself is atomic (temp file + rename + directory sync),
+    /// so readers and survivors of a crash see either no entry or a
+    /// complete one, never a torn prefix.
     pub fn store(&self, key: &CacheKey, result: &PortfolioResult) {
         let entry = CachedEntry::from_result(result);
         if let Some(dir) = &self.dir {
-            let _ = std::fs::write(dir.join(format!("{key}.json")), entry.to_json());
+            let _ = write_atomic(dir, &format!("{key}.json"), entry.to_json().as_bytes());
         }
         self.memory.lock().expect("cache lock").insert(*key, entry);
     }
+}
+
+/// Writes `bytes` to `dir/name` atomically: a unique temp file in the
+/// same directory is written and fsynced, renamed over the final name,
+/// and the directory itself fsynced so the rename is durable. A crash at
+/// any point leaves either the old content or the new — never a torn
+/// file under the final name.
+fn write_atomic(dir: &std::path::Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+
+    // The temp name is unique per (process, thread) so concurrent stores
+    // of the same key cannot clobber each other's scratch file; the final
+    // rename is last-writer-wins either way.
+    let tmp = dir.join(format!(
+        "{name}.tmp.{}.{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, dir.join(name))?;
+        // Directory sync makes the rename itself durable; not all
+        // platforms support opening directories, so failure to sync is
+        // not failure to store.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// A deliberately tiny JSON subset parser (numbers, strings, bools,
@@ -624,6 +693,69 @@ mod tests {
         for text in ["", "{", "[1,2", "{\"cost\":}", "nonsense", "{\"cost\":1}"] {
             assert!(CachedEntry::from_json(text).is_none(), "{text:?}");
         }
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_quarantined_not_served() {
+        let dir = std::env::temp_dir().join(format!("troy-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = fig5();
+        let key = cache_key(&p, "portfolio", &SolveOptions::quick());
+        let cache = ResultCache::on_disk(&dir).expect("create cache dir");
+
+        // A torn prefix of a real entry: parses as truncated JSON (fails),
+        // must quarantine rather than hit.
+        let full = CachedEntry::from_result(&solved(&p)).to_json();
+        let torn = &full[..full.len() / 2];
+        std::fs::write(dir.join(format!("{key}.json")), torn).unwrap();
+        assert!(cache.lookup(&key, &p).is_none(), "torn entry is a miss");
+        assert_eq!(cache.quarantined(), 1);
+        assert!(
+            dir.join(format!("{key}.json.corrupt")).exists(),
+            "bad file moved aside"
+        );
+        assert!(!dir.join(format!("{key}.json")).exists());
+
+        // Well-formed JSON lying about its cost: re-validation rejects and
+        // quarantines it too (second lookup is a clean cold miss).
+        let mut lying = CachedEntry::from_result(&solved(&p));
+        lying.cost = 1;
+        std::fs::write(dir.join(format!("{key}.json")), lying.to_json()).unwrap();
+        assert!(cache.lookup(&key, &p).is_none(), "lying entry is a miss");
+        assert_eq!(cache.quarantined(), 2);
+        assert!(
+            cache.lookup(&key, &p).is_none(),
+            "quarantined file stays gone"
+        );
+        assert_eq!(cache.quarantined(), 2, "no re-quarantine of a missing file");
+
+        // A correct store after quarantine works normally.
+        cache.store(&key, &solved(&p));
+        assert_eq!(
+            cache
+                .lookup(&key, &p)
+                .expect("clean store hits")
+                .synthesis
+                .cost,
+            4160
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join(format!("troy-cache-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = fig5();
+        let key = cache_key(&p, "portfolio", &SolveOptions::quick());
+        let cache = ResultCache::on_disk(&dir).expect("create cache dir");
+        cache.store(&key, &solved(&p));
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![format!("{key}.json")], "{names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -52,4 +52,4 @@ mod race;
 pub use batch::{default_jobs, solve_batch, BatchConfig};
 pub use cache::{cache_key, CacheKey, CachedEntry, ResultCache};
 pub use pool::run_indexed;
-pub use race::{race, Backend, PortfolioResult};
+pub use race::{race, synthesize_isolated, Backend, PortfolioResult};

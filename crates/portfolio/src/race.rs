@@ -108,6 +108,38 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// Renders a caught panic payload as a message (the two shapes `panic!`
+/// actually produces, with a fallback for exotic payloads).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `backend` on `problem` with the panic firewall every portfolio
+/// path uses: a back end that panics yields
+/// [`SynthesisError::Panicked`] instead of unwinding into (and aborting)
+/// the race, the batch pool or the caller.
+///
+/// # Errors
+///
+/// Whatever the back end returns, plus [`SynthesisError::Panicked`] when
+/// it panicked.
+pub fn synthesize_isolated(
+    backend: Backend,
+    problem: &SynthesisProblem,
+    options: &SolveOptions,
+) -> Result<Synthesis, SynthesisError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        backend.solver().synthesize(problem, options)
+    }))
+    .unwrap_or_else(|payload| Err(SynthesisError::Panicked(panic_message(payload.as_ref()))))
+}
+
 /// Outcome of a portfolio run on one problem.
 #[derive(Debug, Clone)]
 pub struct PortfolioResult {
@@ -156,6 +188,10 @@ fn cancellable_rivals(
 /// *grace pass* (fresh token) still produces a valid best-effort design
 /// marked [`PortfolioResult::timed_out`] rather than an error.
 ///
+/// Every back end runs behind [`synthesize_isolated`]'s panic firewall:
+/// a crashing back end becomes a [`SynthesisError::Panicked`] outcome
+/// for that lane and the race continues with the survivors.
+///
 /// # Errors
 ///
 /// [`SynthesisError::Infeasible`] when a proving back end showed no
@@ -195,7 +231,7 @@ fn race_parallel(problem: &SynthesisProblem, options: &SolveOptions) -> Outcomes
             let slots = &slots;
             let opts = options.clone().with_cancel(tokens[i].clone());
             scope.spawn(move || {
-                let outcome = backend.solver().synthesize(problem, &opts);
+                let outcome = synthesize_isolated(backend, problem, &opts);
                 for rival in cancellable_rivals(backend, &outcome) {
                     tokens[rival.priority()].cancel();
                 }
@@ -219,7 +255,7 @@ fn race_sequential(problem: &SynthesisProblem, options: &SolveOptions) -> Outcom
             continue;
         }
         let opts = options.clone().with_cancel(options.cancel.child());
-        let outcome = backend.solver().synthesize(problem, &opts);
+        let outcome = synthesize_isolated(backend, problem, &opts);
         for rival in cancellable_rivals(backend, &outcome) {
             eliminated[rival.priority()] = true;
         }

@@ -1,0 +1,131 @@
+//! Deterministic jittered exponential backoff, and the humane duration
+//! syntax the CLI flags use.
+//!
+//! Backoff delays are derived from a seed and the retry coordinates
+//! (rung, attempt), not from wall-clock entropy, so a supervised run's
+//! retry schedule is reproducible — the property the chaos suite relies
+//! on to replay fault schedules bit for bit.
+
+use std::time::Duration;
+
+/// Splitmix64 step: the workspace's standard cheap bit mixer (the
+/// vendored `rand` uses the same core), used here to hash retry
+/// coordinates into jitter deterministically.
+#[must_use]
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Jittered exponential backoff policy: attempt `k` sleeps
+/// `base * 2^k ± 50%`, capped, with the jitter drawn deterministically
+/// from `(seed, rung, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry (attempt 1); doubles per attempt.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            seed: 0,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay to sleep before retry number `attempt` (1-based) of rung
+    /// number `rung`: exponential in `attempt`, multiplied by a jitter
+    /// factor uniform in `[0.5, 1.5)`, capped at [`Backoff::cap`].
+    #[must_use]
+    pub fn delay(&self, rung: usize, attempt: usize) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16).saturating_sub(1) as u32);
+        let h = mix(self.seed ^ mix(rung as u64) ^ mix(attempt as u64).rotate_left(17));
+        // 10 fractional bits are plenty for a sleep; factor in [0.5, 1.5).
+        let factor = 0.5 + f64::from((h >> 20) as u32 & 0x3ff) / 1024.0;
+        exp.mul_f64(factor).min(self.cap)
+    }
+}
+
+/// Parses a humane duration: `"2s"`, `"1500ms"`, `"2m"`, or a bare
+/// number of seconds (`"2"`). Fractions are accepted for seconds and
+/// minutes (`"0.5s"`).
+#[must_use]
+pub fn parse_duration(text: &str) -> Option<Duration> {
+    let text = text.trim();
+    let (number, unit) = match text.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(split) => text.split_at(split),
+        None => (text, "s"),
+    };
+    let value: f64 = number.trim().parse().ok()?;
+    if !value.is_finite() || value < 0.0 {
+        return None;
+    }
+    let seconds = match unit.trim() {
+        "ms" => value / 1000.0,
+        "s" | "sec" | "secs" => value,
+        "m" | "min" => value * 60.0,
+        _ => return None,
+    };
+    Some(Duration::from_secs_f64(seconds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grows_is_jittered_and_capped() {
+        let b = Backoff::default();
+        // Deterministic: the same coordinates give the same delay.
+        assert_eq!(b.delay(0, 1), b.delay(0, 1));
+        // Jitter keeps every delay within [0.5x, 1.5x] of the exponential.
+        for attempt in 1..=4usize {
+            let exp = b.base * (1 << (attempt - 1));
+            let d = b.delay(2, attempt);
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} < {:?}", exp / 2);
+            assert!(d <= b.cap.min(exp * 3 / 2), "attempt {attempt}: {d:?}");
+        }
+        // The cap binds eventually.
+        assert_eq!(b.delay(0, 12), b.cap);
+        // Different rungs see different jitter (with overwhelming odds).
+        assert_ne!(b.delay(0, 1), b.delay(1, 1));
+    }
+
+    #[test]
+    fn seed_changes_the_jitter_stream() {
+        let a = Backoff {
+            seed: 1,
+            ..Backoff::default()
+        };
+        let b = Backoff {
+            seed: 2,
+            ..Backoff::default()
+        };
+        assert_ne!(a.delay(0, 2), b.delay(0, 2));
+    }
+
+    #[test]
+    fn durations_parse_humanely() {
+        assert_eq!(parse_duration("2s"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_duration("1500ms"), Some(Duration::from_millis(1500)));
+        assert_eq!(parse_duration("2m"), Some(Duration::from_secs(120)));
+        assert_eq!(parse_duration("2"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_duration("0.5s"), Some(Duration::from_millis(500)));
+        assert_eq!(parse_duration(" 3 s "), Some(Duration::from_secs(3)));
+        for bad in ["", "s", "-1s", "2h", "nan", "infs", "1.2.3"] {
+            assert_eq!(parse_duration(bad), None, "{bad:?}");
+        }
+    }
+}

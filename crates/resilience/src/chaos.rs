@@ -1,0 +1,302 @@
+//! Deterministic chaos fault injection for the synthesis stack.
+//!
+//! The paper's run-time argument is that a protected design survives a
+//! misbehaving component; this module lets the *synthesis pipeline* prove
+//! the same about itself. A [`Chaos`] handle, seeded explicitly
+//! (`--chaos-seed`) or from the `TROY_CHAOS` environment variable,
+//! injects four fault families into supervised runs:
+//!
+//! - **panics** inside a solver back end (the supervisor must demote, not
+//!   abort);
+//! - **stalls** — bounded artificial latency ahead of an attempt (the
+//!   deadline machinery must absorb it);
+//! - **spurious cancellations** of an attempt's token (the retry/backoff
+//!   machinery must classify and retry it);
+//! - **cache-file corruption** — truncation, bit flips, partial JSON —
+//!   applied to a result-cache directory (lookups must quarantine, never
+//!   serve garbage).
+//!
+//! Every decision is a pure hash of `(seed, site coordinates)` — never of
+//! wall-clock time, thread identity or call order — so one seed denotes
+//! one fault schedule, replayable bit for bit regardless of `TROY_JOBS`
+//! or machine load. The chaos suite sweeps seeds and asserts the
+//! supervisor invariant: any schedule yields a valid implementation or a
+//! typed error, never a panic, never a silently wrong cost.
+
+use std::path::Path;
+use std::time::Duration;
+
+use troy_ilp::Cancellation;
+use troy_portfolio::Backend;
+
+use crate::backoff::mix;
+
+/// Marker embedded in every injected panic payload; panic hooks and
+/// log scrapers can use it to tell injected crashes from real ones.
+pub const CHAOS_PANIC_MARKER: &str = "chaos-injected panic";
+
+/// A fault the harness injects ahead of one solver attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic inside the back end (after it starts, before it returns).
+    Panic,
+    /// Sleep this long before the attempt begins.
+    Stall(Duration),
+    /// Cancel the attempt's token before the solver first polls it.
+    SpuriousCancel,
+}
+
+/// Seeded, deterministic fault injector. A disabled handle (the default)
+/// injects nothing and costs one branch per query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Chaos {
+    seed: Option<u64>,
+}
+
+impl Chaos {
+    /// A handle that never injects anything.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Chaos { seed: None }
+    }
+
+    /// A handle injecting the fault schedule denoted by `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Chaos { seed: Some(seed) }
+    }
+
+    /// Reads `TROY_CHAOS`: unset or unparsable means disabled, a `u64`
+    /// means that seed's schedule.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("TROY_CHAOS") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(seed) => Chaos::seeded(seed),
+                Err(_) => Chaos::disabled(),
+            },
+            Err(_) => Chaos::disabled(),
+        }
+    }
+
+    /// The seed, when enabled.
+    #[must_use]
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// `true` when this handle injects faults.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.seed.is_some()
+    }
+
+    /// The raw 64-bit roll for a named site; `None` when disabled.
+    fn roll(&self, site: u64) -> Option<u64> {
+        self.seed.map(|s| mix(mix(s) ^ site))
+    }
+
+    /// The fault (if any) scheduled for solver attempt
+    /// `(backend, relaxation, attempt)`. Roughly 45% of attempts fault
+    /// under an enabled handle: 15% panic, 15% spurious cancel, 15%
+    /// stall of 1–16 ms.
+    #[must_use]
+    pub fn fault_for_attempt(
+        &self,
+        backend: Backend,
+        relaxation: usize,
+        attempt: usize,
+    ) -> Option<InjectedFault> {
+        let site = mix(backend.priority() as u64 ^ ((relaxation as u64) << 8))
+            ^ mix(attempt as u64).rotate_left(23);
+        let h = self.roll(site)?;
+        match h % 100 {
+            0..=14 => Some(InjectedFault::Panic),
+            15..=29 => Some(InjectedFault::SpuriousCancel),
+            30..=44 => Some(InjectedFault::Stall(Duration::from_millis(
+                1 + (h >> 32) % 16,
+            ))),
+            _ => None,
+        }
+    }
+
+    /// Applies the pre-attempt side of `fault` (stall or cancel);
+    /// panics are the solver wrapper's job, see [`Chaos::maybe_panic`].
+    pub fn apply_before_attempt(&self, fault: Option<InjectedFault>, token: &Cancellation) {
+        match fault {
+            Some(InjectedFault::Stall(d)) => std::thread::sleep(d),
+            Some(InjectedFault::SpuriousCancel) => token.cancel(),
+            Some(InjectedFault::Panic) | None => {}
+        }
+    }
+
+    /// Panics with a marked payload when `fault` is the panic injection —
+    /// called from inside the supervised solver closure, i.e. behind the
+    /// panic firewall.
+    ///
+    /// # Panics
+    ///
+    /// By design, when `fault == Some(InjectedFault::Panic)`.
+    pub fn maybe_panic(&self, fault: Option<InjectedFault>, backend: Backend) {
+        if fault == Some(InjectedFault::Panic) {
+            let seed = self.seed.unwrap_or_default();
+            panic!("{CHAOS_PANIC_MARKER} (backend={backend}, seed={seed})");
+        }
+    }
+
+    /// Corrupts entries of an on-disk result-cache directory the way a
+    /// crashing writer or failing disk would: per `.json` file (keyed by
+    /// file name, so independent of directory iteration order) roughly
+    /// one in four is left intact and the rest get one of truncation, a
+    /// single bit flip, or replacement with a partial-JSON prefix.
+    /// Returns how many files were damaged.
+    pub fn corrupt_cache_dir(&self, dir: &Path) -> usize {
+        let Some(seed) = self.seed else { return 0 };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        let mut damaged = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let name = entry.file_name();
+            let mut site = mix(seed) ^ 0x6368_616f_735f_6673; // "chaos_fs"
+            for b in name.to_string_lossy().bytes() {
+                site = mix(site ^ u64::from(b));
+            }
+            let Ok(mut bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let mode = site % 4;
+            if mode == 0 || bytes.is_empty() {
+                continue; // spared
+            }
+            match mode {
+                1 => bytes.truncate(bytes.len() / 2),
+                2 => {
+                    let pos = (site >> 8) as usize % bytes.len();
+                    bytes[pos] ^= 1 << ((site >> 3) % 8);
+                }
+                _ => {
+                    let keep = 1 + (site >> 16) as usize % bytes.len();
+                    bytes.truncate(keep);
+                    bytes.extend_from_slice(b"\"partial\":");
+                }
+            }
+            if std::fs::write(&path, &bytes).is_ok() {
+                damaged += 1;
+            }
+        }
+        damaged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_injects_nothing() {
+        let c = Chaos::disabled();
+        assert!(!c.is_enabled());
+        for backend in Backend::ALL {
+            for attempt in 0..8 {
+                assert_eq!(c.fault_for_attempt(backend, 0, attempt), None);
+            }
+        }
+        let dir = std::env::temp_dir();
+        assert_eq!(c.corrupt_cache_dir(&dir.join("does-not-exist")), 0);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed_and_differ_across_seeds() {
+        let schedule = |seed: u64| -> Vec<Option<InjectedFault>> {
+            let c = Chaos::seeded(seed);
+            Backend::ALL
+                .iter()
+                .flat_map(|&b| (0..4).map(move |a| (b, a)))
+                .flat_map(|(b, a)| (0..2).map(move |r| (b, r, a)))
+                .map(|(b, r, a)| c.fault_for_attempt(b, r, a))
+                .collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        let distinct: std::collections::BTreeSet<String> =
+            (0..16).map(|s| format!("{:?}", schedule(s))).collect();
+        assert!(distinct.len() > 8, "seeds decode to distinct schedules");
+    }
+
+    #[test]
+    fn every_fault_family_occurs_within_a_small_seed_sweep() {
+        let (mut panics, mut cancels, mut stalls) = (0, 0, 0);
+        for seed in 0..64 {
+            let c = Chaos::seeded(seed);
+            for backend in Backend::ALL {
+                for attempt in 0..4 {
+                    match c.fault_for_attempt(backend, 0, attempt) {
+                        Some(InjectedFault::Panic) => panics += 1,
+                        Some(InjectedFault::SpuriousCancel) => cancels += 1,
+                        Some(InjectedFault::Stall(d)) => {
+                            assert!(d >= Duration::from_millis(1));
+                            assert!(d <= Duration::from_millis(16));
+                            stalls += 1;
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+        assert!(
+            panics > 0 && cancels > 0 && stalls > 0,
+            "{panics}/{cancels}/{stalls}"
+        );
+    }
+
+    #[test]
+    fn env_parsing_is_defensive() {
+        // The env var is process-global, so only the constructor's
+        // parse on explicit values is pinned here.
+        assert_eq!(Chaos::seeded(9).seed(), Some(9));
+        assert!(Chaos::seeded(9).is_enabled());
+        assert!(!Chaos::disabled().is_enabled());
+    }
+
+    #[test]
+    fn cache_corruption_damages_only_json_and_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("troy-chaos-fs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let seed_files = || {
+            for i in 0..12 {
+                std::fs::write(
+                    dir.join(format!("{i:032x}.json")),
+                    format!("{{\"cost\":{i},\"assignments\":[[0,0,0,0]]}}"),
+                )
+                .unwrap();
+            }
+            std::fs::write(dir.join("README.txt"), "not a cache entry").unwrap();
+        };
+        seed_files();
+        let first = Chaos::seeded(3).corrupt_cache_dir(&dir);
+        assert!(first > 0, "a 12-file directory sees some damage");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("README.txt")).unwrap(),
+            "not a cache entry",
+            "non-json files are untouched"
+        );
+        let snapshot: Vec<Vec<u8>> = (0..12)
+            .map(|i| std::fs::read(dir.join(format!("{i:032x}.json"))).unwrap())
+            .collect();
+        // Re-seeding the directory and replaying the same seed produces
+        // byte-identical damage.
+        seed_files();
+        let second = Chaos::seeded(3).corrupt_cache_dir(&dir);
+        assert_eq!(first, second);
+        for (i, before) in snapshot.iter().enumerate() {
+            let after = std::fs::read(dir.join(format!("{i:032x}.json"))).unwrap();
+            assert_eq!(*before, after, "file {i}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
