@@ -60,7 +60,10 @@ impl fmt::Display for Severity {
 /// - `TQ0xx` — **quality** lints on an otherwise complete binding;
 /// - `TR0xx` — **resilience** findings: how a supervised synthesis run
 ///   degraded (backend demotions, constraint relaxation, transient
-///   retries) on its way to the reported design.
+///   retries) on its way to the reported design;
+/// - `TS0xx` — **serving** findings: how the synthesis daemon's
+///   admission control, circuit breakers and deadline enforcement shaped
+///   the response to one request.
 ///
 /// Codes are append-only: a published code never changes meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -123,10 +126,19 @@ pub enum Code {
     /// TR004: a transient fault (spurious cancellation) was absorbed by
     /// retrying with backoff.
     TransientRetried,
+    /// TS001: the service shed the request at admission because its
+    /// queue and in-flight budget were full.
+    ServiceOverloaded,
+    /// TS002: a solver back end was skipped because its circuit breaker
+    /// was open when the request arrived.
+    CircuitOpen,
+    /// TS003: the request's deadline expired before any back end
+    /// produced a design.
+    RequestDeadlineExhausted,
 }
 
 /// Total number of published codes.
-pub const NUM_CODES: usize = 23;
+pub const NUM_CODES: usize = 26;
 
 impl Code {
     /// Every published code, in code order.
@@ -156,6 +168,9 @@ impl Code {
             Code::ConstraintRelaxed,
             Code::BackendFault,
             Code::TransientRetried,
+            Code::ServiceOverloaded,
+            Code::CircuitOpen,
+            Code::RequestDeadlineExhausted,
         ]
     }
 
@@ -186,6 +201,9 @@ impl Code {
             Code::ConstraintRelaxed => "TR002",
             Code::BackendFault => "TR003",
             Code::TransientRetried => "TR004",
+            Code::ServiceOverloaded => "TS001",
+            Code::CircuitOpen => "TS002",
+            Code::RequestDeadlineExhausted => "TS003",
         }
     }
 
@@ -216,6 +234,9 @@ impl Code {
             Code::ConstraintRelaxed => "constraint-relaxed",
             Code::BackendFault => "backend-fault",
             Code::TransientRetried => "transient-retried",
+            Code::ServiceOverloaded => "service-overloaded",
+            Code::CircuitOpen => "circuit-open",
+            Code::RequestDeadlineExhausted => "request-deadline-exhausted",
         }
     }
 
@@ -264,6 +285,13 @@ impl Code {
             }
             Code::BackendFault => "a back end faulted during synthesis and was demoted",
             Code::TransientRetried => "a transient fault was absorbed by retrying with backoff",
+            Code::ServiceOverloaded => {
+                "the request was shed at admission: queue and in-flight budget full"
+            }
+            Code::CircuitOpen => "a back end was skipped because its circuit breaker was open",
+            Code::RequestDeadlineExhausted => {
+                "the request's deadline expired before any back end produced a design"
+            }
         }
     }
 
@@ -293,7 +321,10 @@ impl Code {
             Code::DegradedBackend
             | Code::ConstraintRelaxed
             | Code::BackendFault
-            | Code::TransientRetried => None,
+            | Code::TransientRetried
+            | Code::ServiceOverloaded
+            | Code::CircuitOpen
+            | Code::RequestDeadlineExhausted => None,
         }
     }
 
@@ -319,7 +350,10 @@ impl Code {
             | Code::NearCollusion
             | Code::DegradedBackend
             | Code::ConstraintRelaxed
-            | Code::BackendFault => Severity::Warning,
+            | Code::BackendFault
+            | Code::ServiceOverloaded
+            | Code::CircuitOpen
+            | Code::RequestDeadlineExhausted => Severity::Warning,
             Code::ZeroMobility
             | Code::TightVendorPool
             | Code::RegisterPressure
@@ -619,6 +653,7 @@ mod tests {
                     || s.starts_with("TP")
                     || s.starts_with("TQ")
                     || s.starts_with("TR")
+                    || s.starts_with("TS")
             );
             assert_eq!(s.len(), 5);
         }

@@ -60,6 +60,15 @@ fn sample(code: Code) -> Diagnostic {
             "accept the relaxed latency or loosen other constraints",
         )),
         Code::BackendFault | Code::TransientRetried => d,
+        Code::ServiceOverloaded => d.with_fixit(FixIt::advice(
+            "retry after the hinted backoff or raise --queue-depth",
+        )),
+        Code::CircuitOpen => d.with_fixit(FixIt::advice(
+            "wait for the breaker cooldown; the rung re-closes after a probe succeeds",
+        )),
+        Code::RequestDeadlineExhausted => d.with_fixit(FixIt::advice(
+            "raise the request deadline_ms or shrink the problem",
+        )),
     }
 }
 

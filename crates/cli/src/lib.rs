@@ -12,6 +12,7 @@
 //! troyhls-cli batch [table3|table4|all] [options]
 //! troyhls-cli lint <benchmark|file.dfg> [options]
 //! troyhls-cli profile <benchmark|file.dfg> [--samples N] [--distance D]
+//! troyhls-cli serve [options]
 //!
 //! synth options:
 //!   --mode detection|recovery     protection level   (default recovery)
@@ -46,6 +47,23 @@
 //!   --time-limit SECS             per-row budget     (default 60)
 //!   --bench-json FILE             also time a sequential pass and write a
 //!                                 speedup record (CI artifact)
+//!
+//! serve options (runs the hardened synthesis daemon from `troy-service`
+//! until a `shutdown` request drains it; the protocol is one JSON request
+//! per line, one response line per request — see the crate docs):
+//!   --addr HOST:PORT              bind address       (default 127.0.0.1:0)
+//!   --addr-file PATH              write the bound address to PATH once
+//!                                 listening (useful with port 0)
+//!   --max-inflight N              concurrent syntheses (default 4)
+//!   --queue-depth N               bounded wait queue   (default 8)
+//!   --default-deadline DUR        per-request budget when the request
+//!                                 carries none        (default 30s)
+//!   --drain-deadline DUR          shutdown grace for in-flight work
+//!                                 (default 5s)
+//!   --frame-deadline DUR          slowloris bound per frame (default 2s)
+//!   --cache-dir DIR               on-disk result cache (default: memory)
+//!   --chaos-seed N                supervisor fault injection (testing);
+//!                                 TROY_CHAOS=N does the same
 //!
 //! lint options (problem flags as for synth, plus):
 //!   --solver NAME                 synthesize first, then lint the binding;
@@ -165,11 +183,15 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let rest: Vec<String> = it.cloned().collect();
             lint_cmd(target, &rest, out)
         }
+        Some("serve") => {
+            let rest: Vec<String> = it.cloned().collect();
+            serve(&rest, out).map(|()| 0)
+        }
         Some(other) => Err(err(format!(
-            "unknown command `{other}`; expected list|show|synth|batch|lint|profile"
+            "unknown command `{other}`; expected list|show|synth|batch|lint|profile|serve"
         ))),
         None => Err(err(
-            "usage: troyhls <list|show|synth|batch|lint|profile> ...",
+            "usage: troyhls <list|show|synth|batch|lint|profile|serve> ...",
         )),
     }
 }
@@ -464,6 +486,105 @@ fn bench_record(config: &BatchConfig, measured: &[(&str, usize, Option<f64>, f64
     json
 }
 
+/// Parses a duration flag, rejecting zero: a zero budget is always a
+/// typo, and downstream it would reject every request it governs.
+fn parse_positive_duration(flag: &str, v: &str) -> Result<Duration, CliError> {
+    let d = parse_duration(v)
+        .ok_or_else(|| err(format!("{flag}: cannot parse `{v}` (try 2s, 500ms, 1m)")))?;
+    if d.is_zero() {
+        return Err(err(format!("{flag}: must be positive, got `{v}`")));
+    }
+    Ok(d)
+}
+
+/// `serve`: run the hardened synthesis daemon until a `shutdown` request
+/// drains it, then report the serve-path counters.
+#[allow(clippy::too_many_lines)]
+fn serve(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut config = troy_service::ServiceConfig::default();
+    let mut addr_file: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                take_value(args, &mut i, "--addr")?.clone_into(&mut config.addr);
+            }
+            "--addr-file" => {
+                addr_file = Some(take_value(args, &mut i, "--addr-file")?.to_owned());
+            }
+            "--max-inflight" => {
+                config.max_inflight = take_value(args, &mut i, "--max-inflight")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err("--max-inflight: expected a positive number"))?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = take_value(args, &mut i, "--queue-depth")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err("--queue-depth: expected a positive number"))?;
+            }
+            "--default-deadline" => {
+                let v = take_value(args, &mut i, "--default-deadline")?;
+                config.default_deadline = parse_positive_duration("--default-deadline", v)?;
+            }
+            "--drain-deadline" => {
+                let v = take_value(args, &mut i, "--drain-deadline")?;
+                config.drain_deadline = parse_positive_duration("--drain-deadline", v)?;
+            }
+            "--frame-deadline" => {
+                let v = take_value(args, &mut i, "--frame-deadline")?;
+                config.frame_deadline = parse_positive_duration("--frame-deadline", v)?;
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(take_value(args, &mut i, "--cache-dir")?.into());
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    take_value(args, &mut i, "--chaos-seed")?
+                        .parse()
+                        .map_err(|_| err("--chaos-seed: expected a u64 seed"))?,
+                );
+            }
+            other => return Err(err(format!("serve: unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+
+    config.chaos = chaos_seed.map_or_else(Chaos::from_env, Chaos::seeded);
+    if config.chaos.is_enabled() {
+        quiet_injected_panics();
+    }
+
+    let service = troy_service::Service::start(config).map_err(|e| err(format!("serve: {e}")))?;
+    let addr = service.local_addr();
+    if let Some(path) = &addr_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| err(format!("--addr-file: `{path}`: {e}")))?;
+    }
+    // `out` is only flushed after `run` returns, so the bound address
+    // goes to stderr (and the addr file) for anyone waiting on startup.
+    eprintln!("troyhls serving on {addr}; send {{\"cmd\":\"shutdown\"}} to drain");
+
+    let snap = service.join();
+    let _ = writeln!(out, "serve: drained cleanly on {addr}");
+    let _ = writeln!(
+        out,
+        "  connections {}  accepted {}  ok {}  degraded {}  failed {}",
+        snap.connections, snap.accepted, snap.completed_ok, snap.completed_degraded, snap.failed,
+    );
+    let _ = writeln!(
+        out,
+        "  shed: overload {}  circuit {}  malformed {}  panics {}  cache hits {}",
+        snap.shed_overload, snap.shed_circuit, snap.malformed, snap.panics, snap.cache_hits,
+    );
+    Ok(())
+}
+
 /// Quietens the process panic hook for *injected* chaos panics (their
 /// payloads carry [`CHAOS_PANIC_MARKER`]) while forwarding real ones —
 /// a chaos run's stderr stays readable. Installed at most once.
@@ -584,11 +705,7 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<i32, CliErro
             }
             "--deadline" => {
                 let v = take_value(args, &mut i, "--deadline")?;
-                deadline = Some(parse_duration(v).ok_or_else(|| {
-                    err(format!(
-                        "--deadline: cannot parse `{v}` (try 2s, 500ms, 1m)"
-                    ))
-                })?);
+                deadline = Some(parse_positive_duration("--deadline", v)?);
             }
             "--max-retries" => {
                 max_retries = Some(
@@ -1247,6 +1364,12 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--deadline"));
+        // A zero budget is a usage error up front, not a guaranteed
+        // deadline failure later.
+        assert!(cli(&["synth", "polynom", "--deadline", "0s"])
+            .unwrap_err()
+            .0
+            .contains("must be positive"));
         assert!(cli(&["synth", "polynom", "--max-retries", "many"])
             .unwrap_err()
             .0
@@ -1360,6 +1483,89 @@ mod tests {
         ])
         .unwrap();
         assert!(warm.contains("table3: 12 rows"), "{warm}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        for (args, fragment) in [
+            (vec!["serve", "--max-inflight", "0"], "--max-inflight"),
+            (vec!["serve", "--queue-depth", "zero"], "--queue-depth"),
+            (
+                vec!["serve", "--default-deadline", "0s"],
+                "must be positive",
+            ),
+            (
+                vec!["serve", "--drain-deadline", "soon"],
+                "--drain-deadline",
+            ),
+            (vec!["serve", "--frame-deadline", "0ms"], "must be positive"),
+            (vec!["serve", "--chaos-seed", "-1"], "--chaos-seed"),
+            (vec!["serve", "--port", "80"], "unknown flag"),
+        ] {
+            let e = cli(&args).unwrap_err();
+            assert!(e.0.contains(fragment), "{args:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn serve_runs_the_daemon_until_a_shutdown_request_drains_it() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let dir = scratch_dir("serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let addr_file_arg = addr_file.to_str().unwrap().to_owned();
+        let daemon = std::thread::spawn(move || {
+            cli_with_code(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_arg,
+                "--max-inflight",
+                "2",
+                "--queue-depth",
+                "2",
+                "--default-deadline",
+                "5s",
+                "--drain-deadline",
+                "2s",
+            ])
+        });
+        // Wait for the daemon to publish its bound address.
+        let t0 = std::time::Instant::now();
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.trim().parse::<std::net::SocketAddr>().is_ok() {
+                    break text.trim().to_owned();
+                }
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "daemon never published its address"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"{\"id\":\"p\",\"cmd\":\"ping\"}\n{\"id\":\"bye\",\"cmd\":\"shutdown\"}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\":\"pong\""), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("draining"), "{line}");
+
+        let (out, code) = daemon
+            .join()
+            .expect("daemon thread")
+            .expect("serve exits ok");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("drained cleanly"), "{out}");
+        assert!(out.contains("connections 1"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -44,4 +44,4 @@ pub use dot::{to_dot, to_dot_with};
 pub use generate::{random_dfg, RandomDfgConfig};
 pub use graph::{Dfg, GraphError, NodeId, OpNode};
 pub use op::{IpTypeId, OpKind, ParseOpKindError};
-pub use parse::{parse_dfg, write_dfg, ParseDfgError};
+pub use parse::{parse_dfg, write_dfg, ParseDfgError, MAX_LABEL_LEN, MAX_LINE_LEN, MAX_OPS};

@@ -17,10 +17,24 @@ use std::fmt;
 use crate::graph::{Dfg, GraphError, NodeId};
 use crate::op::OpKind;
 
-/// Error from [`parse_dfg`], carrying the 1-based source line.
+/// Longest accepted source line, in bytes: generous for any legitimate
+/// directive, small enough that a hostile megabyte-long "line" is
+/// rejected before any token is materialized.
+pub const MAX_LINE_LEN: usize = 4096;
+
+/// Longest accepted identifier (graph name or op label), in bytes.
+pub const MAX_LABEL_LEN: usize = 64;
+
+/// Most `op` directives a single graph may declare — far above every
+/// benchmark in the paper, low enough to bound memory for a graph that
+/// arrives over the wire.
+pub const MAX_OPS: usize = 65_536;
+
+/// Error from [`parse_dfg`], carrying the 1-based source line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseDfgError {
     line: usize,
+    column: usize,
     kind: ParseDfgErrorKind,
 }
 
@@ -32,6 +46,9 @@ enum ParseDfgErrorKind {
     UnknownOp(String),
     DuplicateLabel(String),
     UnknownLabel(String),
+    LineTooLong(usize),
+    OversizedLabel(usize),
+    TooManyOps,
     Graph(GraphError),
 }
 
@@ -41,11 +58,19 @@ impl ParseDfgError {
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// 1-based column (in characters) of the offending token; column 1
+    /// for whole-line errors such as an over-long line or a missing
+    /// header at end of input.
+    #[must_use]
+    pub fn column(&self) -> usize {
+        self.column
+    }
 }
 
 impl fmt::Display for ParseDfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: ", self.line)?;
+        write!(f, "line {}, column {}: ", self.line, self.column)?;
         match &self.kind {
             ParseDfgErrorKind::MissingHeader => {
                 write!(f, "expected `dfg <name>` header before other directives")
@@ -55,6 +80,16 @@ impl fmt::Display for ParseDfgError {
             ParseDfgErrorKind::UnknownOp(m) => write!(f, "unknown op mnemonic `{m}`"),
             ParseDfgErrorKind::DuplicateLabel(l) => write!(f, "duplicate op label `{l}`"),
             ParseDfgErrorKind::UnknownLabel(l) => write!(f, "unknown op label `{l}`"),
+            ParseDfgErrorKind::LineTooLong(n) => {
+                write!(f, "line of {n} bytes exceeds the {MAX_LINE_LEN}-byte limit")
+            }
+            ParseDfgErrorKind::OversizedLabel(n) => write!(
+                f,
+                "identifier of {n} bytes exceeds the {MAX_LABEL_LEN}-byte limit"
+            ),
+            ParseDfgErrorKind::TooManyOps => {
+                write!(f, "graph exceeds the {MAX_OPS}-op limit")
+            }
             ParseDfgErrorKind::Graph(e) => write!(f, "{e}"),
         }
     }
@@ -94,36 +129,56 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
-        let err = |kind| ParseDfgError {
+        let err = |column, kind| ParseDfgError {
             line: line_no,
+            column,
             kind,
         };
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
+        if raw.len() > MAX_LINE_LEN {
+            return Err(err(1, ParseDfgErrorKind::LineTooLong(raw.len())));
         }
-        let mut tok = line.split_whitespace();
-        let directive = tok.next().expect("non-empty line has a token");
-        let args: Vec<&str> = tok.collect();
+        // Strip the comment but keep the original offsets: columns must
+        // point into the line as the author wrote it.
+        let content = raw.split('#').next().unwrap_or("");
+        let tokens = tokenize(content);
+        let Some(&(dir_col, directive)) = tokens.first() else {
+            continue;
+        };
+        let args = &tokens[1..];
+        let check_label = |(col, name): (usize, &str)| {
+            if name.len() > MAX_LABEL_LEN {
+                Err(err(col, ParseDfgErrorKind::OversizedLabel(name.len())))
+            } else {
+                Ok(())
+            }
+        };
         match directive {
             "dfg" => {
-                let [name] = args[..] else {
-                    return Err(err(ParseDfgErrorKind::BadArity("dfg")));
+                let [(name_col, name)] = args[..] else {
+                    return Err(err(dir_col, ParseDfgErrorKind::BadArity("dfg")));
                 };
+                check_label((name_col, name))?;
                 dfg = Some(Dfg::new(name));
             }
             "op" => {
                 let g = dfg
                     .as_mut()
-                    .ok_or_else(|| err(ParseDfgErrorKind::MissingHeader))?;
-                let [label, mnemonic] = args[..] else {
-                    return Err(err(ParseDfgErrorKind::BadArity("op")));
+                    .ok_or_else(|| err(dir_col, ParseDfgErrorKind::MissingHeader))?;
+                let [(label_col, label), (mn_col, mnemonic)] = args[..] else {
+                    return Err(err(dir_col, ParseDfgErrorKind::BadArity("op")));
                 };
+                check_label((label_col, label))?;
                 let kind: OpKind = mnemonic
                     .parse()
-                    .map_err(|_| err(ParseDfgErrorKind::UnknownOp(mnemonic.to_owned())))?;
+                    .map_err(|_| err(mn_col, ParseDfgErrorKind::UnknownOp(mnemonic.to_owned())))?;
                 if labels.contains_key(label) {
-                    return Err(err(ParseDfgErrorKind::DuplicateLabel(label.to_owned())));
+                    return Err(err(
+                        label_col,
+                        ParseDfgErrorKind::DuplicateLabel(label.to_owned()),
+                    ));
+                }
+                if g.len() >= MAX_OPS {
+                    return Err(err(dir_col, ParseDfgErrorKind::TooManyOps));
                 }
                 let id = g.add_op_with(kind, label, 2);
                 labels.insert(label.to_owned(), id);
@@ -131,29 +186,58 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
             "edge" => {
                 let g = dfg
                     .as_mut()
-                    .ok_or_else(|| err(ParseDfgErrorKind::MissingHeader))?;
-                let [from, to] = args[..] else {
-                    return Err(err(ParseDfgErrorKind::BadArity("edge")));
+                    .ok_or_else(|| err(dir_col, ParseDfgErrorKind::MissingHeader))?;
+                let [(from_col, from), (to_col, to)] = args[..] else {
+                    return Err(err(dir_col, ParseDfgErrorKind::BadArity("edge")));
                 };
-                let &f = labels
-                    .get(from)
-                    .ok_or_else(|| err(ParseDfgErrorKind::UnknownLabel(from.to_owned())))?;
+                let &f = labels.get(from).ok_or_else(|| {
+                    err(from_col, ParseDfgErrorKind::UnknownLabel(from.to_owned()))
+                })?;
                 let &t = labels
                     .get(to)
-                    .ok_or_else(|| err(ParseDfgErrorKind::UnknownLabel(to.to_owned())))?;
+                    .ok_or_else(|| err(to_col, ParseDfgErrorKind::UnknownLabel(to.to_owned())))?;
+                // Graph violations (self-loop, cycle, operand overflow)
+                // blame the destination token: that is where the edge as
+                // written turns invalid.
                 g.add_edge(f, t)
-                    .map_err(|e| err(ParseDfgErrorKind::Graph(e)))?;
+                    .map_err(|e| err(to_col, ParseDfgErrorKind::Graph(e)))?;
             }
             other => {
-                return Err(err(ParseDfgErrorKind::UnknownDirective(other.to_owned())));
+                return Err(err(
+                    dir_col,
+                    ParseDfgErrorKind::UnknownDirective(other.to_owned()),
+                ));
             }
         }
     }
 
     dfg.ok_or(ParseDfgError {
         line: text.lines().count().max(1),
+        column: 1,
         kind: ParseDfgErrorKind::MissingHeader,
     })
+}
+
+/// Splits a comment-stripped line into `(1-based char column, token)`
+/// pairs, preserving the original column positions.
+fn tokenize(line: &str) -> Vec<(usize, &str)> {
+    let mut tokens = Vec::new();
+    let mut start: Option<(usize, usize)> = None; // (byte offset, column)
+    let mut col = 0usize;
+    for (byte, ch) in line.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((b, c)) = start.take() {
+                tokens.push((c, &line[b..byte]));
+            }
+        } else if start.is_none() {
+            start = Some((byte, col));
+        }
+    }
+    if let Some((b, c)) = start {
+        tokens.push((c, &line[b..]));
+    }
+    tokens
 }
 
 /// Serializes a [`Dfg`] into the textual format accepted by [`parse_dfg`].
@@ -255,6 +339,52 @@ mod tests {
         let g = parse_dfg("dfg t\nop a *\nop b +\nedge a b\n").unwrap();
         assert_eq!(g.kind(NodeId::new(0)), OpKind::Mul);
         assert_eq!(g.kind(NodeId::new(1)), OpKind::Add);
+    }
+
+    #[test]
+    fn columns_point_at_the_offending_token() {
+        // The unknown mnemonic sits at column 6 of line 2.
+        let err = parse_dfg("dfg t\nop a spin\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (2, 6));
+        // The duplicate label is the second token of the op line.
+        let err = parse_dfg("dfg t\nop a add\nop  a mul\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (3, 5));
+        // The unknown edge label is blamed, not the directive.
+        let err = parse_dfg("dfg t\nop a add\nedge a ghost\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (3, 8));
+        // Whole-input failures land on column 1.
+        let err = parse_dfg("# only a comment\n").unwrap_err();
+        assert_eq!(err.column(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_a_typed_error_with_position() {
+        let err = parse_dfg("dfg t\nop a add\nedge a a\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (3, 8));
+        assert!(err.to_string().contains("self loop"), "{err}");
+    }
+
+    #[test]
+    fn oversized_identifiers_are_rejected() {
+        let long = "x".repeat(MAX_LABEL_LEN + 1);
+        let err = parse_dfg(&format!("dfg t\nop {long} add\n")).unwrap_err();
+        assert_eq!((err.line(), err.column()), (2, 4));
+        assert!(err.to_string().contains("64-byte limit"), "{err}");
+        let err = parse_dfg(&format!("dfg {long}\n")).unwrap_err();
+        assert_eq!((err.line(), err.column()), (1, 5));
+        // Exactly at the limit is fine.
+        let ok = "y".repeat(MAX_LABEL_LEN);
+        assert!(parse_dfg(&format!("dfg t\nop {ok} add\n")).is_ok());
+    }
+
+    #[test]
+    fn over_long_lines_are_rejected_before_tokenizing() {
+        let mut text = String::from("dfg t\n");
+        text.push_str(&"#".repeat(MAX_LINE_LEN + 1));
+        text.push('\n');
+        let err = parse_dfg(&text).unwrap_err();
+        assert_eq!((err.line(), err.column()), (2, 1));
+        assert!(err.to_string().contains("4096-byte limit"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Adversarial-input suite for the textual DFG parser.
+//!
+//! The synthesis service accepts DFG text over the wire, so the parser
+//! is an attack surface: every corpus file under `tests/corpus/` and
+//! every seeded mutation of them must produce either a parsed graph or a
+//! typed [`ParseDfgError`] carrying a plausible line/column — never a
+//! panic, never unbounded memory.
+
+use troy_dfg::{parse_dfg, ParseDfgError, MAX_LABEL_LEN, MAX_LINE_LEN, MAX_OPS};
+
+/// Splitmix64 — the same mixer the chaos injector in `troy-resilience`
+/// derives its fault schedules from (duplicated here because `troy-dfg`
+/// sits below it in the crate graph).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn corpus(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Asserts the error's position points into the input (or one line past
+/// it, for the end-of-input missing-header case).
+fn position_is_plausible(text: &str, err: &ParseDfgError) {
+    let lines = text.lines().count().max(1);
+    assert!(
+        err.line() >= 1 && err.line() <= lines,
+        "line {} outside 1..={lines}",
+        err.line()
+    );
+    assert!(err.column() >= 1, "columns are 1-based");
+}
+
+#[test]
+fn corpus_files_yield_typed_errors_with_positions() {
+    // (file, line, column, message fragment) — pinned so the corpus also
+    // documents the diagnostics the service relays to clients.
+    let cases = [
+        ("dup_ids.dfg", 4, 4, "duplicate op label `a`"),
+        ("self_loop.dfg", 4, 8, "self loop"),
+        ("cycle_unreachable.dfg", 8, 8, "would create a cycle"),
+        ("oversized_label.dfg", 3, 4, "exceeds the 64-byte limit"),
+        ("missing_header.dfg", 2, 1, "header"),
+        (
+            "bad_arity.dfg",
+            4,
+            1,
+            "wrong number of arguments for `edge`",
+        ),
+        ("unknown_op.dfg", 3, 6, "unknown op mnemonic `frobnicate`"),
+    ];
+    for (file, line, column, fragment) in cases {
+        let text = corpus(file);
+        let err = parse_dfg(&text).unwrap_err();
+        assert_eq!((err.line(), err.column()), (line, column), "{file}: {err}");
+        assert!(err.to_string().contains(fragment), "{file}: {err}");
+        position_is_plausible(&text, &err);
+    }
+}
+
+#[test]
+fn the_ok_seed_parses() {
+    let g = parse_dfg(&corpus("ok_small.dfg")).expect("seed is well-formed");
+    assert_eq!(g.len(), 3);
+    assert_eq!(g.edge_count(), 2);
+}
+
+#[test]
+fn oversized_inputs_are_bounded_not_buffered() {
+    // One monster line.
+    let long_line = format!("dfg t\nop a {}\n", "m".repeat(2 * MAX_LINE_LEN));
+    let err = parse_dfg(&long_line).unwrap_err();
+    assert_eq!(err.line(), 2);
+    assert!(err.to_string().contains("byte limit"), "{err}");
+
+    // More ops than the graph cap. Build MAX_OPS valid ops, then one more.
+    let mut text = String::from("dfg caps\n");
+    for i in 0..=MAX_OPS {
+        use std::fmt::Write as _;
+        let _ = writeln!(text, "op n{i} add");
+    }
+    let err = parse_dfg(&text).unwrap_err();
+    assert_eq!(err.line(), 2 + MAX_OPS);
+    assert!(err.to_string().contains("op limit"), "{err}");
+
+    // A label exactly one byte over.
+    let over = "q".repeat(MAX_LABEL_LEN + 1);
+    assert!(parse_dfg(&format!("dfg t\nop {over} add\n")).is_err());
+}
+
+/// FuCE-style input hammering: splice, flip, truncate and repeat corpus
+/// bytes under a seeded schedule; the parser must never panic and every
+/// rejection must carry a plausible position.
+#[test]
+fn seeded_mutations_never_panic_and_errors_stay_positioned() {
+    let seeds: Vec<String> = [
+        "ok_small.dfg",
+        "dup_ids.dfg",
+        "self_loop.dfg",
+        "cycle_unreachable.dfg",
+        "oversized_label.dfg",
+        "missing_header.dfg",
+        "bad_arity.dfg",
+        "unknown_op.dfg",
+    ]
+    .iter()
+    .map(|f| corpus(f))
+    .collect();
+
+    let mut parsed = 0usize;
+    let mut rejected = 0usize;
+    for round in 0..256u64 {
+        let h = mix(0x4675_7a7a ^ round); // "Fuzz"
+        let base = seeds[(h % seeds.len() as u64) as usize].clone();
+        let mut bytes = base.into_bytes();
+        match (h >> 8) % 5 {
+            // Truncate at an arbitrary point.
+            0 => bytes.truncate((h >> 16) as usize % (bytes.len() + 1)),
+            // Flip one byte.
+            1 if !bytes.is_empty() => {
+                let pos = (h >> 16) as usize % bytes.len();
+                bytes[pos] ^= (1 << ((h >> 3) % 8)) as u8;
+            }
+            // Splice a random slice of another corpus file into the middle.
+            2 => {
+                let other = &seeds[((h >> 24) % seeds.len() as u64) as usize];
+                let cut = (h >> 16) as usize % (bytes.len() + 1);
+                let take = (h >> 32) as usize % (other.len() + 1);
+                let mut spliced = bytes[..cut].to_vec();
+                spliced.extend_from_slice(&other.as_bytes()[..take]);
+                spliced.extend_from_slice(&bytes[cut..]);
+                bytes = spliced;
+            }
+            // Repeat the whole input a few times (duplicate everything).
+            3 => {
+                let reps = 2 + (h >> 16) % 3;
+                let once = bytes.clone();
+                for _ in 1..reps {
+                    bytes.extend_from_slice(&once);
+                }
+            }
+            // Inject raw random bytes (likely invalid UTF-8 sequences).
+            _ => {
+                let pos = (h >> 16) as usize % (bytes.len() + 1);
+                let junk: Vec<u8> = (0..8).map(|i| (h >> (i * 7)) as u8).collect();
+                bytes.splice(pos..pos, junk);
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        match parse_dfg(&text) {
+            Ok(_) => parsed += 1,
+            Err(e) => {
+                position_is_plausible(&text, &e);
+                rejected += 1;
+            }
+        }
+    }
+    assert_eq!(parsed + rejected, 256);
+    assert!(rejected > 0, "mutations must exercise the reject paths");
+}

@@ -110,6 +110,12 @@ impl Cancellation {
     /// of its own budget without ever extending it — the per-backend
     /// deadline hook the resilience supervisor builds on.
     ///
+    /// A deadline that is already in the past when the child is created
+    /// (a zero budget, or a parent whose deadline has expired) trips the
+    /// child's own cancel flag immediately: the child and every token
+    /// later derived from it observe expiry on their first poll through
+    /// the flag chain, without depending on a clock comparison.
+    ///
     /// ```
     /// use std::time::Duration;
     /// use troy_ilp::Cancellation;
@@ -122,11 +128,18 @@ impl Cancellation {
     #[must_use]
     pub fn child_with_deadline(&self, budget: Duration) -> Cancellation {
         let mut child = self.child();
-        let attempt = Instant::now().checked_add(budget);
+        let now = Instant::now();
+        // A budget so large that `now + budget` overflows the clock is an
+        // unreachable bound: treat it as "no extra deadline" rather than
+        // silently dropping the parent's.
+        let attempt = now.checked_add(budget);
         child.deadline = match (child.deadline, attempt) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        if child.deadline.is_some_and(|d| d <= now) {
+            child.cancel();
+        }
         child
     }
 
@@ -225,11 +238,13 @@ mod tests {
 
     #[test]
     fn child_with_deadline_takes_the_earlier_bound() {
-        // Tighter child budget binds while the parent stays live.
+        // Tighter child budget binds while the parent stays live; a
+        // zero budget is a deadline already in the past, so the child is
+        // cancelled at construction (not merely clock-expired).
         let parent = Cancellation::with_deadline(Duration::from_secs(3600));
         let attempt = parent.child_with_deadline(Duration::from_millis(0));
         assert!(attempt.is_expired());
-        assert!(!attempt.is_cancelled());
+        assert!(attempt.is_cancelled());
         assert!(!parent.is_expired());
 
         // A looser child budget cannot extend past the parent's deadline.

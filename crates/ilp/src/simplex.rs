@@ -19,6 +19,10 @@ const COST_TOL: f64 = 1e-7;
 const PIVOT_TOL: f64 = 1e-9;
 /// Iterations between basis refactorizations.
 const REFACTOR_EVERY: usize = 256;
+
+/// How often the LP loops poll the caller's cancellation token; a clock
+/// read every 64 dense iterations is noise next to the algebra.
+const CANCEL_POLL_EVERY: usize = 64;
 /// Degenerate iterations before switching to Bland's rule.
 const BLAND_AFTER: usize = 64;
 
@@ -433,16 +437,35 @@ struct SimplexNumerics;
 ///
 /// The last `b.len()` columns must form an identity (the slack block built
 /// by the caller); the routine starts from the all-slack basis.
-pub(crate) fn solve_lp(prob: &LpProblem, max_iters: usize) -> LpOutcome {
+pub(crate) fn solve_lp(
+    prob: &LpProblem,
+    max_iters: usize,
+    deadline: Option<std::time::Instant>,
+    cancel: Option<&crate::Cancellation>,
+) -> LpOutcome {
     debug_assert!(prob.cols.len() >= prob.num_rows());
     let mut t = Tableau::new(prob);
     let phase1_costs: Vec<f64> = vec![0.0; prob.num_vars()];
     let mut iters = 0usize;
 
+    // On large models a single degenerate LP can grind through the full
+    // iteration limit for minutes — far past any caller deadline that is
+    // only checked between branch-and-bound nodes. So the iteration
+    // loops poll the caller's deadline and cancellation token as well
+    // (every CANCEL_POLL_EVERY iterations; one iteration is O(m·n)
+    // dense algebra, so the clock read is noise). A trip reports
+    // `IterLimit`: the branch-and-bound already treats that as an
+    // abandoned subtree and downgrades its proof claims.
+    let cancelled = |iters: usize| {
+        iters % CANCEL_POLL_EVERY == 0
+            && (cancel.is_some_and(crate::Cancellation::is_expired)
+                || deadline.is_some_and(|d| std::time::Instant::now() > d))
+    };
+
     // Phase 1: drive out infeasibility. Costs are recomputed every
     // iteration because they depend on which basics are out of bounds.
     while t.infeasibility() > FEAS_TOL * (1.0 + t.m as f64) {
-        if iters >= max_iters {
+        if iters >= max_iters || cancelled(iters) {
             return LpOutcome::IterLimit;
         }
         iters += 1;
@@ -475,7 +498,7 @@ pub(crate) fn solve_lp(prob: &LpProblem, max_iters: usize) -> LpOutcome {
 
     // Phase 2: optimize the true objective from the feasible basis.
     loop {
-        if iters >= max_iters {
+        if iters >= max_iters || cancelled(iters) {
             return LpOutcome::IterLimit;
         }
         iters += 1;
@@ -493,7 +516,8 @@ pub(crate) fn solve_lp(prob: &LpProblem, max_iters: usize) -> LpOutcome {
                     t.recompute_basics();
                     if t.infeasibility() > 1e-5 {
                         // Fall back to a fresh phase-1 pass.
-                        let outcome = resume_phase1(&mut t, &mut iters, max_iters);
+                        let outcome =
+                            resume_phase1(&mut t, &mut iters, max_iters, deadline, cancel);
                         if let Some(out) = outcome {
                             return out;
                         }
@@ -514,9 +538,18 @@ pub(crate) fn solve_lp(prob: &LpProblem, max_iters: usize) -> LpOutcome {
     LpOutcome::Optimal { x: t.x, objective }
 }
 
-fn resume_phase1(t: &mut Tableau, iters: &mut usize, max_iters: usize) -> Option<LpOutcome> {
+fn resume_phase1(
+    t: &mut Tableau,
+    iters: &mut usize,
+    max_iters: usize,
+    deadline: Option<std::time::Instant>,
+    cancel: Option<&crate::Cancellation>,
+) -> Option<LpOutcome> {
     while t.infeasibility() > FEAS_TOL * (1.0 + t.m as f64) {
-        if *iters >= max_iters {
+        let expired = *iters % CANCEL_POLL_EVERY == 0
+            && (cancel.is_some_and(crate::Cancellation::is_expired)
+                || deadline.is_some_and(|d| std::time::Instant::now() > d));
+        if *iters >= max_iters || expired {
             return Some(LpOutcome::IterLimit);
         }
         *iters += 1;
@@ -591,7 +624,7 @@ mod tests {
     }
 
     fn assert_optimal(prob: &LpProblem, expect_obj: f64) -> Vec<f64> {
-        match solve_lp(prob, 10_000) {
+        match solve_lp(prob, 10_000, None, None) {
             LpOutcome::Optimal { x, objective } => {
                 assert!(
                     (objective - expect_obj).abs() < 1e-5,
@@ -666,7 +699,10 @@ mod tests {
             &[(0.0, 10.0)],
             &[(&[1.0], -1, 1.0), (&[1.0], 1, 3.0)],
         );
-        assert!(matches!(solve_lp(&p, 10_000), LpOutcome::Infeasible));
+        assert!(matches!(
+            solve_lp(&p, 10_000, None, None),
+            LpOutcome::Infeasible
+        ));
     }
 
     #[test]
@@ -748,6 +784,45 @@ mod tests {
         );
         let x = assert_optimal(&p, -10_000.0);
         assert!((x[2] - 10_000.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn expired_deadline_and_cancellation_abort_the_lp_promptly() {
+        // A perfectly solvable LP must still be abandoned as IterLimit
+        // when the caller's wall-clock budget is already gone — the
+        // regression was a single degenerate LP grinding through the
+        // full iteration limit for minutes between deadline checks.
+        let p = build(
+            &[-3.0, -5.0],
+            &[(0.0, 100.0), (0.0, 100.0)],
+            &[
+                (&[1.0, 0.0], -1, 4.0),
+                (&[0.0, 2.0], -1, 12.0),
+                (&[3.0, 2.0], -1, 18.0),
+            ],
+        );
+        let past = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(matches!(
+            solve_lp(&p, 10_000, Some(past), None),
+            LpOutcome::IterLimit
+        ));
+        let expired = crate::Cancellation::with_deadline(std::time::Duration::ZERO);
+        assert!(matches!(
+            solve_lp(&p, 10_000, None, Some(&expired)),
+            LpOutcome::IterLimit
+        ));
+        // With live budgets the same LP still solves.
+        let live = crate::Cancellation::with_deadline(std::time::Duration::from_secs(60));
+        assert!(matches!(
+            solve_lp(
+                &p,
+                10_000,
+                Some(std::time::Instant::now() + std::time::Duration::from_secs(60)),
+                Some(&live)
+            ),
+            LpOutcome::Optimal { .. }
+        ));
     }
 
     #[test]

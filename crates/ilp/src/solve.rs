@@ -290,6 +290,10 @@ impl Model {
             }
         });
 
+        // The wall-clock bound is threaded into every LP solve as well:
+        // between-node checks alone let one degenerate LP overrun the
+        // limit by minutes on large models.
+        let lp_deadline = params.time_limit.map(|l| start + l);
         let mut stack: Vec<Node> = vec![Node {
             overrides: Vec::new(),
             bound: f64::NEG_INFINITY,
@@ -329,7 +333,12 @@ impl Model {
                 prob.hi[v] = hi;
             }
 
-            match solve_lp(&prob, params.lp_iter_limit) {
+            match solve_lp(
+                &prob,
+                params.lp_iter_limit,
+                lp_deadline,
+                Some(&params.cancel),
+            ) {
                 LpOutcome::Infeasible => {}
                 LpOutcome::IterLimit => {
                     // Cannot bound or explore this subtree: give up on it

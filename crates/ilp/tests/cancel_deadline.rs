@@ -1,0 +1,75 @@
+//! Regression tests for [`Cancellation::child_with_deadline`] with
+//! deadlines that are already in the past at construction time.
+//!
+//! The service daemon derives every request token through
+//! `child_with_deadline`, so a request arriving with an exhausted budget
+//! must die on its *first* poll — through the cancel-flag chain, not a
+//! clock comparison that a descendant might never make.
+
+use std::time::Duration;
+
+use troy_ilp::Cancellation;
+
+#[test]
+fn zero_budget_child_is_cancelled_immediately() {
+    let parent = Cancellation::new();
+    let child = parent.child_with_deadline(Duration::ZERO);
+    assert!(child.is_cancelled(), "past deadline trips the flag");
+    assert!(child.is_expired());
+    assert!(!parent.is_cancelled(), "cancellation never flows upward");
+}
+
+#[test]
+fn child_of_an_expired_parent_deadline_is_cancelled_immediately() {
+    // The parent's deadline has already passed; the child inherits a
+    // deadline in the past and must be cancelled at construction even
+    // with a generous budget of its own.
+    let parent = Cancellation::with_deadline(Duration::ZERO);
+    assert!(parent.is_expired());
+    let child = parent.child_with_deadline(Duration::from_secs(3600));
+    assert!(child.is_cancelled());
+    assert!(child.is_expired());
+}
+
+#[test]
+fn grandchildren_of_a_past_deadline_child_observe_the_flag() {
+    // Derived tokens see the expiry through the flag chain alone: even a
+    // grandchild constructed without any deadline of its own is expired.
+    let parent = Cancellation::new();
+    let child = parent.child_with_deadline(Duration::ZERO);
+    let grandchild = child.child();
+    assert!(grandchild.is_expired());
+    assert!(grandchild.is_cancelled());
+}
+
+#[test]
+fn future_budget_child_is_not_cancelled() {
+    let parent = Cancellation::new();
+    let child = parent.child_with_deadline(Duration::from_secs(3600));
+    assert!(!child.is_cancelled());
+    assert!(!child.is_expired());
+    assert!(child.deadline().is_some());
+}
+
+#[test]
+fn overflowing_budget_keeps_the_parent_deadline() {
+    // `now + Duration::MAX` overflows `Instant`; the child must fall
+    // back to the parent's (here: absent) deadline instead of minting a
+    // bogus one — and must not be spuriously cancelled.
+    let free = Cancellation::new();
+    let child = free.child_with_deadline(Duration::MAX);
+    assert!(!child.is_cancelled());
+    assert!(!child.is_expired());
+
+    // With a live parent deadline, the overflowed budget cannot extend it.
+    let parent = Cancellation::with_deadline(Duration::from_secs(3600));
+    let child = parent.child_with_deadline(Duration::MAX);
+    assert_eq!(child.deadline(), parent.deadline());
+}
+
+#[test]
+fn remaining_budget_of_a_past_deadline_child_is_zero() {
+    let parent = Cancellation::new();
+    let child = parent.child_with_deadline(Duration::ZERO);
+    assert_eq!(child.remaining(), Some(Duration::ZERO));
+}

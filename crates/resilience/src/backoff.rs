@@ -46,6 +46,11 @@ impl Backoff {
     /// The delay to sleep before retry number `attempt` (1-based) of rung
     /// number `rung`: exponential in `attempt`, multiplied by a jitter
     /// factor uniform in `[0.5, 1.5)`, capped at [`Backoff::cap`].
+    ///
+    /// Saturates instead of overflowing: the doubling stops at 2^15 and
+    /// the jittered product clamps to the cap, so arbitrarily large
+    /// attempt counts (or a pathological `base`) always yield a delay in
+    /// `[0, cap]` — never a panic.
     #[must_use]
     pub fn delay(&self, rung: usize, attempt: usize) -> Duration {
         let exp = self
@@ -54,7 +59,13 @@ impl Backoff {
         let h = mix(self.seed ^ mix(rung as u64) ^ mix(attempt as u64).rotate_left(17));
         // 10 fractional bits are plenty for a sleep; factor in [0.5, 1.5).
         let factor = 0.5 + f64::from((h >> 20) as u32 & 0x3ff) / 1024.0;
-        exp.mul_f64(factor).min(self.cap)
+        // Jitter in f64 seconds: `Duration::mul_f64` panics on overflow,
+        // and `exp` can already sit near `Duration::MAX` after the
+        // saturating doubling.
+        let secs = (exp.as_secs_f64() * factor).min(self.cap.as_secs_f64());
+        Duration::try_from_secs_f64(secs)
+            .unwrap_or(self.cap)
+            .min(self.cap)
     }
 }
 
@@ -78,7 +89,9 @@ pub fn parse_duration(text: &str) -> Option<Duration> {
         "m" | "min" => value * 60.0,
         _ => return None,
     };
-    Some(Duration::from_secs_f64(seconds))
+    // `from_secs_f64` panics when the value overflows a Duration (e.g.
+    // `--deadline 1e20s` from a hostile client); report it as unparseable.
+    Duration::try_from_secs_f64(seconds).ok()
 }
 
 #[cfg(test)]
@@ -117,6 +130,37 @@ mod tests {
     }
 
     #[test]
+    fn saturates_at_the_cap_for_large_attempt_counts() {
+        // The doubling and the jitter multiply must saturate, never
+        // overflow: every attempt count from 32 up yields exactly the cap.
+        let b = Backoff::default();
+        for attempt in (32..=4096).chain([usize::MAX / 2, usize::MAX]) {
+            assert_eq!(b.delay(0, attempt), b.cap, "attempt {attempt}");
+            assert_eq!(b.delay(usize::MAX, attempt), b.cap);
+        }
+    }
+
+    #[test]
+    fn pathological_base_and_cap_never_panic() {
+        // A base near Duration::MAX would overflow `mul_f64` with a
+        // jitter factor above 1.0; the f64-seconds clamp absorbs it.
+        let huge = Backoff {
+            base: Duration::MAX,
+            cap: Duration::MAX,
+            seed: 7,
+        };
+        for attempt in [1, 2, 16, 33, 1024] {
+            assert!(huge.delay(3, attempt) <= huge.cap);
+        }
+        let zero = Backoff {
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        };
+        assert_eq!(zero.delay(0, 64), Duration::ZERO);
+    }
+
+    #[test]
     fn durations_parse_humanely() {
         assert_eq!(parse_duration("2s"), Some(Duration::from_secs(2)));
         assert_eq!(parse_duration("1500ms"), Some(Duration::from_millis(1500)));
@@ -124,7 +168,9 @@ mod tests {
         assert_eq!(parse_duration("2"), Some(Duration::from_secs(2)));
         assert_eq!(parse_duration("0.5s"), Some(Duration::from_millis(500)));
         assert_eq!(parse_duration(" 3 s "), Some(Duration::from_secs(3)));
-        for bad in ["", "s", "-1s", "2h", "nan", "infs", "1.2.3"] {
+        for bad in [
+            "", "s", "-1s", "2h", "nan", "infs", "1.2.3", "1e20s", "1e18m",
+        ] {
             assert_eq!(parse_duration(bad), None, "{bad:?}");
         }
     }

@@ -46,6 +46,22 @@ pub enum InjectedFault {
     SpuriousCancel,
 }
 
+/// A fault a misbehaving *client* inflicts on the synthesis service —
+/// the adversarial side of the wire protocol, injected by the soak
+/// harness's synthetic clients rather than by the server itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// Send a line that is not a well-formed request object.
+    MalformedJson,
+    /// Dribble the request out byte by byte with pauses (partial frames);
+    /// the server's frame deadline must eventually cut the connection.
+    Slowloris,
+    /// Close the socket mid-request without reading the response.
+    Disconnect,
+    /// Request an absurdly small deadline, forcing immediate expiry.
+    DeadlineStorm,
+}
+
 /// Seeded, deterministic fault injector. A disabled handle (the default)
 /// injects nothing and costs one branch per query.
 #[derive(Debug, Clone, Copy, Default)]
@@ -116,6 +132,24 @@ impl Chaos {
             30..=44 => Some(InjectedFault::Stall(Duration::from_millis(
                 1 + (h >> 32) % 16,
             ))),
+            _ => None,
+        }
+    }
+
+    /// The service-level fault (if any) scheduled for request number
+    /// `request` of client number `client`. Roughly 48% of requests
+    /// misbehave under an enabled handle: 12% each of malformed JSON,
+    /// slowloris framing, mid-request disconnect, and a deadline storm.
+    #[must_use]
+    pub fn fault_for_request(&self, client: usize, request: usize) -> Option<ServiceFault> {
+        let site = mix((client as u64) ^ 0x73_6572_7669_6365) // "service"
+            ^ mix(request as u64).rotate_left(29);
+        let h = self.roll(site)?;
+        match h % 100 {
+            0..=11 => Some(ServiceFault::MalformedJson),
+            12..=23 => Some(ServiceFault::Slowloris),
+            24..=35 => Some(ServiceFault::Disconnect),
+            36..=47 => Some(ServiceFault::DeadlineStorm),
             _ => None,
         }
     }
@@ -208,6 +242,44 @@ mod tests {
         }
         let dir = std::env::temp_dir();
         assert_eq!(c.corrupt_cache_dir(&dir.join("does-not-exist")), 0);
+        for client in 0..4 {
+            for request in 0..8 {
+                assert_eq!(c.fault_for_request(client, request), None);
+            }
+        }
+    }
+
+    #[test]
+    fn service_fault_schedules_are_deterministic_and_cover_all_families() {
+        let c = Chaos::seeded(11);
+        for client in 0..4 {
+            for request in 0..4 {
+                assert_eq!(
+                    c.fault_for_request(client, request),
+                    c.fault_for_request(client, request),
+                    "pure function of (seed, client, request)"
+                );
+            }
+        }
+        let (mut malformed, mut slow, mut drop_, mut storm, mut clean) = (0, 0, 0, 0, 0);
+        for seed in 0..64 {
+            let c = Chaos::seeded(seed);
+            for client in 0..4 {
+                for request in 0..4 {
+                    match c.fault_for_request(client, request) {
+                        Some(ServiceFault::MalformedJson) => malformed += 1,
+                        Some(ServiceFault::Slowloris) => slow += 1,
+                        Some(ServiceFault::Disconnect) => drop_ += 1,
+                        Some(ServiceFault::DeadlineStorm) => storm += 1,
+                        None => clean += 1,
+                    }
+                }
+            }
+        }
+        assert!(
+            malformed > 0 && slow > 0 && drop_ > 0 && storm > 0 && clean > 0,
+            "{malformed}/{slow}/{drop_}/{storm}/{clean}"
+        );
     }
 
     #[test]

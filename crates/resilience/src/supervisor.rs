@@ -62,6 +62,12 @@ pub struct SupervisorConfig {
     pub max_relaxation: usize,
     /// Retry backoff policy (deterministic jitter).
     pub backoff: Backoff,
+    /// Back ends excluded for the whole run before it starts — the hook
+    /// the service layer's circuit breakers use to shed a flapping rung
+    /// without burning its retry budget. Excluded rungs appear in the
+    /// [`Degradation`] report as skipped, so a run that had to bypass its
+    /// primary rung still reads as degraded.
+    pub disabled: Vec<Backend>,
     /// Base solver options; `cancel` is the parent of every attempt
     /// token, `node_limit` is inherited per attempt, and `time_limit` is
     /// superseded by the supervisor's deadline slices.
@@ -76,6 +82,7 @@ impl Default for SupervisorConfig {
             degrade: true,
             max_relaxation: 2,
             backoff: Backoff::default(),
+            disabled: Vec::new(),
             options: SolveOptions::default(),
         }
     }
@@ -369,7 +376,7 @@ pub fn supervise(
     let t0 = Instant::now();
     let root = config.options.cancel.child_with_deadline(config.deadline);
     let mut degradation = Degradation::default();
-    let mut demoted: Vec<Backend> = Vec::new();
+    let mut demoted: Vec<Backend> = config.disabled.clone();
     let mut out_of_time = false;
     let max_relaxation = if config.degrade {
         config.max_relaxation
@@ -446,8 +453,10 @@ pub fn supervise(
                     break 'relax;
                 }
             }
-            // Demotions recorded inside run_rung; refresh the local view.
-            demoted = degradation.demoted.iter().map(|(b, _)| *b).collect();
+            // Demotions recorded inside run_rung; refresh the local view,
+            // keeping the caller's pre-disabled back ends excluded.
+            demoted.clone_from(&config.disabled);
+            demoted.extend(degradation.demoted.iter().map(|(b, _)| *b));
         }
     }
 
@@ -663,6 +672,41 @@ mod tests {
         assert_eq!(sup.degradation.attempts(), 1);
         assert_eq!(sup.degradation.retries(), 0);
         assert!(!sup.degradation.grace);
+    }
+
+    #[test]
+    fn disabled_primary_rung_is_skipped_and_the_run_reads_as_degraded() {
+        // A circuit breaker opening on the ILP rung pre-disables it; the
+        // run must fall through to the next rung, report the skip, and
+        // count as degraded without the breaker ever re-closing mid-run.
+        let config = SupervisorConfig {
+            disabled: vec![Backend::Ilp],
+            ..SupervisorConfig::default()
+        };
+        let sup = supervise(&tiny_problem(), &config, &Chaos::disabled()).expect("feasible");
+        assert_ne!(sup.backend, Backend::Ilp);
+        assert!(sup.degraded(), "bypassing the primary rung is degradation");
+        assert!(is_sound(&sup.problem, &sup.synthesis));
+        let ilp_rung = sup
+            .degradation
+            .rungs
+            .iter()
+            .find(|r| r.backend == Backend::Ilp)
+            .expect("ilp rung reported");
+        assert!(ilp_rung.skipped);
+        assert!(ilp_rung.attempts.is_empty());
+    }
+
+    #[test]
+    fn all_rungs_disabled_is_a_typed_exhaustion() {
+        let config = SupervisorConfig {
+            disabled: LADDER.to_vec(),
+            degrade: false, // no grace pass: exhaustion must surface
+            ..SupervisorConfig::default()
+        };
+        let err = supervise(&tiny_problem(), &config, &Chaos::disabled()).unwrap_err();
+        assert_eq!(err.kind, SupervisorErrorKind::Exhausted);
+        assert!(err.degradation.rungs.iter().all(|r| r.skipped));
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Bounded admission: an in-flight budget plus a bounded wait queue,
+//! with typed load shedding when both are full.
+//!
+//! The invariant the daemon sells is *no unbounded buffering*: a request
+//! either gets a permit (possibly after a bounded queue wait), or it is
+//! shed with an explicit `Overloaded { retry_after }` — it is never
+//! parked indefinitely, and memory use is bounded by
+//! `max_inflight + queue_depth` requests regardless of client count.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The admission decision.
+#[derive(Debug)]
+pub enum Admitted<'a> {
+    /// Admitted; drop the permit to release the slot.
+    Permit(Permit<'a>),
+    /// Shed: the queue was full, or the queue wait exceeded its budget.
+    Shed {
+        /// Back-pressure hint: how long the client should wait before
+        /// retrying, scaled by the queue depth observed at rejection.
+        retry_after: Duration,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Gate {
+    inflight: usize,
+    queued: usize,
+}
+
+/// The admission gate.
+#[derive(Debug)]
+pub struct Admission {
+    max_inflight: usize,
+    queue_depth: usize,
+    gate: Mutex<Gate>,
+    freed: Condvar,
+}
+
+impl Admission {
+    /// A gate admitting `max_inflight` concurrent requests with at most
+    /// `queue_depth` more waiting. Both are clamped to ≥ 1.
+    #[must_use]
+    pub fn new(max_inflight: usize, queue_depth: usize) -> Self {
+        Admission {
+            max_inflight: max_inflight.max(1),
+            queue_depth: queue_depth.max(1),
+            gate: Mutex::new(Gate::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Requests admission, waiting in the bounded queue for at most
+    /// `wait_budget`.
+    pub fn acquire(&self, wait_budget: Duration) -> Admitted<'_> {
+        let mut gate = self.gate.lock().expect("admission lock");
+        if gate.inflight < self.max_inflight {
+            gate.inflight += 1;
+            return Admitted::Permit(Permit { admission: self });
+        }
+        if gate.queued >= self.queue_depth {
+            let retry_after = retry_hint(gate.queued);
+            return Admitted::Shed { retry_after };
+        }
+        gate.queued += 1;
+        let deadline = Instant::now() + wait_budget;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                gate.queued -= 1;
+                let retry_after = retry_hint(gate.queued);
+                return Admitted::Shed { retry_after };
+            }
+            let (g, timeout) = self
+                .freed
+                .wait_timeout(gate, remaining)
+                .expect("admission lock");
+            gate = g;
+            if gate.inflight < self.max_inflight {
+                gate.queued -= 1;
+                gate.inflight += 1;
+                return Admitted::Permit(Permit { admission: self });
+            }
+            if timeout.timed_out() {
+                gate.queued -= 1;
+                let retry_after = retry_hint(gate.queued);
+                return Admitted::Shed { retry_after };
+            }
+        }
+    }
+
+    /// Current (inflight, queued) occupancy, for drain reporting.
+    #[must_use]
+    pub fn occupancy(&self) -> (usize, usize) {
+        let gate = self.gate.lock().expect("admission lock");
+        (gate.inflight, gate.queued)
+    }
+
+    fn release(&self) {
+        let mut gate = self.gate.lock().expect("admission lock");
+        gate.inflight = gate.inflight.saturating_sub(1);
+        drop(gate);
+        self.freed.notify_one();
+    }
+}
+
+/// 100 ms per request already queued ahead, floor 100 ms: a rough,
+/// monotone congestion signal rather than a latency model.
+fn retry_hint(queued: usize) -> Duration {
+    Duration::from_millis(100) * (queued as u32 + 1)
+}
+
+/// RAII admission permit; dropping it frees the in-flight slot and wakes
+/// one queued waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_the_budget_then_sheds_past_the_queue() {
+        let a = Admission::new(2, 1);
+        let p1 = match a.acquire(Duration::ZERO) {
+            Admitted::Permit(p) => p,
+            Admitted::Shed { .. } => panic!("slot 1 free"),
+        };
+        let p2 = match a.acquire(Duration::ZERO) {
+            Admitted::Permit(p) => p,
+            Admitted::Shed { .. } => panic!("slot 2 free"),
+        };
+        // Budget full, zero wait: queued momentarily, then shed.
+        let Admitted::Shed { retry_after } = a.acquire(Duration::ZERO) else {
+            panic!("must shed at zero wait budget");
+        };
+        assert!(retry_after >= Duration::from_millis(100));
+        drop(p1);
+        let _p3 = match a.acquire(Duration::ZERO) {
+            Admitted::Permit(p) => p,
+            Admitted::Shed { .. } => panic!("released slot reusable"),
+        };
+        drop(p2);
+        assert_eq!(a.occupancy().0, 1);
+    }
+
+    #[test]
+    fn queue_bound_is_enforced_without_waiting() {
+        let a = Arc::new(Admission::new(1, 2));
+        let p = match a.acquire(Duration::ZERO) {
+            Admitted::Permit(p) => p,
+            Admitted::Shed { .. } => panic!("first slot free"),
+        };
+        // Two threads park in the queue; a third must shed instantly.
+        let mut waiters = Vec::new();
+        for _ in 0..2 {
+            let a = Arc::clone(&a);
+            waiters.push(std::thread::spawn(move || {
+                matches!(a.acquire(Duration::from_secs(5)), Admitted::Permit(_))
+            }));
+        }
+        // Wait until both are queued.
+        while a.occupancy().1 < 2 {
+            std::thread::yield_now();
+        }
+        let Admitted::Shed { retry_after } = a.acquire(Duration::from_secs(5)) else {
+            panic!("queue full: must shed immediately, not wait");
+        };
+        assert!(retry_after >= Duration::from_millis(300), "{retry_after:?}");
+        drop(p);
+        // Exactly one queued waiter gets the slot each time it frees; let
+        // both finish by releasing sequentially.
+        let mut admitted = 0;
+        for w in waiters {
+            if w.join().expect("waiter") {
+                admitted += 1;
+            }
+            // Free the slot the admitted waiter holds (its permit was
+            // dropped inside the closure when `matches!` finished).
+        }
+        assert_eq!(admitted, 2, "queued waiters are admitted in turn");
+        assert_eq!(a.occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn queue_wait_times_out_to_a_typed_shed() {
+        let a = Admission::new(1, 4);
+        let _p = match a.acquire(Duration::ZERO) {
+            Admitted::Permit(p) => p,
+            Admitted::Shed { .. } => panic!("first slot free"),
+        };
+        let t0 = Instant::now();
+        let Admitted::Shed { .. } = a.acquire(Duration::from_millis(50)) else {
+            panic!("no slot ever frees: must time out to a shed");
+        };
+        assert!(t0.elapsed() >= Duration::from_millis(45));
+        assert_eq!(a.occupancy(), (1, 0), "timed-out waiter left the queue");
+    }
+}

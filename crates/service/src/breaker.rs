@@ -1,0 +1,179 @@
+//! Per-backend circuit breakers: closed → open → half-open.
+//!
+//! A breaker protects the supervisor's retry budget from a back end that
+//! is currently flapping (panicking, miscosting, timing out): after
+//! `failure_threshold` consecutive failures the breaker *opens* and the
+//! back end is excluded from supervised runs (via
+//! [`SupervisorConfig::disabled`](troy_resilience::SupervisorConfig))
+//! until `cooldown` has elapsed. Once the cooldown passes, the breaker is
+//! *half-open*: the rung runs again, and the next recorded outcome either
+//! re-closes the breaker (success) or re-opens it for another cooldown
+//! (failure).
+//!
+//! Timing is deterministic by construction: every method takes `now` as
+//! a parameter instead of reading a clock, so tests (and the chaos
+//! harness) drive breakers through any schedule they like. The half-open
+//! probe is not rationed — between cooldown expiry and the next recorded
+//! outcome, several in-flight requests may all try the rung; that is a
+//! deliberate simplification, bounded by the supervisor's own deadlines.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use troy_portfolio::Backend;
+
+/// Breaker policy, shared by all backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker excludes its back end.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One backend's breaker state.
+#[derive(Debug, Clone, Copy, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+/// The full breaker panel: one breaker per [`Backend`], indexed by
+/// [`Backend::priority`].
+#[derive(Debug)]
+pub struct Breakers {
+    config: BreakerConfig,
+    states: Mutex<[BreakerState; Backend::ALL.len()]>,
+}
+
+impl Breakers {
+    /// A panel with every breaker closed.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        Breakers {
+            config,
+            states: Mutex::new([BreakerState::default(); Backend::ALL.len()]),
+        }
+    }
+
+    /// Back ends whose breaker is open at `now` — the supervisor's
+    /// `disabled` list for a request admitted at that instant. A breaker
+    /// whose cooldown has expired is half-open and NOT listed (the next
+    /// run is its probe).
+    #[must_use]
+    pub fn open_at(&self, now: Instant) -> Vec<Backend> {
+        let states = self.states.lock().expect("breaker lock");
+        Backend::ALL
+            .into_iter()
+            .filter(|b| {
+                states[b.priority()]
+                    .open_until
+                    .is_some_and(|until| now < until)
+            })
+            .collect()
+    }
+
+    /// How long until the soonest open breaker half-opens; `None` when
+    /// no breaker is open at `now`.
+    #[must_use]
+    pub fn retry_after(&self, now: Instant) -> Option<Duration> {
+        let states = self.states.lock().expect("breaker lock");
+        states
+            .iter()
+            .filter_map(|s| s.open_until)
+            .filter(|&until| now < until)
+            .map(|until| until - now)
+            .min()
+    }
+
+    /// Records a successful run of `backend`: the breaker re-closes and
+    /// the failure streak resets.
+    pub fn record_success(&self, backend: Backend, _now: Instant) {
+        let mut states = self.states.lock().expect("breaker lock");
+        states[backend.priority()] = BreakerState::default();
+    }
+
+    /// Records a failed run of `backend`; at the threshold the breaker
+    /// opens until `now + cooldown`. A failure while half-open re-opens
+    /// immediately (the probe failed).
+    pub fn record_failure(&self, backend: Backend, now: Instant) {
+        let mut states = self.states.lock().expect("breaker lock");
+        let state = &mut states[backend.priority()];
+        let half_open_probe_failed = state
+            .open_until
+            .is_some_and(|until| now >= until && state.consecutive_failures > 0);
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        if state.consecutive_failures >= self.config.failure_threshold || half_open_probe_failed {
+            state.open_until = Some(now + self.config.cooldown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(threshold: u32, cooldown_ms: u64) -> Breakers {
+        Breakers::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn opens_at_the_threshold_and_half_opens_after_cooldown() {
+        let b = panel(3, 100);
+        let t0 = Instant::now();
+        assert!(b.open_at(t0).is_empty());
+        b.record_failure(Backend::Ilp, t0);
+        b.record_failure(Backend::Ilp, t0);
+        assert!(b.open_at(t0).is_empty(), "below threshold stays closed");
+        b.record_failure(Backend::Ilp, t0);
+        assert_eq!(b.open_at(t0), vec![Backend::Ilp]);
+        assert_eq!(b.retry_after(t0), Some(Duration::from_millis(100)));
+        // Injected clock: after the cooldown the breaker is half-open.
+        let later = t0 + Duration::from_millis(150);
+        assert!(b.open_at(later).is_empty(), "half-open allows a probe");
+        assert_eq!(b.retry_after(later), None);
+    }
+
+    #[test]
+    fn half_open_probe_outcome_decides() {
+        let b = panel(2, 100);
+        let t0 = Instant::now();
+        b.record_failure(Backend::Exact, t0);
+        b.record_failure(Backend::Exact, t0);
+        let probe_time = t0 + Duration::from_millis(120);
+        assert!(b.open_at(probe_time).is_empty());
+        // A failing probe re-opens for a full cooldown immediately.
+        b.record_failure(Backend::Exact, probe_time);
+        assert_eq!(b.open_at(probe_time), vec![Backend::Exact]);
+        assert_eq!(b.retry_after(probe_time), Some(Duration::from_millis(100)));
+        // A succeeding probe re-closes and resets the streak.
+        let again = probe_time + Duration::from_millis(120);
+        b.record_success(Backend::Exact, again);
+        assert!(b.open_at(again).is_empty());
+        b.record_failure(Backend::Exact, again);
+        assert!(b.open_at(again).is_empty(), "streak was reset by success");
+    }
+
+    #[test]
+    fn breakers_are_independent_per_backend() {
+        let b = panel(1, 100);
+        let t0 = Instant::now();
+        b.record_failure(Backend::Annealing, t0);
+        assert_eq!(b.open_at(t0), vec![Backend::Annealing]);
+        for other in [Backend::Exact, Backend::Ilp, Backend::Greedy] {
+            assert!(!b.open_at(t0).contains(&other));
+        }
+    }
+}

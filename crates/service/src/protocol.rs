@@ -1,0 +1,377 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! {"id":"r1","cmd":"synth","benchmark":"polynom","mode":"recovery",
+//!  "catalog":"table1","lambda_det":4,"lambda_rec":3,"area":22000,
+//!  "deadline_ms":2000,"no_degrade":false}
+//! {"id":"r2","cmd":"ping"}
+//! {"id":"r3","cmd":"stats"}
+//! {"id":"r4","cmd":"shutdown"}
+//! ```
+//!
+//! A `synth` request names either a built-in `benchmark` or carries the
+//! graph inline as `dfg` text (the `troy-dfg` format with `\n` escapes).
+//! Every response carries `status` — `ok`, `degraded`, `rejected` or
+//! `error` — plus a `stats` trailer with the daemon's counters, so a
+//! client always learns both its own outcome and the service's health.
+
+use std::time::Duration;
+
+use troyhls::{Catalog, Mode};
+
+use crate::json::{escape, Json};
+use crate::stats::StatsSnapshot;
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmd {
+    /// Synthesize a design.
+    Synth,
+    /// Liveness probe.
+    Ping,
+    /// Report the serve-path counters.
+    Stats,
+    /// Begin a graceful drain.
+    Shutdown,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// The command.
+    pub cmd: Cmd,
+    /// Built-in benchmark name (`synth`).
+    pub benchmark: Option<String>,
+    /// Inline DFG text (`synth`), alternative to `benchmark`.
+    pub dfg: Option<String>,
+    /// Protection mode; defaults to detection+recovery.
+    pub mode: Mode,
+    /// Vendor catalog; defaults to the paper's 8-vendor catalog.
+    pub catalog: Catalog,
+    /// Detection-phase latency override.
+    pub lambda_det: Option<usize>,
+    /// Recovery-phase latency override.
+    pub lambda_rec: Option<usize>,
+    /// Area cap; defaults to unlimited.
+    pub area: u64,
+    /// Per-request deadline; `None` means the server default.
+    pub deadline: Option<Duration>,
+    /// `true` pins the run to the primary rung (no ladder descent).
+    pub no_degrade: bool,
+}
+
+/// Parses one request line. The error string is relayed verbatim to the
+/// client in a `malformed` rejection.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let json = Json::parse(line).ok_or("request is not valid protocol JSON")?;
+    if !matches!(json, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let id = match json.get("id") {
+        Some(Json::Str(s)) => s.clone(),
+        Some(Json::Num(n)) => n.to_string(),
+        None => return Err("request is missing `id`".into()),
+        Some(_) => return Err("`id` must be a string or integer".into()),
+    };
+    let cmd = match json.get("cmd").and_then(Json::as_str) {
+        Some("synth") => Cmd::Synth,
+        Some("ping") => Cmd::Ping,
+        Some("stats") => Cmd::Stats,
+        Some("shutdown") => Cmd::Shutdown,
+        Some(other) => return Err(format!("unknown cmd `{other}`")),
+        None => return Err("request is missing `cmd`".into()),
+    };
+    let mode = match json.get("mode").and_then(Json::as_str) {
+        None | Some("recovery") => Mode::DetectionRecovery,
+        Some("detection") => Mode::DetectionOnly,
+        Some(other) => return Err(format!("unknown mode `{other}`")),
+    };
+    let catalog = match json.get("catalog").and_then(Json::as_str) {
+        None | Some("paper8") => Catalog::paper8(),
+        Some("table1") => Catalog::table1(),
+        Some(other) => return Err(format!("unknown catalog `{other}`")),
+    };
+    let opt_usize = |key: &str| -> Result<Option<usize>, String> {
+        match json.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(Json::Num(n)) => Ok(Some(*n as usize)),
+            Some(_) => Err(format!("`{key}` must be a non-negative integer")),
+        }
+    };
+    let deadline = match json.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(Json::Num(n)) => {
+            if *n == 0 {
+                return Err("`deadline_ms` must be positive".into());
+            }
+            Some(Duration::from_millis(*n))
+        }
+        Some(_) => return Err("`deadline_ms` must be a positive integer".into()),
+    };
+    Ok(Request {
+        id,
+        cmd,
+        benchmark: json
+            .get("benchmark")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
+        dfg: json.get("dfg").and_then(Json::as_str).map(str::to_owned),
+        mode,
+        catalog,
+        lambda_det: opt_usize("lambda_det")?,
+        lambda_rec: opt_usize("lambda_rec")?,
+        area: match json.get("area") {
+            None | Some(Json::Null) => u64::MAX,
+            Some(Json::Num(n)) => *n,
+            Some(_) => return Err("`area` must be a non-negative integer".into()),
+        },
+        deadline,
+        no_degrade: match json.get("no_degrade") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("`no_degrade` must be a boolean".into()),
+        },
+    })
+}
+
+/// Why a request was rejected or failed — the `kind` field of a
+/// `rejected`/`error` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// Shed at admission: queue and in-flight budget full.
+    Overloaded,
+    /// Every solver back end's circuit breaker is open.
+    CircuitOpen,
+    /// The line was not a parseable request.
+    Malformed,
+    /// The problem statement is invalid (bad DFG, unknown benchmark…).
+    BadRequest,
+    /// The deadline expired before any back end produced a design.
+    Deadline,
+    /// The problem is provably infeasible or every rung failed.
+    Failed,
+    /// The request handler panicked (isolated; the daemon survives).
+    Internal,
+    /// The daemon is draining and no longer accepts work.
+    Draining,
+}
+
+impl RejectKind {
+    /// Stable wire tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectKind::Overloaded => "overloaded",
+            RejectKind::CircuitOpen => "circuit_open",
+            RejectKind::Malformed => "malformed",
+            RejectKind::BadRequest => "bad_request",
+            RejectKind::Deadline => "deadline",
+            RejectKind::Failed => "failed",
+            RejectKind::Internal => "internal",
+            RejectKind::Draining => "draining",
+        }
+    }
+
+    /// `rejected` covers loads the service *chose* not to take
+    /// (typed load shedding); `error` covers requests it took and could
+    /// not complete.
+    #[must_use]
+    pub fn status(self) -> &'static str {
+        match self {
+            RejectKind::Overloaded
+            | RejectKind::CircuitOpen
+            | RejectKind::Malformed
+            | RejectKind::BadRequest
+            | RejectKind::Draining => "rejected",
+            RejectKind::Deadline | RejectKind::Failed | RejectKind::Internal => "error",
+        }
+    }
+}
+
+/// One response line under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Response {
+    /// Echoed request id (`None` when the request was unparseable).
+    pub id: Option<String>,
+    /// `ok`, `degraded`, `rejected`, `error` or `pong`.
+    pub status: &'static str,
+    /// License cost, on success.
+    pub cost: Option<u64>,
+    /// Winning back end, on success.
+    pub backend: Option<String>,
+    /// Whether the cost was proven optimal.
+    pub proven: Option<bool>,
+    /// Latency relaxation applied (cycles), on success.
+    pub relaxation: Option<usize>,
+    /// Wall-clock handling time.
+    pub elapsed_ms: Option<u64>,
+    /// Whether the design came from the result cache.
+    pub cached: bool,
+    /// `TS0xx`/`TR0xx` diagnostic codes attached to this outcome.
+    pub codes: Vec<String>,
+    /// Rejection/error kind.
+    pub kind: Option<RejectKind>,
+    /// Human-readable detail for rejections and errors.
+    pub message: Option<String>,
+    /// Back-pressure hint for `overloaded`/`circuit_open` rejections.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl Response {
+    /// A success/degraded skeleton.
+    #[must_use]
+    pub fn outcome(id: &str, status: &'static str) -> Self {
+        Response {
+            id: Some(id.to_owned()),
+            status,
+            ..Response::default()
+        }
+    }
+
+    /// A typed rejection/error.
+    #[must_use]
+    pub fn reject(id: Option<&str>, kind: RejectKind, message: impl Into<String>) -> Self {
+        Response {
+            id: id.map(str::to_owned),
+            status: kind.status(),
+            kind: Some(kind),
+            message: Some(message.into()),
+            ..Response::default()
+        }
+    }
+
+    /// Renders the single response line (no trailing newline), appending
+    /// the serve-path counters as the `stats` trailer.
+    #[must_use]
+    pub fn render(&self, stats: &StatsSnapshot) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(192);
+        s.push('{');
+        match &self.id {
+            Some(id) => {
+                s.push_str("\"id\":");
+                s.push_str(&escape(id));
+            }
+            None => s.push_str("\"id\":null"),
+        }
+        s.push_str(",\"status\":");
+        s.push_str(&escape(self.status));
+        if let Some(cost) = self.cost {
+            let _ = write!(s, ",\"cost\":{cost}");
+        }
+        if let Some(backend) = &self.backend {
+            s.push_str(",\"backend\":");
+            s.push_str(&escape(backend));
+        }
+        if let Some(proven) = self.proven {
+            let _ = write!(s, ",\"proven\":{proven}");
+        }
+        if let Some(relaxation) = self.relaxation {
+            let _ = write!(s, ",\"relaxation\":{relaxation}");
+        }
+        if let Some(elapsed) = self.elapsed_ms {
+            let _ = write!(s, ",\"elapsed_ms\":{elapsed}");
+        }
+        if self.cached {
+            s.push_str(",\"cached\":true");
+        }
+        if !self.codes.is_empty() {
+            s.push_str(",\"codes\":[");
+            for (i, code) in self.codes.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&escape(code));
+            }
+            s.push(']');
+        }
+        if let Some(kind) = self.kind {
+            s.push_str(",\"kind\":");
+            s.push_str(&escape(kind.as_str()));
+        }
+        if let Some(message) = &self.message {
+            s.push_str(",\"message\":");
+            s.push_str(&escape(message));
+        }
+        if let Some(retry) = self.retry_after_ms {
+            let _ = write!(s, ",\"retry_after_ms\":{retry}");
+        }
+        s.push_str(",\"stats\":");
+        s.push_str(&stats.to_json());
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_synth_request() {
+        let r = parse_request(
+            r#"{"id":"r1","cmd":"synth","benchmark":"polynom","mode":"recovery","catalog":"table1","lambda_det":4,"lambda_rec":3,"area":22000,"deadline_ms":2000}"#,
+        )
+        .expect("well-formed");
+        assert_eq!(r.id, "r1");
+        assert_eq!(r.cmd, Cmd::Synth);
+        assert_eq!(r.benchmark.as_deref(), Some("polynom"));
+        assert_eq!(r.lambda_det, Some(4));
+        assert_eq!(r.lambda_rec, Some(3));
+        assert_eq!(r.area, 22000);
+        assert_eq!(r.deadline, Some(Duration::from_secs(2)));
+        assert!(!r.no_degrade);
+    }
+
+    #[test]
+    fn typed_parse_failures() {
+        for (line, fragment) in [
+            ("not json", "not valid"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"cmd":"synth"}"#, "missing `id`"),
+            (r#"{"id":"x"}"#, "missing `cmd`"),
+            (r#"{"id":"x","cmd":"dance"}"#, "unknown cmd"),
+            (r#"{"id":"x","cmd":"synth","mode":"zen"}"#, "unknown mode"),
+            (
+                r#"{"id":"x","cmd":"synth","deadline_ms":0}"#,
+                "must be positive",
+            ),
+            (
+                r#"{"id":"x","cmd":"synth","lambda_det":"four"}"#,
+                "non-negative integer",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(fragment), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn response_renders_to_one_parseable_line() {
+        let stats = StatsSnapshot::default();
+        let mut resp = Response::outcome("r7", "degraded");
+        resp.cost = Some(4160);
+        resp.backend = Some("exact".into());
+        resp.proven = Some(true);
+        resp.relaxation = Some(1);
+        resp.elapsed_ms = Some(42);
+        resp.codes = vec!["TR001".into(), "TS002".into()];
+        let line = resp.render(&stats);
+        assert!(!line.contains('\n'));
+        let back = Json::parse(&line).expect("response parses");
+        assert_eq!(back.get("id").and_then(Json::as_str), Some("r7"));
+        assert_eq!(back.get("cost").and_then(Json::as_u64), Some(4160));
+        assert!(back.get("stats").is_some());
+
+        let reject = Response::reject(None, RejectKind::Overloaded, "queue full");
+        let line = reject.render(&stats);
+        let back = Json::parse(&line).expect("rejection parses");
+        assert_eq!(back.get("id"), Some(&Json::Null));
+        assert_eq!(back.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(back.get("status").and_then(Json::as_str), Some("rejected"));
+    }
+}

@@ -1,0 +1,613 @@
+//! The hardened synthesis daemon.
+//!
+//! One accept loop, one thread per connection, newline-delimited JSON
+//! frames. Every layer is bounded:
+//!
+//! - **Admission** — at most `max_inflight` concurrent syntheses plus a
+//!   `queue_depth`-bounded wait queue; past that, requests are shed with
+//!   a typed `overloaded` rejection carrying a `retry_after_ms` hint
+//!   ([`crate::admission`]).
+//! - **Circuit breakers** — a per-backend closed → open → half-open
+//!   panel ([`crate::breaker`]) layered over the `troy-resilience`
+//!   supervisor via [`SupervisorConfig::disabled`], so a flapping rung
+//!   is skipped before it burns its retry budget; with every breaker
+//!   open the request is rejected `circuit_open` up front.
+//! - **Deadlines** — each request's budget flows through
+//!   [`Cancellation`] children of a server root token, so a drain can
+//!   cancel all in-flight work at once.
+//! - **Frames** — a connection may dribble a frame (slowloris) for at
+//!   most `frame_deadline` and a line may be at most [`MAX_LINE`] bytes;
+//!   violations close the connection.
+//! - **Panics** — request handling runs under `catch_unwind`; a
+//!   poisoned request yields an `internal` error and closes that one
+//!   connection, never the daemon.
+//!
+//! Graceful drain: a `shutdown` request (or [`ServiceHandle::shutdown`])
+//! stops the accept loop, lets in-flight requests finish within
+//! `drain_deadline`, then cancels the root token and gives stragglers a
+//! short grace before [`Service::join`] returns the final counters.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use troy_dfg::{benchmarks, parse_dfg};
+use troy_ilp::Cancellation;
+use troy_portfolio::{cache_key, Backend, PortfolioResult, ResultCache};
+use troy_resilience::{
+    supervise, AttemptOutcome, Chaos, Degradation, SupervisorConfig, SupervisorErrorKind, LADDER,
+};
+use troyhls::{SolveOptions, SynthesisProblem};
+
+use crate::admission::{Admission, Admitted};
+use crate::breaker::{BreakerConfig, Breakers};
+use crate::protocol::{parse_request, Cmd, RejectKind, Request, Response};
+use crate::stats::{ServiceStats, StatsSnapshot};
+
+use troy_analysis::Code;
+
+/// Hard bound on one request line; longer frames are hostile.
+pub const MAX_LINE: usize = 256 * 1024;
+
+/// How the daemon runs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address, e.g. `127.0.0.1:7788` (`:0` picks a free port).
+    pub addr: String,
+    /// Concurrent syntheses admitted at once.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for a slot; past this, shed.
+    pub queue_depth: usize,
+    /// Deadline applied when a request carries no `deadline_ms`.
+    pub default_deadline: Duration,
+    /// How long a drain waits for in-flight work before cancelling it.
+    pub drain_deadline: Duration,
+    /// Longest a connection may take to deliver one complete frame once
+    /// its first byte has arrived (the slowloris bound).
+    pub frame_deadline: Duration,
+    /// Circuit-breaker policy shared by all back ends.
+    pub breaker: BreakerConfig,
+    /// Result-cache directory; `None` keeps the cache in memory.
+    pub cache_dir: Option<PathBuf>,
+    /// Fault injector threaded into every supervised run.
+    pub chaos: Chaos,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_inflight: 4,
+            queue_depth: 8,
+            default_deadline: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
+            frame_deadline: Duration::from_secs(2),
+            breaker: BreakerConfig::default(),
+            cache_dir: None,
+            chaos: Chaos::disabled(),
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection, and the handle.
+struct Shared {
+    stats: ServiceStats,
+    admission: Admission,
+    breakers: Breakers,
+    cache: ResultCache,
+    /// Parent of every request token; cancelled at hard drain.
+    root: Cancellation,
+    /// Set once by `shutdown`; never cleared.
+    draining: AtomicBool,
+    /// Live connection threads (drain waits for this to reach zero).
+    connections_live: AtomicU64,
+    chaos: Chaos,
+    default_deadline: Duration,
+    frame_deadline: Duration,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A handle that can drain the daemon from another thread.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServiceHandle {
+    /// Begins a graceful drain: stop accepting, finish (or cancel, after
+    /// the drain deadline) in-flight work. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a drain has begun.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Point-in-time serve-path counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+}
+
+/// A running daemon.
+pub struct Service {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    drain_deadline: Duration,
+}
+
+impl Service {
+    /// Binds `config.addr` and starts the accept loop.
+    ///
+    /// # Errors
+    /// Propagates bind/cache-directory I/O failures.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Service> {
+        let ServiceConfig {
+            addr,
+            max_inflight,
+            queue_depth,
+            default_deadline,
+            drain_deadline,
+            frame_deadline,
+            breaker,
+            cache_dir,
+            chaos,
+        } = config;
+        let listener = TcpListener::bind(&addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let cache = match cache_dir {
+            Some(dir) => ResultCache::on_disk(dir)?,
+            None => ResultCache::in_memory(),
+        };
+        let shared = Arc::new(Shared {
+            stats: ServiceStats::default(),
+            admission: Admission::new(max_inflight, queue_depth),
+            breakers: Breakers::new(breaker),
+            cache,
+            root: Cancellation::new(),
+            draining: AtomicBool::new(false),
+            connections_live: AtomicU64::new(0),
+            chaos,
+            default_deadline,
+            frame_deadline,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Service {
+            local_addr,
+            shared,
+            accept,
+            drain_deadline,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A drain handle, cloneable across threads.
+    #[must_use]
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Point-in-time serve-path counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Blocks until the daemon has drained (a `shutdown` request or
+    /// [`ServiceHandle::shutdown`] call, then completion of in-flight
+    /// work within the drain deadline), and returns the final counters.
+    ///
+    /// The drain ladder: stop accepting; wait up to `drain_deadline` for
+    /// connections to finish; cancel the root token; wait a short grace
+    /// for cancelled work to unwind. Connections still live after that
+    /// are abandoned (their threads die with the process).
+    #[must_use]
+    pub fn join(self) -> StatsSnapshot {
+        while !self.shared.is_draining() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let _ = self.accept.join();
+        let drained_by = Instant::now() + self.drain_deadline;
+        while self.shared.connections_live.load(Ordering::SeqCst) > 0 && Instant::now() < drained_by
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Past the drain deadline: cancel everything still running and
+        // give it one bounded grace to unwind through the token checks.
+        self.shared.root.cancel();
+        let grace_until = Instant::now() + Duration::from_secs(2);
+        while self.shared.connections_live.load(Ordering::SeqCst) > 0
+            && Instant::now() < grace_until
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+/// Accepts until drain begins. Nonblocking + poll so the loop can notice
+/// the drain flag without a wake-up connection.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.is_draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ServiceStats::bump(&shared.stats.connections);
+                shared.connections_live.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.connections_live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Reads frames off one connection until it closes, misbehaves, or the
+/// daemon drains. Never panics out: request handling is firewalled.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Start of the frame currently being assembled, set when its first
+    // byte arrives: the slowloris clock.
+    let mut frame_start: Option<Instant> = None;
+    loop {
+        // Drain a complete line if one is buffered.
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            frame_start = if buf.is_empty() {
+                None
+            } else {
+                Some(Instant::now())
+            };
+            let line = String::from_utf8_lossy(&line[..nl]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serve_line(&line, shared, &mut stream) {
+                LineVerdict::KeepGoing => {}
+                LineVerdict::Close => return,
+            }
+        }
+        if shared.is_draining() {
+            // Idle (or mid-frame) connection during a drain: nothing
+            // in-flight here, so close.
+            return;
+        }
+        if buf.len() > MAX_LINE {
+            let reject = Response::reject(
+                None,
+                RejectKind::Malformed,
+                format!("frame exceeds the {MAX_LINE}-byte line limit"),
+            );
+            ServiceStats::bump(&shared.stats.malformed);
+            let _ = write_response(&mut stream, &reject, shared);
+            return;
+        }
+        if let Some(t0) = frame_start {
+            if t0.elapsed() > shared.frame_deadline {
+                let reject = Response::reject(
+                    None,
+                    RejectKind::Malformed,
+                    format!(
+                        "partial frame: no newline within {:?} of the first byte",
+                        shared.frame_deadline
+                    ),
+                );
+                ServiceStats::bump(&shared.stats.malformed);
+                let _ = write_response(&mut stream, &reject, shared);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed; any partial frame is dropped
+            Ok(n) => {
+                if buf.is_empty() && frame_start.is_none() {
+                    frame_start = Some(Instant::now());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+enum LineVerdict {
+    KeepGoing,
+    Close,
+}
+
+/// Parses and executes one frame, writing exactly one response line.
+fn serve_line(line: &str, shared: &Arc<Shared>, stream: &mut TcpStream) -> LineVerdict {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            ServiceStats::bump(&shared.stats.malformed);
+            let reject = Response::reject(None, RejectKind::Malformed, msg);
+            // A peer speaking a broken protocol gets one diagnosis, then
+            // the connection closes: no error loops.
+            let _ = write_response(stream, &reject, shared);
+            return LineVerdict::Close;
+        }
+    };
+    let id = request.id.clone();
+    let close_after = request.cmd == Cmd::Shutdown;
+    // The panic firewall: a poisoned request is converted into a typed
+    // internal error and costs its own connection, never the daemon.
+    let response = match catch_unwind(AssertUnwindSafe(|| handle_request(&request, shared))) {
+        Ok(response) => response,
+        Err(payload) => {
+            ServiceStats::bump(&shared.stats.panics);
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            Response::reject(
+                Some(&id),
+                RejectKind::Internal,
+                format!("request handler panicked: {detail}"),
+            )
+        }
+    };
+    let panicked = response.kind == Some(RejectKind::Internal);
+    if write_response(stream, &response, shared).is_err() || close_after || panicked {
+        LineVerdict::Close
+    } else {
+        LineVerdict::KeepGoing
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    let mut line = response.render(&shared.stats.snapshot());
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Executes one parsed request. May run for up to the request deadline
+/// (plus the supervisor's documented grace slack).
+fn handle_request(request: &Request, shared: &Arc<Shared>) -> Response {
+    match request.cmd {
+        Cmd::Ping => Response::outcome(&request.id, "pong"),
+        Cmd::Stats => Response::outcome(&request.id, "ok"),
+        Cmd::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let mut r = Response::outcome(&request.id, "ok");
+            r.message = Some("draining: no further requests will be accepted".to_owned());
+            r
+        }
+        Cmd::Synth => handle_synth(request, shared),
+    }
+}
+
+fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
+    let t0 = Instant::now();
+    if shared.is_draining() {
+        return Response::reject(
+            Some(&request.id),
+            RejectKind::Draining,
+            "the daemon is draining",
+        );
+    }
+    let deadline = request.deadline.unwrap_or(shared.default_deadline);
+
+    // Admission: bounded queue wait (half the deadline, capped), then a
+    // typed shed. The permit is held for the whole synthesis.
+    let wait_budget = (deadline / 2).min(Duration::from_secs(2));
+    let _permit = match shared.admission.acquire(wait_budget) {
+        Admitted::Permit(p) => p,
+        Admitted::Shed { retry_after } => {
+            ServiceStats::bump(&shared.stats.shed_overload);
+            let mut r = Response::reject(
+                Some(&request.id),
+                RejectKind::Overloaded,
+                "admission queue and in-flight budget are full",
+            );
+            r.retry_after_ms = Some(retry_after.as_millis() as u64);
+            r.codes = vec![Code::ServiceOverloaded.as_str().to_owned()];
+            return r;
+        }
+    };
+    ServiceStats::bump(&shared.stats.accepted);
+
+    // Circuit breakers: skip open rungs; with the whole panel open the
+    // request is shed before any solver runs.
+    let now = Instant::now();
+    let open = shared.breakers.open_at(now);
+    if open.len() == Backend::ALL.len() {
+        ServiceStats::bump(&shared.stats.shed_circuit);
+        let mut r = Response::reject(
+            Some(&request.id),
+            RejectKind::CircuitOpen,
+            "every solver back end's circuit breaker is open",
+        );
+        r.retry_after_ms = shared
+            .breakers
+            .retry_after(now)
+            .map(|d| d.as_millis().max(1) as u64);
+        r.codes = vec![Code::CircuitOpen.as_str().to_owned()];
+        return r;
+    }
+
+    let problem = match build_problem(request) {
+        Ok(p) => p,
+        Err(msg) => {
+            ServiceStats::bump(&shared.stats.failed);
+            return Response::reject(Some(&request.id), RejectKind::BadRequest, msg);
+        }
+    };
+
+    // Cache: keyed on the problem under normalized options (engine
+    // "serve"), deliberately ignoring the per-request deadline so
+    // identical problems hit regardless of each client's budget. Only
+    // un-degraded results are ever stored (best-effort ones included —
+    // the `proven` flag travels with the entry), so a hit can be served
+    // as `ok` unconditionally.
+    let key = cache_key(&problem, "serve", &SolveOptions::default());
+    if let Some(hit) = shared.cache.lookup(&key, &problem) {
+        ServiceStats::bump(&shared.stats.cache_hits);
+        ServiceStats::bump(&shared.stats.completed_ok);
+        let mut r = Response::outcome(&request.id, "ok");
+        r.cost = Some(hit.synthesis.cost);
+        r.backend = Some(hit.winner.name().to_owned());
+        r.proven = Some(hit.synthesis.proven_optimal);
+        r.relaxation = Some(0);
+        r.cached = true;
+        r.elapsed_ms = Some(t0.elapsed().as_millis() as u64);
+        return r;
+    }
+
+    let config = SupervisorConfig {
+        deadline,
+        degrade: !request.no_degrade,
+        disabled: open.clone(),
+        options: SolveOptions {
+            cancel: shared.root.child(),
+            ..SolveOptions::default()
+        },
+        ..SupervisorConfig::default()
+    };
+    match supervise(&problem, &config, &shared.chaos) {
+        Ok(sup) => {
+            record_breaker_outcomes(shared, &sup.degradation);
+            let degraded = sup.degraded();
+            let mut codes = Vec::new();
+            if !open.is_empty() {
+                codes.push(Code::CircuitOpen.as_str().to_owned());
+            }
+            if sup.backend != LADDER[0] || sup.degradation.grace {
+                codes.push(Code::DegradedBackend.as_str().to_owned());
+            }
+            if sup.relaxation > 0 {
+                codes.push(Code::ConstraintRelaxed.as_str().to_owned());
+            }
+            if degraded {
+                ServiceStats::bump(&shared.stats.completed_degraded);
+            } else {
+                ServiceStats::bump(&shared.stats.completed_ok);
+                let result = PortfolioResult {
+                    synthesis: sup.synthesis.clone(),
+                    winner: sup.backend,
+                    timed_out: false,
+                    from_cache: false,
+                    elapsed: sup.elapsed,
+                };
+                shared.cache.store(&key, &result);
+            }
+            let mut r = Response::outcome(&request.id, if degraded { "degraded" } else { "ok" });
+            r.cost = Some(sup.synthesis.cost);
+            r.backend = Some(sup.backend.name().to_owned());
+            r.proven = Some(sup.synthesis.proven_optimal);
+            r.relaxation = Some(sup.relaxation);
+            r.codes = codes;
+            r.elapsed_ms = Some(t0.elapsed().as_millis() as u64);
+            r
+        }
+        Err(e) => {
+            record_breaker_outcomes(shared, &e.degradation);
+            ServiceStats::bump(&shared.stats.failed);
+            let (kind, code) = match e.kind {
+                SupervisorErrorKind::DeadlineExhausted { .. } => (
+                    RejectKind::Deadline,
+                    Some(Code::RequestDeadlineExhausted.as_str().to_owned()),
+                ),
+                SupervisorErrorKind::Infeasible { .. } | SupervisorErrorKind::Exhausted => {
+                    (RejectKind::Failed, None)
+                }
+            };
+            let mut r = Response::reject(Some(&request.id), kind, e.to_string());
+            r.codes = code.into_iter().collect();
+            r.elapsed_ms = Some(t0.elapsed().as_millis() as u64);
+            r
+        }
+    }
+}
+
+/// Builds the synthesis problem a request describes.
+fn build_problem(request: &Request) -> Result<SynthesisProblem, String> {
+    let dfg = match (&request.benchmark, &request.dfg) {
+        (Some(name), _) => {
+            benchmarks::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?
+        }
+        (None, Some(text)) => parse_dfg(text).map_err(|e| format!("bad `dfg`: {e}"))?,
+        (None, None) => return Err("synth needs `benchmark` or `dfg`".to_owned()),
+    };
+    let mut builder = SynthesisProblem::builder(dfg, request.catalog.clone())
+        .mode(request.mode)
+        .area_limit(request.area);
+    if let Some(l) = request.lambda_det {
+        builder = builder.detection_latency(l);
+    }
+    if let Some(l) = request.lambda_rec {
+        builder = builder.recovery_latency(l);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Feeds a supervised run's rung outcomes into the breaker panel.
+///
+/// Per executed rung, the *final* attempt decides: success closes the
+/// breaker, a deterministic failure (panic, invalid design, timeout,
+/// typed failure) counts toward opening it. Infeasibility and spurious
+/// cancellation are neutral — they indict the problem or the schedule,
+/// not the back end.
+fn record_breaker_outcomes(shared: &Arc<Shared>, degradation: &Degradation) {
+    let now = Instant::now();
+    for rung in &degradation.rungs {
+        if rung.skipped {
+            continue;
+        }
+        match rung.attempts.last().map(|a| &a.outcome) {
+            Some(AttemptOutcome::Success { .. }) => {
+                shared.breakers.record_success(rung.backend, now);
+            }
+            Some(
+                AttemptOutcome::Panicked(_)
+                | AttemptOutcome::InvalidDesign
+                | AttemptOutcome::Timeout
+                | AttemptOutcome::Failed(_),
+            ) => {
+                shared.breakers.record_failure(rung.backend, now);
+            }
+            Some(AttemptOutcome::SpuriousCancel | AttemptOutcome::Infeasible) | None => {}
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! End-to-end soak and oracle tests for the synthesis daemon.
+//!
+//! Each test boots a real [`Service`] on a loopback port and speaks the
+//! newline-delimited JSON protocol over actual sockets. The invariant
+//! under test is the daemon's robustness contract: every request — good
+//! or evil — terminates in exactly one of {valid design, typed
+//! degradation, typed rejection}; the daemon never hangs, never panics
+//! out, and drains cleanly.
+//!
+//! The seeded soak test takes its fault schedule from `TROY_SOAK_SEED`
+//! (default 1) via the same deterministic [`Chaos`] injector the
+//! supervisor chaos suite uses, so one seed denotes one replayable mix
+//! of client behaviors.
+
+use std::fmt::Write as _;
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use troy_resilience::{Chaos, ServiceFault};
+use troy_service::{BreakerConfig, Json, Service, ServiceConfig};
+
+// ---------------------------------------------------------------- clients
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect to the daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+fn send(stream: &mut TcpStream, line: &str) {
+    stream.write_all(line.as_bytes()).expect("write frame");
+    stream.write_all(b"\n").expect("write newline");
+}
+
+/// Reads one response line within `budget`; `None` on EOF or timeout.
+fn read_line(stream: &mut TcpStream, budget: Duration) -> Option<String> {
+    let deadline = Instant::now() + budget;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while Instant::now() < deadline {
+        if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            return Some(String::from_utf8_lossy(&buf[..nl]).into_owned());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => break,
+        }
+    }
+    buf.iter()
+        .position(|&b| b == b'\n')
+        .map(|nl| String::from_utf8_lossy(&buf[..nl]).into_owned())
+}
+
+/// One request on a fresh connection; returns the parsed response.
+fn roundtrip(addr: SocketAddr, line: &str, budget: Duration) -> Option<Json> {
+    let mut stream = connect(addr);
+    send(&mut stream, line);
+    let line = read_line(&mut stream, budget)?;
+    Some(Json::parse(&line).unwrap_or_else(|| panic!("response must parse: {line}")))
+}
+
+fn status(resp: &Json) -> &str {
+    resp.get("status")
+        .and_then(Json::as_str)
+        .expect("every response carries `status`")
+}
+
+fn codes(resp: &Json) -> Vec<String> {
+    match resp.get("codes") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|c| c.as_str().map(str::to_owned))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn stat(resp: &Json, key: &str) -> u64 {
+    resp.get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats trailer carries `{key}`"))
+}
+
+// ----------------------------------------------------------- problem zoo
+
+/// A linear chain of `n` adds: critical path `n`, so huge operation
+/// mobility once λ exceeds it. The 60-op variant's first LP relaxation
+/// is guaranteed to outlast any sub-second deadline, which makes it a
+/// deterministic slot occupier.
+fn chain_dfg(name: &str, n: usize) -> String {
+    let mut text = format!("dfg {name}\n");
+    for i in 0..n {
+        let _ = writeln!(text, "op n{i} add");
+    }
+    for i in 1..n {
+        let _ = writeln!(text, "edge n{} n{i}", i - 1);
+    }
+    text
+}
+
+/// Four independent 3-op chains. Under λ = 40 the mobility explodes; an
+/// area cap of 1700 is below anything the greedy warm start can reach
+/// (its best is 1790), so the ILP rung runs with no incumbent and times
+/// out deterministically — the breaker-trip workload.
+fn wide_dfg() -> String {
+    let mut text = String::from("dfg wide12\n");
+    for c in 0..4 {
+        for i in 0..3 {
+            let _ = writeln!(text, "op c{c}n{i} add");
+        }
+    }
+    for c in 0..4 {
+        for i in 1..3 {
+            let _ = writeln!(text, "edge c{c}n{} c{c}n{i}", i - 1);
+        }
+    }
+    text
+}
+
+/// JSON-escapes DFG text for the `dfg` request field.
+fn inline(dfg: &str) -> String {
+    dfg.replace('\n', "\\n")
+}
+
+fn tiny_synth(id: &str, deadline_ms: u64) -> String {
+    let dfg = inline("dfg tiny\nop a add\nop b add\nop c mul\nedge a b\nedge b c\n");
+    format!(
+        "{{\"id\":\"{id}\",\"cmd\":\"synth\",\"dfg\":\"{dfg}\",\"catalog\":\"table1\",\
+         \"lambda_det\":6,\"lambda_rec\":5,\"deadline_ms\":{deadline_ms}}}"
+    )
+}
+
+const FIG5: &str = "{\"id\":\"fig5\",\"cmd\":\"synth\",\"benchmark\":\"polynom\",\
+    \"mode\":\"recovery\",\"catalog\":\"table1\",\"lambda_det\":4,\"lambda_rec\":3,\
+    \"area\":22000,\"deadline_ms\":2500}";
+
+// ------------------------------------------------------------------ tests
+
+/// Chaos off: the paper's Fig. 5 design point survives the service path
+/// byte for byte — $4160 on `polynom` under detection+recovery — and the
+/// daemon's whole lifecycle (synth, cache hit, ping, stats, shutdown,
+/// drain) works over one connection.
+#[test]
+fn fig5_oracle_cache_and_lifecycle_through_the_service_path() {
+    let service = Service::start(ServiceConfig {
+        max_inflight: 2,
+        queue_depth: 2,
+        default_deadline: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(3),
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = service.local_addr();
+    let mut stream = connect(addr);
+
+    send(&mut stream, FIG5);
+    let resp = read_line(&mut stream, Duration::from_secs(10)).expect("fig5 response");
+    let resp = Json::parse(&resp).expect("fig5 response parses");
+    assert_eq!(status(&resp), "ok", "{resp:?}");
+    assert_eq!(resp.get("cost").and_then(Json::as_u64), Some(4160));
+    assert_eq!(resp.get("id").and_then(Json::as_str), Some("fig5"));
+    assert!(resp.get("elapsed_ms").is_some());
+    assert!(resp.get("cached").is_none(), "first solve is not cached");
+
+    // The identical problem again: a cache hit, regardless of the
+    // per-request deadline (the key deliberately excludes it).
+    send(&mut stream, &FIG5.replace("fig5", "fig5-again"));
+    let resp = read_line(&mut stream, Duration::from_secs(5)).expect("cached response");
+    let resp = Json::parse(&resp).expect("cached response parses");
+    assert_eq!(status(&resp), "ok");
+    assert_eq!(resp.get("cost").and_then(Json::as_u64), Some(4160));
+    assert_eq!(resp.get("cached"), Some(&Json::Bool(true)));
+
+    send(&mut stream, "{\"id\":\"p\",\"cmd\":\"ping\"}");
+    let resp = read_line(&mut stream, Duration::from_secs(2)).expect("pong");
+    let resp = Json::parse(&resp).expect("pong parses");
+    assert_eq!(status(&resp), "pong");
+
+    send(&mut stream, "{\"id\":\"s\",\"cmd\":\"stats\"}");
+    let resp = read_line(&mut stream, Duration::from_secs(2)).expect("stats");
+    let resp = Json::parse(&resp).expect("stats parses");
+    assert_eq!(stat(&resp, "cache_hits"), 1);
+    assert_eq!(stat(&resp, "accepted"), 2);
+
+    send(&mut stream, "{\"id\":\"bye\",\"cmd\":\"shutdown\"}");
+    let resp = read_line(&mut stream, Duration::from_secs(2)).expect("shutdown ack");
+    let resp = Json::parse(&resp).expect("shutdown ack parses");
+    assert_eq!(status(&resp), "ok");
+
+    let t0 = Instant::now();
+    let snap = service.join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drain must finish promptly with nothing in flight"
+    );
+    assert_eq!(snap.completed_ok, 2);
+    assert_eq!(snap.cache_hits, 1);
+    assert_eq!(snap.panics, 0);
+    assert_eq!(snap.malformed, 0);
+}
+
+/// With one slot and one queue seat, a long-running synthesis forces the
+/// next two requests into typed `overloaded` rejections — one after a
+/// bounded queue wait, one instantly — each carrying a `retry_after_ms`
+/// hint and the `TS001` diagnostic. Nothing buffers unboundedly, nothing
+/// hangs.
+#[test]
+fn overload_sheds_surplus_requests_with_typed_rejections() {
+    let service = Service::start(ServiceConfig {
+        max_inflight: 1,
+        queue_depth: 1,
+        default_deadline: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(3),
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = service.local_addr();
+
+    // The occupier: a 60-op chain whose LP grinds until the 1.5 s
+    // deadline, holding the only slot for at least that long.
+    let holder_line = format!(
+        "{{\"id\":\"hold\",\"cmd\":\"synth\",\"dfg\":\"{}\",\"catalog\":\"table1\",\
+         \"lambda_det\":66,\"lambda_rec\":62,\"deadline_ms\":1500,\"no_degrade\":true}}",
+        inline(&chain_dfg("bigchain", 60))
+    );
+    let holder = std::thread::spawn(move || {
+        roundtrip(addr, &holder_line, Duration::from_secs(15)).expect("holder response")
+    });
+    // Let the holder get admitted and into the solver.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // B waits in the queue (wait budget = deadline/2 = 300 ms), never
+    // gets the slot, and is shed with a typed rejection.
+    let b_line = tiny_synth("b", 600);
+    let b = std::thread::spawn(move || {
+        roundtrip(addr, &b_line, Duration::from_secs(5)).expect("b response")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // C finds the queue seat taken by B and is shed without waiting.
+    let c_resp =
+        roundtrip(addr, &tiny_synth("c", 600), Duration::from_secs(5)).expect("c response");
+
+    for resp in [&b.join().expect("b thread"), &c_resp] {
+        assert_eq!(status(resp), "rejected", "{resp:?}");
+        assert_eq!(resp.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert!(
+            resp.get("retry_after_ms").and_then(Json::as_u64).is_some(),
+            "overload rejections carry back-pressure hints: {resp:?}"
+        );
+        assert!(codes(resp).contains(&"TS001".to_owned()), "{resp:?}");
+    }
+
+    let holder_resp = holder.join().expect("holder thread");
+    assert_eq!(status(&holder_resp), "ok", "{holder_resp:?}");
+
+    service.handle().shutdown();
+    let snap = service.join();
+    assert_eq!(snap.shed_overload, 2);
+    assert_eq!(snap.accepted, 1, "only the holder was admitted");
+    assert_eq!(snap.completed_ok, 1);
+    assert_eq!(snap.panics, 0);
+}
+
+/// Two deterministic ILP-rung timeouts (high-mobility problem whose warm
+/// start is blocked by the area cap) trip the ILP circuit breaker; the
+/// next request then skips the open rung up front, completes on the
+/// exact back end, and is reported `degraded` with `TS002` + `TR001`.
+#[test]
+fn breaker_opens_after_rung_failures_and_later_requests_degrade() {
+    let service = Service::start(ServiceConfig {
+        max_inflight: 2,
+        queue_depth: 2,
+        default_deadline: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(3),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(300),
+        },
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = service.local_addr();
+    let wide = inline(&wide_dfg());
+
+    for id in ["f1", "f2"] {
+        let line = format!(
+            "{{\"id\":\"{id}\",\"cmd\":\"synth\",\"dfg\":\"{wide}\",\"catalog\":\"table1\",\
+             \"lambda_det\":40,\"lambda_rec\":40,\"area\":1700,\"deadline_ms\":800,\
+             \"no_degrade\":true}}"
+        );
+        let resp = roundtrip(addr, &line, Duration::from_secs(10)).expect("failure response");
+        assert_eq!(status(&resp), "error", "{resp:?}");
+        assert_eq!(resp.get("kind").and_then(Json::as_str), Some("failed"));
+    }
+
+    // The ILP breaker is now open: a healthy request is served by the
+    // next rung and labelled degraded, with the diagnostics saying why.
+    let resp = roundtrip(addr, FIG5, Duration::from_secs(10)).expect("degraded response");
+    assert_eq!(status(&resp), "degraded", "{resp:?}");
+    assert_eq!(resp.get("backend").and_then(Json::as_str), Some("exact"));
+    assert_eq!(resp.get("cost").and_then(Json::as_u64), Some(4160));
+    assert_eq!(resp.get("proven"), Some(&Json::Bool(true)));
+    let got = codes(&resp);
+    assert!(got.contains(&"TS002".to_owned()), "{got:?}");
+    assert!(got.contains(&"TR001".to_owned()), "{got:?}");
+
+    service.handle().shutdown();
+    let snap = service.join();
+    assert_eq!(snap.failed, 2);
+    assert_eq!(snap.completed_degraded, 1);
+    assert_eq!(snap.panics, 0);
+}
+
+/// A deadline too small for any rung to produce a design yields a typed
+/// `deadline` error carrying `TS003` — not a hang, not a silent drop.
+#[test]
+fn exhausted_deadline_yields_a_typed_ts003_error() {
+    let service = Service::start(ServiceConfig {
+        default_deadline: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(3),
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = service.local_addr();
+
+    // Area 1700 blocks the warm start (greedy bottoms out at 1790), the
+    // 60-op mobility makes the LP outlast 300 ms, so every rung times
+    // out inside an exhausted budget.
+    let line = format!(
+        "{{\"id\":\"storm\",\"cmd\":\"synth\",\"dfg\":\"{}\",\"catalog\":\"table1\",\
+         \"lambda_det\":66,\"lambda_rec\":62,\"area\":1700,\"deadline_ms\":300}}",
+        inline(&chain_dfg("bigchain", 60))
+    );
+    let resp = roundtrip(addr, &line, Duration::from_secs(15)).expect("storm response");
+    assert_eq!(status(&resp), "error", "{resp:?}");
+    assert_eq!(resp.get("kind").and_then(Json::as_str), Some("deadline"));
+    assert!(codes(&resp).contains(&"TS003".to_owned()), "{resp:?}");
+
+    service.handle().shutdown();
+    let snap = service.join();
+    assert_eq!(snap.failed, 1);
+    assert_eq!(snap.panics, 0);
+}
+
+/// The seeded soak: concurrent clients mixing good traffic with the four
+/// service-level fault families (malformed JSON, slowloris frames,
+/// mid-request disconnects, deadline storms). Every request that reads a
+/// response gets exactly one well-formed typed outcome; the daemon
+/// survives all of it (`panics == 0`), answers a liveness probe
+/// afterwards, and drains within its bound.
+#[test]
+fn seeded_soak_terminates_every_request_with_a_typed_outcome() {
+    let seed: u64 = std::env::var("TROY_SOAK_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1);
+
+    let frame_deadline = Duration::from_millis(300);
+    let service = Service::start(ServiceConfig {
+        max_inflight: 2,
+        queue_depth: 2,
+        default_deadline: Duration::from_secs(3),
+        drain_deadline: Duration::from_secs(3),
+        frame_deadline,
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = service.local_addr();
+
+    const CLIENTS: usize = 6;
+    const REQUESTS: usize = 4;
+    let mut workers = Vec::new();
+    for client in 0..CLIENTS {
+        workers.push(std::thread::spawn(move || {
+            let chaos = Chaos::seeded(seed);
+            // (responses_seen, malformed_sent, slowloris_sent)
+            let mut tally = (0usize, 0usize, 0usize);
+            for request in 0..REQUESTS {
+                match chaos.fault_for_request(client, request) {
+                    None => {
+                        let id = format!("c{client}r{request}");
+                        let resp = roundtrip(addr, &tiny_synth(&id, 1500), Duration::from_secs(8))
+                            .unwrap_or_else(|| panic!("good request {id} must get a response"));
+                        assert!(
+                            matches!(status(&resp), "ok" | "degraded" | "rejected" | "error"),
+                            "{resp:?}"
+                        );
+                        assert_eq!(resp.get("id").and_then(Json::as_str), Some(id.as_str()));
+                        tally.0 += 1;
+                    }
+                    Some(ServiceFault::MalformedJson) => {
+                        let resp = roundtrip(addr, "{\"id\":1,]]]", Duration::from_secs(5))
+                            .expect("malformed lines are diagnosed, not dropped");
+                        assert_eq!(status(&resp), "rejected", "{resp:?}");
+                        assert_eq!(resp.get("kind").and_then(Json::as_str), Some("malformed"));
+                        tally.0 += 1;
+                        tally.1 += 1;
+                    }
+                    Some(ServiceFault::Slowloris) => {
+                        let mut stream = connect(addr);
+                        stream.write_all(b"{\"id\":\"slow").expect("partial frame");
+                        std::thread::sleep(frame_deadline + Duration::from_millis(400));
+                        let line = read_line(&mut stream, Duration::from_secs(5))
+                            .expect("the frame deadline cuts a slowloris with a diagnosis");
+                        let resp = Json::parse(&line).expect("slowloris rejection parses");
+                        assert_eq!(status(&resp), "rejected", "{resp:?}");
+                        assert_eq!(resp.get("kind").and_then(Json::as_str), Some("malformed"));
+                        tally.0 += 1;
+                        tally.2 += 1;
+                    }
+                    Some(ServiceFault::Disconnect) => {
+                        let mut stream = connect(addr);
+                        stream
+                            .write_all(b"{\"id\":\"gone\",\"cmd\":")
+                            .expect("half frame");
+                        drop(stream); // no response owed; the daemon must shrug
+                    }
+                    Some(ServiceFault::DeadlineStorm) => {
+                        let id = format!("c{client}storm{request}");
+                        let resp = roundtrip(addr, &tiny_synth(&id, 1), Duration::from_secs(8))
+                            .expect("storm requests still get typed outcomes");
+                        assert!(
+                            matches!(status(&resp), "ok" | "degraded" | "rejected" | "error"),
+                            "{resp:?}"
+                        );
+                        tally.0 += 1;
+                    }
+                }
+            }
+            tally
+        }));
+    }
+    let mut responses = 0;
+    let mut malformed_sent = 0;
+    let mut slowloris_sent = 0;
+    for worker in workers {
+        let (r, m, s) = worker.join().expect("client thread must not die");
+        responses += r;
+        malformed_sent += m;
+        slowloris_sent += s;
+    }
+    assert!(responses > 0, "the schedule must exercise response paths");
+
+    // The daemon took the whole storm and still answers.
+    let pong = roundtrip(
+        addr,
+        "{\"id\":\"alive\",\"cmd\":\"ping\"}",
+        Duration::from_secs(2),
+    )
+    .expect("liveness probe after the soak");
+    assert_eq!(status(&pong), "pong");
+
+    service.handle().shutdown();
+    let t0 = Instant::now();
+    let snap = service.join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "drain must respect its deadline"
+    );
+    assert_eq!(snap.panics, 0, "no request may poison the daemon: {snap:?}");
+    assert_eq!(
+        snap.malformed,
+        (malformed_sent + slowloris_sent) as u64,
+        "every hostile frame is diagnosed exactly once: {snap:?}"
+    );
+}
