@@ -135,10 +135,30 @@ pub enum Code {
     /// TS003: the request's deadline expired before any back end
     /// produced a design.
     RequestDeadlineExhausted,
+    /// TQ004: a single vendor controls both the NC and RC copies of an
+    /// output cone — it can corrupt the checked output without the
+    /// comparator noticing (semantic lift of Rule 1 to cones).
+    ConeSingleVendor,
+    /// TQ005: one vendor holds two directly-interacting positions (an
+    /// edge or a sibling pair) inside a single computation copy of a
+    /// cone — a covert trigger channel (semantic lift of Rule 2).
+    ConeTriggerChannel,
+    /// TQ006: two vendors jointly control every NC and RC position of an
+    /// output cone — that colluding pair defeats the comparator for this
+    /// output.
+    ConePairCollapse,
+    /// TQ007: a vendor inside an output cone's detection copies also
+    /// appears in the cone's recovery copy — recovery of this output is
+    /// not independent of the vendors it recovers from.
+    RecoveryConeExposure,
+    /// TS004: the response carries no security certificate — the design
+    /// was produced on a degraded path and the diversity guarantee was
+    /// not machine-checked.
+    UncertifiedResponse,
 }
 
 /// Total number of published codes.
-pub const NUM_CODES: usize = 26;
+pub const NUM_CODES: usize = 31;
 
 impl Code {
     /// Every published code, in code order.
@@ -171,6 +191,11 @@ impl Code {
             Code::ServiceOverloaded,
             Code::CircuitOpen,
             Code::RequestDeadlineExhausted,
+            Code::ConeSingleVendor,
+            Code::ConeTriggerChannel,
+            Code::ConePairCollapse,
+            Code::RecoveryConeExposure,
+            Code::UncertifiedResponse,
         ]
     }
 
@@ -204,6 +229,11 @@ impl Code {
             Code::ServiceOverloaded => "TS001",
             Code::CircuitOpen => "TS002",
             Code::RequestDeadlineExhausted => "TS003",
+            Code::ConeSingleVendor => "TQ004",
+            Code::ConeTriggerChannel => "TQ005",
+            Code::ConePairCollapse => "TQ006",
+            Code::RecoveryConeExposure => "TQ007",
+            Code::UncertifiedResponse => "TS004",
         }
     }
 
@@ -237,6 +267,11 @@ impl Code {
             Code::ServiceOverloaded => "service-overloaded",
             Code::CircuitOpen => "circuit-open",
             Code::RequestDeadlineExhausted => "request-deadline-exhausted",
+            Code::ConeSingleVendor => "cone-single-vendor",
+            Code::ConeTriggerChannel => "cone-trigger-channel",
+            Code::ConePairCollapse => "cone-pair-collapse",
+            Code::RecoveryConeExposure => "recovery-cone-exposure",
+            Code::UncertifiedResponse => "uncertified-response",
         }
     }
 
@@ -292,6 +327,19 @@ impl Code {
             Code::RequestDeadlineExhausted => {
                 "the request's deadline expired before any back end produced a design"
             }
+            Code::ConeSingleVendor => "one vendor controls both detection copies of an output cone",
+            Code::ConeTriggerChannel => {
+                "one vendor holds two directly-interacting positions in one computation copy"
+            }
+            Code::ConePairCollapse => {
+                "two vendors jointly control every detection position of an output cone"
+            }
+            Code::RecoveryConeExposure => {
+                "a detection vendor of an output cone reappears in the cone's recovery copy"
+            }
+            Code::UncertifiedResponse => {
+                "the response carries no machine-checked security certificate"
+            }
         }
     }
 
@@ -318,6 +366,11 @@ impl Code {
             Code::RedundantLicense => Some("eqs. (11)-(12)"),
             Code::NearCollusion => Some("eqs. (6)-(7)"),
             Code::RegisterPressure => None,
+            Code::ConeSingleVendor => Some("eq. (5)"),
+            Code::ConeTriggerChannel => Some("eqs. (6)-(7)"),
+            Code::ConePairCollapse => Some("eq. (5)"),
+            Code::RecoveryConeExposure => Some("eqs. (8)-(10)"),
+            Code::UncertifiedResponse => None,
             Code::DegradedBackend
             | Code::ConstraintRelaxed
             | Code::BackendFault
@@ -344,8 +397,12 @@ impl Code {
             | Code::AreaExceeded
             | Code::InsufficientVendors
             | Code::AreaInfeasible
-            | Code::InfeasibleLatency => Severity::Error,
+            | Code::InfeasibleLatency
+            | Code::ConeSingleVendor
+            | Code::ConeTriggerChannel => Severity::Error,
             Code::UnusableVendor
+            | Code::ConePairCollapse
+            | Code::UncertifiedResponse
             | Code::RedundantLicense
             | Code::NearCollusion
             | Code::DegradedBackend
@@ -357,6 +414,7 @@ impl Code {
             Code::ZeroMobility
             | Code::TightVendorPool
             | Code::RegisterPressure
+            | Code::RecoveryConeExposure
             | Code::TransientRetried => Severity::Note,
         }
     }

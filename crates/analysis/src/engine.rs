@@ -6,7 +6,9 @@ use std::collections::BTreeSet;
 use troyhls::{Implementation, SynthesisProblem};
 
 use crate::diagnostic::{Code, Diagnostic, Severity};
-use crate::passes::{DesignRulesPass, FeasibilityPass, LintContext, LintPass, QualityPass};
+use crate::passes::{
+    DesignRulesPass, FeasibilityPass, LintContext, LintPass, QualityPass, SecurityPass,
+};
 
 /// Filtering and gating options for one analysis run.
 #[derive(Debug, Clone)]
@@ -80,6 +82,17 @@ impl Analyzer {
     #[must_use]
     pub fn empty() -> Self {
         Analyzer { passes: Vec::new() }
+    }
+
+    /// The default pipeline plus the [`SecurityPass`] prover — what
+    /// `troy lint --prove` runs. The security pass is opt-in because it
+    /// duplicates every rule finding semantically: default reports stay
+    /// one-finding-per-cause, proving reports cross-check on purpose.
+    #[must_use]
+    pub fn proving() -> Self {
+        let mut a = Analyzer::default();
+        a.register(Box::new(SecurityPass));
+        a
     }
 
     /// Registers an additional pass, run after the existing ones.

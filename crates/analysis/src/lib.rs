@@ -44,14 +44,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod certificate;
 mod diagnostic;
 mod engine;
 pub mod passes;
 mod render;
 
+pub use certificate::SecurityCertificate;
 pub use diagnostic::{Code, Diagnostic, FixIt, Location, Severity, NUM_CODES};
 pub use engine::{lint, AnalysisOptions, AnalysisReport, Analyzer};
 pub use passes::{
-    code_for_violation, diagnostic_for_violation, legal_vendors, DesignRulesPass, FeasibilityPass,
-    LintContext, LintPass, QualityPass,
+    certify, code_for_violation, cone_findings, diagnostic_for_violation, legal_vendors,
+    DesignRulesPass, FeasibilityPass, LintContext, LintPass, QualityPass, SecurityPass,
 };

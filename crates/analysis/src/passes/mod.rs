@@ -3,12 +3,14 @@
 mod design_rules;
 mod feasibility;
 mod quality;
+mod security;
 
 pub use design_rules::{
     code_for_violation, diagnostic_for_violation, legal_vendors, DesignRulesPass,
 };
 pub use feasibility::FeasibilityPass;
 pub use quality::QualityPass;
+pub use security::{certify, cone_findings, SecurityPass};
 
 use troyhls::{Implementation, SynthesisProblem};
 

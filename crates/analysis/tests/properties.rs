@@ -214,6 +214,63 @@ proptest! {
             }
         }
     }
+
+    /// `legal_vendors` structural contract, on solver outputs, random
+    /// corruptions of them, and partial bindings alike: the result is
+    /// sorted, duplicate-free, never offers the copy's current vendor,
+    /// and only offers vendors the catalog actually licenses for the
+    /// copy's IP type.
+    #[test]
+    fn legal_vendors_is_sorted_deduped_and_catalog_bounded(
+        mode_sel in 0usize..2,
+        op in 0usize..10,
+        role in 0usize..3,
+        vendor in 0usize..5,
+        target_op in 0usize..10,
+        target_role in 0usize..3,
+        unassign in 0usize..2,
+    ) {
+        let mode = [Mode::DetectionOnly, Mode::DetectionRecovery][mode_sel];
+        let p = problem(mode);
+        let mut imp = solved(&p);
+        let roles = Role::for_mode(mode);
+        let node = NodeId::new(op % p.dfg().len());
+        let rebind_role = roles[role % roles.len()];
+        if let Some(a) = imp.assignment(node, rebind_role) {
+            imp.assign(node, rebind_role, Assignment { vendor: VendorId::new(vendor), ..a });
+        }
+        let copy = OpCopy::new(
+            NodeId::new(target_op % p.dfg().len()),
+            roles[target_role % roles.len()],
+        );
+        if unassign == 1 {
+            imp.unassign(copy.op, copy.role);
+        }
+
+        let legal = troy_analysis::legal_vendors(&p, &imp, copy);
+        let indices: Vec<usize> = legal.iter().map(|v| v.index()).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&indices, &sorted, "result not sorted/deduplicated");
+
+        if let Some(current) = imp.assignment_of(copy).map(|a| a.vendor) {
+            prop_assert!(
+                !legal.contains(&current),
+                "offers the current vendor {current}"
+            );
+        }
+
+        let ip_type = p.dfg().kind(copy.op).ip_type();
+        let catalog: Vec<VendorId> = p.catalog().vendors_for(ip_type).collect();
+        for v in &legal {
+            prop_assert!(
+                catalog.contains(v),
+                "{v} does not sell {}",
+                ip_type.name()
+            );
+        }
+    }
 }
 
 #[test]

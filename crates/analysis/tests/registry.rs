@@ -1,0 +1,112 @@
+//! Registry-consistency suite: the published diagnostic codes are
+//! unique, stable (pinned one by one, so a reordering or renaming of
+//! the enum cannot slip through), and every code renders in all three
+//! output formats. New codes must be appended here — which is exactly
+//! the review speed bump the append-only registry wants.
+
+use troy_analysis::{AnalysisReport, Code, Diagnostic, Severity, NUM_CODES};
+
+/// The full published registry: (code string, lint name, severity).
+/// Append-only — editing an existing row is a compatibility break.
+const REGISTRY: [(&str, &str, Severity); NUM_CODES] = [
+    ("TD001", "unassigned-copy", Severity::Error),
+    ("TD002", "outside-window", Severity::Error),
+    ("TD003", "dependency-order", Severity::Error),
+    ("TD004", "no-such-core", Severity::Error),
+    ("TD005", "rule1-detection", Severity::Error),
+    ("TD006", "rule2-parent-child", Severity::Error),
+    ("TD007", "rule2-siblings", Severity::Error),
+    ("TD008", "rule1-recovery", Severity::Error),
+    ("TD009", "rule2-related", Severity::Error),
+    ("TD010", "area-exceeded", Severity::Error),
+    ("TP001", "insufficient-vendors", Severity::Error),
+    ("TP002", "zero-mobility", Severity::Note),
+    ("TP003", "area-infeasible", Severity::Error),
+    ("TP004", "unusable-vendor", Severity::Warning),
+    ("TP005", "tight-vendor-pool", Severity::Note),
+    ("TP006", "infeasible-latency", Severity::Error),
+    ("TQ001", "redundant-license", Severity::Warning),
+    ("TQ002", "near-collusion", Severity::Warning),
+    ("TQ003", "register-pressure", Severity::Note),
+    ("TR001", "degraded-backend", Severity::Warning),
+    ("TR002", "constraint-relaxed", Severity::Warning),
+    ("TR003", "backend-fault", Severity::Warning),
+    ("TR004", "transient-retried", Severity::Note),
+    ("TS001", "service-overloaded", Severity::Warning),
+    ("TS002", "circuit-open", Severity::Warning),
+    ("TS003", "request-deadline-exhausted", Severity::Warning),
+    ("TQ004", "cone-single-vendor", Severity::Error),
+    ("TQ005", "cone-trigger-channel", Severity::Error),
+    ("TQ006", "cone-pair-collapse", Severity::Warning),
+    ("TQ007", "recovery-cone-exposure", Severity::Note),
+    ("TS004", "uncertified-response", Severity::Warning),
+];
+
+#[test]
+fn registry_is_pinned_code_by_code() {
+    let all = Code::all();
+    assert_eq!(all.len(), REGISTRY.len());
+    for (code, (id, name, severity)) in all.into_iter().zip(REGISTRY) {
+        assert_eq!(code.as_str(), id, "code id drifted");
+        assert_eq!(code.name(), name, "{id}: lint name drifted");
+        assert_eq!(code.severity(), severity, "{id}: severity drifted");
+    }
+}
+
+#[test]
+fn codes_are_globally_unique_across_passes() {
+    let all = Code::all();
+    for (i, a) in all.iter().enumerate() {
+        for b in &all[i + 1..] {
+            assert_ne!(a.as_str(), b.as_str(), "duplicate code id");
+            assert_ne!(a.name(), b.name(), "duplicate lint name");
+        }
+    }
+}
+
+#[test]
+fn every_code_round_trips_through_parse() {
+    for code in Code::all() {
+        assert_eq!(Code::parse(code.as_str()), Some(code));
+        assert_eq!(Code::parse(&code.as_str().to_ascii_lowercase()), Some(code));
+        assert_eq!(Code::parse(code.name()), Some(code));
+        assert!(!code.summary().is_empty(), "{code}: empty summary");
+    }
+}
+
+#[test]
+fn every_code_renders_in_text_json_and_sarif() {
+    // One report per code, so a rendering bug in any single code cannot
+    // hide behind the others.
+    for code in Code::all() {
+        let report = AnalysisReport {
+            design: "registry".into(),
+            mode: "detection-only".into(),
+            deny_warnings: false,
+            diagnostics: vec![Diagnostic::new(
+                code,
+                format!("registry probe for {}", code.name()),
+            )],
+        };
+        let (text, json, sarif) = (report.to_text(), report.to_json(), report.to_sarif());
+        let id = code.as_str();
+        assert!(text.contains(id), "{id} missing from text:\n{text}");
+        assert!(
+            text.contains(code.severity().as_str()),
+            "{id}: severity missing from text"
+        );
+        assert!(json.contains(id), "{id} missing from JSON:\n{json}");
+        assert!(json.contains(code.name()), "{id}: name missing from JSON");
+        assert!(sarif.contains(id), "{id} missing from SARIF:\n{sarif}");
+        assert!(
+            sarif.contains(code.summary()) || sarif.contains(&troy_sarif_escape(code.summary())),
+            "{id}: summary missing from SARIF rules"
+        );
+    }
+}
+
+/// The renderer escapes JSON strings; summaries are plain ASCII today,
+/// but keep the check honest if one ever gains a quote.
+fn troy_sarif_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}

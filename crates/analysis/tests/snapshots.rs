@@ -69,6 +69,21 @@ fn sample(code: Code) -> Diagnostic {
         Code::RequestDeadlineExhausted => d.with_fixit(FixIt::advice(
             "raise the request deadline_ms or shrink the problem",
         )),
+        Code::ConeSingleVendor => d
+            .at(Location::copy(o1_rc).at_cycle(2).on_vendor(ven1))
+            .with_fixit(FixIt::rebind(o1_rc, vec![ven3, ven4])),
+        Code::ConeTriggerChannel => d
+            .at(Location::copy(o2_nc).at_cycle(2).on_vendor(ven1))
+            .with_fixit(FixIt::rebind(o2_nc, vec![ven4])),
+        Code::ConePairCollapse => d
+            .at(Location::node(NodeId::new(4)))
+            .with_fixit(FixIt::advice(
+                "spread the cone's detection copies over at least three vendors",
+            )),
+        Code::RecoveryConeExposure => d.at(Location::node(NodeId::new(4)).on_vendor(ven1)),
+        Code::UncertifiedResponse => d.with_fixit(FixIt::advice(
+            "re-request with no_degrade or retry once the primary rung recovers",
+        )),
     }
 }
 

@@ -27,6 +27,10 @@
 //!   --time-limit SECS             solve budget       (default 60)
 //!   --chart --dot --markdown --verilog --vcd         extra report sections
 //!   --lint                        append the full diagnostics report
+//!   --prove                       run the security prover over the result and
+//!                                 append its machine-checked certificate (no
+//!                                 single vendor, no colluding pair defeats the
+//!                                 comparator on any output cone)
 //!
 //! synth resilience options (any of them engages the supervisor, which
 //! runs the degradation ladder ILP → exact → annealing → greedy with
@@ -68,6 +72,10 @@
 //! lint options (problem flags as for synth, plus):
 //!   --solver NAME                 synthesize first, then lint the binding;
 //!                                 without it only pre-solve analysis runs
+//!   --prove                       also run the security prover pass
+//!                                 (TQ004-TQ007); with a binding and a clean
+//!                                 report, text output ends with the security
+//!                                 certificate
 //!   --format text|json|sarif      output format      (default text)
 //!   --min-severity note|warning|error                (default note)
 //!   --allow CODE                  suppress a diagnostic code (repeatable)
@@ -680,6 +688,7 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<i32, CliErro
     let mut chaos_seed: Option<u64> = None;
     let (mut chart, mut dot, mut markdown, mut verilog, mut vcd, mut want_lint) =
         (false, false, false, false, false, false);
+    let mut prove = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -728,6 +737,7 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<i32, CliErro
             "--verilog" => verilog = true,
             "--vcd" => vcd = true,
             "--lint" => want_lint = true,
+            "--prove" => prove = true,
             other => return Err(err(format!("synth: unknown flag `{other}`"))),
         }
         i += 1;
@@ -919,6 +929,19 @@ fn synth(target: &str, args: &[String], out: &mut String) -> Result<i32, CliErro
     if want_lint {
         let _ = writeln!(out, "\n{}", check.to_text().trim_end());
     }
+    if prove {
+        // The post-solve lint already rejected rule-breaking designs, so
+        // a refusal here means the *prover* sees an exposure the rules
+        // missed — surface it as the internal error it is.
+        let cert = troy_analysis::certify(&problem, &result.implementation).map_err(|diags| {
+            let mut msg = format!("internal: {engine_label} produced an uncertifiable design\n");
+            for d in &diags {
+                let _ = writeln!(msg, "{d}");
+            }
+            err(msg)
+        })?;
+        let _ = writeln!(out, "\n{cert}");
+    }
     Ok(match &supervision {
         Some(sup) if sup.degraded() => 3,
         _ => 0,
@@ -933,6 +956,7 @@ fn lint_cmd(target: &str, args: &[String], out: &mut String) -> Result<i32, CliE
     let mut time_limit = 60u64;
     let mut format = "text".to_owned();
     let mut options = AnalysisOptions::default();
+    let mut prove = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -944,6 +968,7 @@ fn lint_cmd(target: &str, args: &[String], out: &mut String) -> Result<i32, CliE
             "--solver" => {
                 solver_name = Some(take_value(args, &mut i, "--solver")?.to_owned());
             }
+            "--prove" => prove = true,
             "--time-limit" => {
                 time_limit = take_value(args, &mut i, "--time-limit")?
                     .parse()
@@ -996,12 +1021,27 @@ fn lint_cmd(target: &str, args: &[String], out: &mut String) -> Result<i32, CliE
         }
     };
 
-    let report = Analyzer::new().analyze(&problem, implementation.as_ref(), &options);
+    let analyzer = if prove {
+        Analyzer::proving()
+    } else {
+        Analyzer::new()
+    };
+    let report = analyzer.analyze(&problem, implementation.as_ref(), &options);
     out.push_str(&match format.as_str() {
         "json" => report.to_json(),
         "sarif" => report.to_sarif(),
         _ => report.to_text(),
     });
+    // With the prover engaged and a binding that survived it, the text
+    // report ends with the machine-checked certificate; failures already
+    // carry their counterexample witnesses in the report body.
+    if prove && format == "text" {
+        if let Some(imp) = &implementation {
+            if let Ok(cert) = troy_analysis::certify(&problem, imp) {
+                let _ = writeln!(out, "\n{cert}");
+            }
+        }
+    }
     Ok(report.exit_code())
 }
 
@@ -1086,6 +1126,54 @@ mod tests {
             .unwrap();
             assert!(out.contains("mc=$"), "{solver}: {out}");
         }
+    }
+
+    #[test]
+    fn synth_prove_appends_a_security_certificate() {
+        let out = cli(&[
+            "synth",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--lambda-det",
+            "4",
+            "--lambda-rec",
+            "3",
+            "--area",
+            "22000",
+            "--prove",
+        ])
+        .unwrap();
+        assert!(out.contains("$4160"), "{out}");
+        assert!(out.contains("security certificate: polynom"), "{out}");
+        assert!(out.contains("no single vendor"), "{out}");
+        assert!(out.contains("no colluding vendor pair"), "{out}");
+        assert!(out.contains("checksum:"), "{out}");
+    }
+
+    #[test]
+    fn lint_prove_with_solver_ends_with_the_certificate() {
+        let (out, code) = cli_with_code(&[
+            "lint",
+            "polynom",
+            "--catalog",
+            "table1",
+            "--solver",
+            "greedy",
+            "--prove",
+        ])
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("security certificate: polynom"), "{out}");
+        assert!(out.contains("minimum evading coalition: 2"), "{out}");
+    }
+
+    #[test]
+    fn lint_prove_without_a_binding_issues_no_certificate() {
+        let (out, code) =
+            cli_with_code(&["lint", "polynom", "--catalog", "table1", "--prove"]).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("security certificate"), "{out}");
     }
 
     #[test]

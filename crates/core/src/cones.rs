@@ -1,0 +1,219 @@
+//! Output-cone extraction over a bound data-flow graph.
+//!
+//! An *output cone* is the transitive fan-in of one DFG sink: every
+//! operation whose result can influence that output. The run-time
+//! comparator checks each output by comparing its NC and RC values, so
+//! the security question is posed per cone: which vendors sit inside
+//! the cone in each computation copy, and can a small coalition of them
+//! corrupt both copies of the same output consistently?
+//!
+//! The reachability closure is computed with bit sets (one `u64` word
+//! chain per node) folded in topological order, so cone extraction is
+//! `O(V · E / 64)` and exact — no sampling, no abstraction. The
+//! `troy-analysis` security pass enumerates vendor coalitions over these
+//! cones to prove or refute the paper's diversity guarantee.
+
+use std::collections::BTreeSet;
+
+use troy_dfg::{Dfg, NodeId};
+
+use crate::implementation::Implementation;
+use crate::rules::Role;
+use crate::VendorId;
+
+/// The transitive fan-in of one DFG sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputCone {
+    /// The sink operation whose output the cone feeds.
+    pub sink: NodeId,
+    /// Every operation in the cone (the sink included), ascending by
+    /// node index.
+    pub members: Vec<NodeId>,
+}
+
+impl OutputCone {
+    /// Number of operations in the cone.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the cone has no members (never happens for cones
+    /// produced by [`output_cones`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `node` lies inside the cone.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members
+            .binary_search_by_key(&node.index(), |m| m.index())
+            .is_ok()
+    }
+}
+
+/// A fixed-width bit set over DFG nodes.
+#[derive(Clone)]
+struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    fn new(len: usize) -> Self {
+        NodeSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, node: NodeId) {
+        self.words[node.index() / 64] |= 1 << (node.index() % 64);
+    }
+
+    fn union_with(&mut self, other: &NodeSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    fn contains(&self, index: usize) -> bool {
+        self.words[index / 64] & (1 << (index % 64)) != 0
+    }
+}
+
+/// Extracts the output cone of every sink, in ascending sink order.
+///
+/// Each cone contains its sink plus every transitive predecessor. Every
+/// DFG node appears in at least one cone (a node that fed no sink would
+/// be dead code, which [`Dfg::validate`] style construction precludes —
+/// and even an isolated node is its own sink).
+#[must_use]
+pub fn output_cones(dfg: &Dfg) -> Vec<OutputCone> {
+    let len = dfg.len();
+    // reach[v] = {v} ∪ ⋃ reach[p] over predecessors p, folded in topo
+    // order so every predecessor's closure is final before it is used.
+    let mut reach: Vec<NodeSet> = (0..len).map(|_| NodeSet::new(len)).collect();
+    for node in dfg.topo_order() {
+        let mut set = NodeSet::new(len);
+        set.insert(node);
+        for &p in dfg.preds(node) {
+            let pred = reach[p.index()].clone();
+            set.union_with(&pred);
+        }
+        reach[node.index()] = set;
+    }
+    let mut sinks: Vec<NodeId> = dfg.sinks().collect();
+    sinks.sort_by_key(|n| n.index());
+    sinks
+        .into_iter()
+        .map(|sink| {
+            let set = &reach[sink.index()];
+            let members = (0..len)
+                .filter(|&i| set.contains(i))
+                .map(NodeId::new)
+                .collect();
+            OutputCone { sink, members }
+        })
+        .collect()
+}
+
+/// The set of vendors bound to the cone's members in one computation
+/// copy. Returns `None` if any member lacks an assignment for `role` —
+/// an incomplete binding has no meaningful cone vendor set.
+#[must_use]
+pub fn cone_vendors(
+    imp: &Implementation,
+    cone: &OutputCone,
+    role: Role,
+) -> Option<BTreeSet<VendorId>> {
+    cone.members
+        .iter()
+        .map(|&op| imp.assignment(op, role).map(|a| a.vendor))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_dfg::{benchmarks, OpKind};
+
+    use crate::Assignment;
+
+    #[test]
+    fn polynom_is_one_five_op_cone() {
+        let g = benchmarks::polynom();
+        let cones = output_cones(&g);
+        assert_eq!(cones.len(), 1, "polynom has one output");
+        let cone = &cones[0];
+        assert_eq!(cone.len(), g.len());
+        assert_eq!(cone.sink, cone.members[cone.members.len() - 1]);
+        for n in g.node_ids() {
+            assert!(cone.contains(n));
+        }
+    }
+
+    #[test]
+    fn disjoint_sinks_get_disjoint_cones() {
+        // a → c and b → d: two independent two-op chains.
+        let mut g = Dfg::new("pair");
+        let a = g.add_op_with(OpKind::Mul, "a", 2);
+        let b = g.add_op_with(OpKind::Add, "b", 2);
+        let c = g.add_op_with(OpKind::Mul, "c", 1);
+        let d = g.add_op_with(OpKind::Add, "d", 1);
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        let cones = output_cones(&g);
+        assert_eq!(cones.len(), 2);
+        assert_eq!(cones[0].members, vec![a, c]);
+        assert_eq!(cones[1].members, vec![b, d]);
+        assert!(!cones[0].contains(b));
+        assert!(!cones[1].contains(a));
+    }
+
+    #[test]
+    fn shared_fan_in_appears_in_both_cones() {
+        // a feeds both sinks: it must be a member of both cones.
+        let mut g = Dfg::new("diamond");
+        let a = g.add_op_with(OpKind::Mul, "a", 2);
+        let s1 = g.add_op_with(OpKind::Add, "s1", 1);
+        let s2 = g.add_op_with(OpKind::Sub, "s2", 1);
+        g.add_edge(a, s1).unwrap();
+        g.add_edge(a, s2).unwrap();
+        let cones = output_cones(&g);
+        assert_eq!(cones.len(), 2);
+        assert!(cones.iter().all(|c| c.contains(a)));
+    }
+
+    #[test]
+    fn cone_vendors_reports_the_bound_set_or_incompleteness() {
+        let mut g = Dfg::new("chain");
+        let a = g.add_op_with(OpKind::Mul, "a", 2);
+        let b = g.add_op_with(OpKind::Mul, "b", 1);
+        g.add_edge(a, b).unwrap();
+        let cones = output_cones(&g);
+        let mut imp = Implementation::new(2);
+        imp.assign(
+            a,
+            Role::Nc,
+            Assignment {
+                cycle: 1,
+                vendor: VendorId::new(0),
+            },
+        );
+        assert_eq!(cone_vendors(&imp, &cones[0], Role::Nc), None);
+        imp.assign(
+            b,
+            Role::Nc,
+            Assignment {
+                cycle: 2,
+                vendor: VendorId::new(1),
+            },
+        );
+        let vendors = cone_vendors(&imp, &cones[0], Role::Nc).unwrap();
+        assert_eq!(
+            vendors.into_iter().collect::<Vec<_>>(),
+            vec![VendorId::new(0), VendorId::new(1)]
+        );
+    }
+}

@@ -213,6 +213,11 @@ pub struct Response {
     pub cached: bool,
     /// `TS0xx`/`TR0xx` diagnostic codes attached to this outcome.
     pub codes: Vec<String>,
+    /// Pre-rendered security-certificate JSON object (`troy-analysis`),
+    /// present only on non-degraded successes whose design the prover
+    /// certified. Degraded, rejected and failed outcomes never carry
+    /// one — an uncertified design must not look certified.
+    pub certificate: Option<String>,
     /// Rejection/error kind.
     pub kind: Option<RejectKind>,
     /// Human-readable detail for rejections and errors.
@@ -289,6 +294,10 @@ impl Response {
             }
             s.push(']');
         }
+        if let Some(cert) = &self.certificate {
+            s.push_str(",\"certificate\":");
+            s.push_str(cert);
+        }
         if let Some(kind) = self.kind {
             s.push_str(",\"kind\":");
             s.push_str(&escape(kind.as_str()));
@@ -360,12 +369,18 @@ mod tests {
         resp.relaxation = Some(1);
         resp.elapsed_ms = Some(42);
         resp.codes = vec!["TR001".into(), "TS002".into()];
+        resp.certificate = Some(
+            r#"{"design":"polynom","mode":"detection-only","single_vendor_safe":true}"#.to_owned(),
+        );
         let line = resp.render(&stats);
         assert!(!line.contains('\n'));
         let back = Json::parse(&line).expect("response parses");
         assert_eq!(back.get("id").and_then(Json::as_str), Some("r7"));
         assert_eq!(back.get("cost").and_then(Json::as_u64), Some(4160));
         assert!(back.get("stats").is_some());
+        let cert = back.get("certificate").expect("certificate embeds");
+        assert_eq!(cert.get("design").and_then(Json::as_str), Some("polynom"));
+        assert_eq!(cert.get("single_vendor_safe"), Some(&Json::Bool(true)));
 
         let reject = Response::reject(None, RejectKind::Overloaded, "queue full");
         let line = reject.render(&stats);

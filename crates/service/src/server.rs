@@ -491,6 +491,7 @@ fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
         r.proven = Some(hit.synthesis.proven_optimal);
         r.relaxation = Some(0);
         r.cached = true;
+        r.certificate = certificate_for(&problem, &hit.synthesis.implementation);
         r.elapsed_ms = Some(t0.elapsed().as_millis() as u64);
         return r;
     }
@@ -537,6 +538,14 @@ fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
             r.backend = Some(sup.backend.name().to_owned());
             r.proven = Some(sup.synthesis.proven_optimal);
             r.relaxation = Some(sup.relaxation);
+            if degraded {
+                // A degraded result may have been solved against a
+                // relaxed problem, so no certificate can honestly bind
+                // it to the request; say so in-band instead.
+                codes.push(Code::UncertifiedResponse.as_str().to_owned());
+            } else {
+                r.certificate = certificate_for(&problem, &sup.synthesis.implementation);
+            }
             r.codes = codes;
             r.elapsed_ms = Some(t0.elapsed().as_millis() as u64);
             r
@@ -559,6 +568,18 @@ fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
             r
         }
     }
+}
+
+/// Runs the security prover over a finished binding and pre-renders its
+/// certificate for the wire. `None` when the prover refuses — a response
+/// must never claim a certificate the prover did not issue.
+fn certificate_for(
+    problem: &SynthesisProblem,
+    implementation: &troyhls::Implementation,
+) -> Option<String> {
+    troy_analysis::certify(problem, implementation)
+        .ok()
+        .map(|cert| cert.to_json())
 }
 
 /// Builds the synthesis problem a request describes.

@@ -81,6 +81,37 @@ fn codes(resp: &Json) -> Vec<String> {
     }
 }
 
+/// The certificate discipline every response must honor: `ok` outcomes
+/// carry a security certificate whose claims the prover actually makes
+/// (so a forged or drifted one cannot slip through rendering), and no
+/// other outcome carries one — a degraded or shed response must never
+/// look certified.
+fn assert_certificate_discipline(resp: &Json) {
+    match resp.get("certificate") {
+        Some(cert) => {
+            assert_eq!(
+                status(resp),
+                "ok",
+                "only `ok` responses may carry a certificate: {resp:?}"
+            );
+            assert_eq!(
+                cert.get("single_vendor_safe"),
+                Some(&Json::Bool(true)),
+                "{resp:?}"
+            );
+            assert!(cert.get("design").and_then(Json::as_str).is_some());
+            assert!(cert.get("mode").and_then(Json::as_str).is_some());
+            assert!(cert.get("checksum").and_then(Json::as_u64).is_some());
+            assert!(cert.get("min_collusion_size").and_then(Json::as_u64) >= Some(2));
+        }
+        None => assert_ne!(
+            status(resp),
+            "ok",
+            "every `ok` response must carry a certificate: {resp:?}"
+        ),
+    }
+}
+
 fn stat(resp: &Json, key: &str) -> u64 {
     resp.get("stats")
         .and_then(|s| s.get(key))
@@ -168,6 +199,25 @@ fn fig5_oracle_cache_and_lifecycle_through_the_service_path() {
     assert_eq!(resp.get("id").and_then(Json::as_str), Some("fig5"));
     assert!(resp.get("elapsed_ms").is_some());
     assert!(resp.get("cached").is_none(), "first solve is not cached");
+    let cert = resp
+        .get("certificate")
+        .expect("a fresh ok response carries the prover's certificate");
+    assert_eq!(cert.get("design").and_then(Json::as_str), Some("polynom"));
+    assert_eq!(
+        cert.get("mode").and_then(Json::as_str),
+        Some("detection+recovery")
+    );
+    assert_eq!(cert.get("single_vendor_safe"), Some(&Json::Bool(true)));
+    assert_eq!(
+        cert.get("min_collusion_size").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        cert.get("pair_exposed_cones").and_then(Json::as_u64),
+        Some(0)
+    );
+    let fresh_checksum = cert.get("checksum").and_then(Json::as_u64);
+    assert!(fresh_checksum.is_some());
 
     // The identical problem again: a cache hit, regardless of the
     // per-request deadline (the key deliberately excludes it).
@@ -177,6 +227,13 @@ fn fig5_oracle_cache_and_lifecycle_through_the_service_path() {
     assert_eq!(status(&resp), "ok");
     assert_eq!(resp.get("cost").and_then(Json::as_u64), Some(4160));
     assert_eq!(resp.get("cached"), Some(&Json::Bool(true)));
+    // The cache hit re-proves the stored binding, so the certificate
+    // (checksum included) matches the fresh solve's.
+    let cert = resp
+        .get("certificate")
+        .expect("a cached ok response carries a certificate too");
+    assert_eq!(cert.get("design").and_then(Json::as_str), Some("polynom"));
+    assert_eq!(cert.get("checksum").and_then(Json::as_u64), fresh_checksum);
 
     send(&mut stream, "{\"id\":\"p\",\"cmd\":\"ping\"}");
     let resp = read_line(&mut stream, Duration::from_secs(2)).expect("pong");
@@ -256,10 +313,15 @@ fn overload_sheds_surplus_requests_with_typed_rejections() {
             "overload rejections carry back-pressure hints: {resp:?}"
         );
         assert!(codes(resp).contains(&"TS001".to_owned()), "{resp:?}");
+        assert!(
+            resp.get("certificate").is_none(),
+            "shed requests synthesized nothing, so nothing is certified: {resp:?}"
+        );
     }
 
     let holder_resp = holder.join().expect("holder thread");
     assert_eq!(status(&holder_resp), "ok", "{holder_resp:?}");
+    assert_certificate_discipline(&holder_resp);
 
     service.handle().shutdown();
     let snap = service.join();
@@ -311,6 +373,13 @@ fn breaker_opens_after_rung_failures_and_later_requests_degrade() {
     let got = codes(&resp);
     assert!(got.contains(&"TS002".to_owned()), "{got:?}");
     assert!(got.contains(&"TR001".to_owned()), "{got:?}");
+    // Degraded outcomes are honest about it: no certificate, and the
+    // TS004 diagnostic says so in-band.
+    assert!(
+        resp.get("certificate").is_none(),
+        "a degraded response must never look certified: {resp:?}"
+    );
+    assert!(got.contains(&"TS004".to_owned()), "{got:?}");
 
     service.handle().shutdown();
     let snap = service.join();
@@ -343,6 +412,7 @@ fn exhausted_deadline_yields_a_typed_ts003_error() {
     assert_eq!(status(&resp), "error", "{resp:?}");
     assert_eq!(resp.get("kind").and_then(Json::as_str), Some("deadline"));
     assert!(codes(&resp).contains(&"TS003".to_owned()), "{resp:?}");
+    assert!(resp.get("certificate").is_none(), "{resp:?}");
 
     service.handle().shutdown();
     let snap = service.join();
@@ -394,6 +464,7 @@ fn seeded_soak_terminates_every_request_with_a_typed_outcome() {
                             "{resp:?}"
                         );
                         assert_eq!(resp.get("id").and_then(Json::as_str), Some(id.as_str()));
+                        assert_certificate_discipline(&resp);
                         tally.0 += 1;
                     }
                     Some(ServiceFault::MalformedJson) => {
@@ -431,6 +502,7 @@ fn seeded_soak_terminates_every_request_with_a_typed_outcome() {
                             matches!(status(&resp), "ok" | "degraded" | "rejected" | "error"),
                             "{resp:?}"
                         );
+                        assert_certificate_discipline(&resp);
                         tally.0 += 1;
                     }
                 }

@@ -24,6 +24,21 @@ fn check(problem: &SynthesisProblem, label: &str, cost: u64, imp: &troyhls::Impl
         FIG5_OPTIMUM,
         "{label}: reported cost disagrees with the implementation"
     );
+    // Every optimum must also earn a security certificate from the
+    // independent cone prover: no single vendor and no colluding pair
+    // controls both detection copies of the (single) output cone.
+    let cert = troy_analysis::certify(problem, imp)
+        .unwrap_or_else(|d| panic!("{label}: prover rejected the optimum: {d:?}"));
+    assert!(cert.single_vendor_safe, "{label}: uncertified");
+    assert_eq!(cert.min_collusion_size, 2, "{label}");
+    assert_eq!(
+        cert.pair_exposed_cones, 0,
+        "{label}: a vendor pair controls the polynom cone"
+    );
+    assert!(
+        cert.verify(problem, imp),
+        "{label}: certificate must verify"
+    );
 }
 
 #[test]

@@ -1,0 +1,304 @@
+//! The mutation oracle: the security prover against seeded corruptions
+//! of a Figure 5 optimum.
+//!
+//! Starting from the exact solver's $4160 `polynom` binding, this suite
+//! applies three mutation operators — vendor swaps, cycle shifts, and
+//! whole-copy vendor-pair weaves — and demands:
+//!
+//! - **no false certificates**: every mutant that breaks a design rule
+//!   is refused by [`troy_analysis::certify`];
+//! - **no false alarms**: every mutant the validator accepts earns a
+//!   certificate that [`SecurityCertificate::verify`] re-checks;
+//! - **independent witnesses**: diversity-breaking mutants co-fire the
+//!   cone prover's own TQ004/TQ005 counterexamples, computed from cone
+//!   reachability rather than from the syntactic rule expansion — which
+//!   is what lets the prover double as an oracle for solver bugs;
+//! - **beyond syntax**: a fully rule-compliant binding whose output
+//!   cone is owned by two vendors is still reported (TQ006), the case
+//!   no `TD0xx` rule can see.
+//!
+//! All randomness is a fixed-seed LCG: the mutant set is identical on
+//! every run and every machine.
+
+use troy_analysis::{certify, cone_findings, Code, SecurityCertificate};
+use troy_bench::motivational_problem;
+use troy_dfg::NodeId;
+use troyhls::{
+    validate, Assignment, ExactSolver, Implementation, Mode, Role, RuleKind, SolveOptions,
+    SynthesisProblem, Synthesizer, VendorId, Violation,
+};
+
+const FIG5_OPTIMUM: u64 = 4160;
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn optimum() -> (SynthesisProblem, Implementation) {
+    let p = motivational_problem();
+    let s = ExactSolver::new()
+        .synthesize(&p, &SolveOptions::default())
+        .expect("figure 5 is feasible");
+    assert_eq!(s.cost, FIG5_OPTIMUM);
+    (p, s.implementation)
+}
+
+fn rebind(imp: &mut Implementation, op: NodeId, role: Role, vendor: VendorId) {
+    let a = imp.assignment(op, role).expect("optimum is complete");
+    imp.assign(
+        op,
+        role,
+        Assignment {
+            cycle: a.cycle,
+            vendor,
+        },
+    );
+}
+
+/// Checks the oracle contract on one mutant: refusal iff the validator
+/// objects, a verifying certificate otherwise. Returns the refusal
+/// diagnostics for witness inspection.
+fn oracle_verdict(
+    problem: &SynthesisProblem,
+    mutant: &Implementation,
+    label: &str,
+) -> Result<SecurityCertificate, Vec<troy_analysis::Diagnostic>> {
+    let violations = validate(problem, mutant);
+    match certify(problem, mutant) {
+        Ok(cert) => {
+            assert!(
+                violations.is_empty(),
+                "{label}: FALSE CERTIFICATE over {violations:?}"
+            );
+            assert!(cert.verify(problem, mutant), "{label}: certificate drifts");
+            Ok(cert)
+        }
+        Err(diags) => {
+            assert!(
+                !violations.is_empty(),
+                "{label}: false alarm on a rule-clean binding: {diags:?}"
+            );
+            assert!(!diags.is_empty());
+            Err(diags)
+        }
+    }
+}
+
+#[test]
+fn every_single_vendor_cone_takeover_is_caught_exhaustively() {
+    let (p, base) = optimum();
+    let mut takeovers = 0;
+    for op in p.dfg().node_ids() {
+        let ip_type = p.dfg().kind(op).ip_type();
+        for vendor in p.catalog().vendors_for(ip_type) {
+            // Hand the op's NC *and* RC copy to one vendor: that vendor
+            // alone now corrupts the output undetected.
+            let mut mutant = base.clone();
+            rebind(&mut mutant, op, Role::Nc, vendor);
+            rebind(&mut mutant, op, Role::Rc, vendor);
+            takeovers += 1;
+            let label = format!("takeover {op} by {vendor}");
+            let diags = oracle_verdict(&p, &mutant, &label).expect_err("must refuse");
+            let witness = diags
+                .iter()
+                .find(|d| d.code == Code::ConeSingleVendor)
+                .unwrap_or_else(|| panic!("{label}: no TQ004 witness in {diags:?}"));
+            assert_eq!(
+                witness.location.vendor,
+                Some(vendor),
+                "{label}: witness names the wrong vendor"
+            );
+            assert!(
+                witness.message.contains("o5"),
+                "{label}: witness names the corrupted cone: {}",
+                witness.message
+            );
+        }
+    }
+    assert!(takeovers >= 10, "mutant space unexpectedly small");
+}
+
+#[test]
+fn seeded_vendor_swap_mutants_are_flagged_with_independent_witnesses() {
+    let (p, base) = optimum();
+    let roles = Role::for_mode(p.mode());
+    let mut lcg = Lcg(0x7209_2014);
+    let (mut breaking, mut benign) = (0usize, 0usize);
+    for i in 0..300 {
+        let mut mutant = base.clone();
+        for _ in 0..=lcg.below(2) {
+            let op = NodeId::new(lcg.below(p.dfg().len()));
+            let role = roles[lcg.below(roles.len())];
+            let ip_type = p.dfg().kind(op).ip_type();
+            let sellers: Vec<VendorId> = p.catalog().vendors_for(ip_type).collect();
+            rebind(&mut mutant, op, role, sellers[lcg.below(sellers.len())]);
+        }
+        let label = format!("vendor-swap #{i}");
+        let violations = validate(&p, &mutant);
+        match oracle_verdict(&p, &mutant, &label) {
+            Ok(_) => benign += 1,
+            Err(diags) => {
+                breaking += 1;
+                // The cone prover must reproduce each diversity break
+                // from its own reachability analysis, not by trusting
+                // the rule expansion.
+                let broke = |k: RuleKind| {
+                    violations
+                        .iter()
+                        .any(|v| matches!(v, Violation::SameVendor { rule, .. } if *rule == k))
+                };
+                if broke(RuleKind::DetectionDuplicate) {
+                    assert!(
+                        diags.iter().any(|d| d.code == Code::ConeSingleVendor),
+                        "{label}: Rule 1 break without a TQ004 cone witness"
+                    );
+                }
+                if broke(RuleKind::DetectionParentChild) || broke(RuleKind::DetectionSiblings) {
+                    assert!(
+                        diags.iter().any(|d| d.code == Code::ConeTriggerChannel),
+                        "{label}: Rule 2 break without a TQ005 channel witness"
+                    );
+                }
+            }
+        }
+    }
+    // The seed must exercise both sides of the oracle.
+    assert!(breaking >= 50, "only {breaking} diversity-breaking mutants");
+    assert!(benign >= 20, "only {benign} benign mutants");
+}
+
+#[test]
+fn seeded_cycle_shift_mutants_never_earn_false_certificates() {
+    let (p, base) = optimum();
+    let roles = Role::for_mode(p.mode());
+    let mut lcg = Lcg(0xdac_2014);
+    let (mut flagged, mut benign) = (0usize, 0usize);
+    for i in 0..200 {
+        let mut mutant = base.clone();
+        let op = NodeId::new(lcg.below(p.dfg().len()));
+        let role = roles[lcg.below(roles.len())];
+        let a = mutant.assignment(op, role).expect("complete");
+        let shifted = if lcg.below(2) == 0 {
+            a.cycle + 1 + lcg.below(3)
+        } else {
+            a.cycle.saturating_sub(1 + lcg.below(3)).max(1)
+        };
+        mutant.assign(
+            op,
+            role,
+            Assignment {
+                cycle: shifted,
+                vendor: a.vendor,
+            },
+        );
+        match oracle_verdict(&p, &mutant, &format!("cycle-shift #{i}")) {
+            Ok(_) => benign += 1,
+            Err(_) => flagged += 1,
+        }
+    }
+    assert!(flagged >= 50, "only {flagged} schedule-breaking mutants");
+    assert!(benign >= 10, "only {benign} benign reschedules");
+}
+
+#[test]
+fn colluding_pair_weaves_get_tq006_witnesses() {
+    // Weave every detection copy of the whole design from one vendor
+    // pair. On a 5-op single-cone DFG this also trips Rule 2 — the
+    // syntactic rules catch it — but the prover must additionally name
+    // the *pair* as a counterexample: the two vendors jointly control
+    // all ten detection positions, which no per-edge rule states.
+    let (p, base) = optimum();
+    let both_types: Vec<VendorId> = p
+        .catalog()
+        .vendors()
+        .filter(|&v| {
+            [troy_dfg::IpTypeId::MULTIPLIER, troy_dfg::IpTypeId::ADDER]
+                .iter()
+                .all(|&t| p.catalog().offering(v, t).is_some())
+        })
+        .collect();
+    assert!(both_types.len() >= 2, "table 1 sells both types twice");
+    let mut pairs = 0;
+    for (i, &a) in both_types.iter().enumerate() {
+        for &b in &both_types[i + 1..] {
+            pairs += 1;
+            let mut mutant = base.clone();
+            for op in p.dfg().node_ids() {
+                let flip = op.index() % 2 == 0;
+                rebind(&mut mutant, op, Role::Nc, if flip { a } else { b });
+                rebind(&mut mutant, op, Role::Rc, if flip { b } else { a });
+            }
+            let label = format!("pair weave {a}+{b}");
+            let findings = cone_findings(&p, &mutant);
+            let collapse = findings
+                .iter()
+                .find(|d| d.code == Code::ConePairCollapse)
+                .unwrap_or_else(|| panic!("{label}: no TQ006 pair witness"));
+            assert!(
+                collapse.message.contains(&a.to_string())
+                    && collapse.message.contains(&b.to_string()),
+                "{label}: witness must name both vendors: {}",
+                collapse.message
+            );
+            oracle_verdict(&p, &mutant, &label).expect_err("weave breaks Rule 2");
+        }
+    }
+    assert!(pairs >= 1);
+}
+
+#[test]
+fn rule_compliant_pair_control_is_reported_where_syntax_is_blind() {
+    // Two chained multipliers, detection copies woven from two vendors:
+    // zero rule violations, yet the pair owns the cone outright. The
+    // validator waves it through; the prover must still surface TQ006
+    // and record the exposure in the certificate.
+    let mut g = troy_dfg::Dfg::new("blindspot");
+    let a = g.add_op_with(troy_dfg::OpKind::Mul, "a", 2);
+    let b = g.add_op_with(troy_dfg::OpKind::Mul, "b", 1);
+    g.add_edge(a, b).unwrap();
+    let p = SynthesisProblem::builder(g, troyhls::Catalog::table1())
+        .mode(Mode::DetectionOnly)
+        .detection_latency(4)
+        .build()
+        .unwrap();
+    let mut imp = Implementation::new(2);
+    let asg = |c: usize, v: usize| Assignment {
+        cycle: c,
+        vendor: VendorId::new(v),
+    };
+    imp.assign(a, Role::Nc, asg(1, 0));
+    imp.assign(b, Role::Nc, asg(2, 1));
+    imp.assign(a, Role::Rc, asg(2, 1));
+    imp.assign(b, Role::Rc, asg(3, 0));
+    assert!(
+        validate(&p, &imp).is_empty(),
+        "the weave is fully rule-compliant"
+    );
+    let cert = certify(&p, &imp).expect("warnings do not block certification");
+    assert_eq!(
+        cert.pair_exposed_cones, 1,
+        "the certificate must record the exposed cone"
+    );
+    let findings = cone_findings(&p, &imp);
+    assert!(
+        findings.iter().any(|d| d.code == Code::ConePairCollapse),
+        "TQ006 missing: {findings:?}"
+    );
+    // Contrast: the Figure 5 optimum has zero exposed cones, so for it
+    // the no-colluding-pair claim is proven, not merely unviolated.
+    let (fig5, opt) = optimum();
+    assert_eq!(certify(&fig5, &opt).unwrap().pair_exposed_cones, 0);
+}
