@@ -1,0 +1,296 @@
+//! `ilp-bench`: committed benchmark of the sparse revised simplex against
+//! the dense baseline on the paper's ILP formulation.
+//!
+//! ```text
+//! cargo run --release -p troy-bench --bin ilp-bench            # regenerate BENCH_ilp.json
+//! cargo run --release -p troy-bench --bin ilp-bench -- --check # diff against the committed file
+//! ```
+//!
+//! Every row runs the *same* branch-and-bound tree twice — once with the
+//! sparse engine (LU + eta file, devex pricing, warm-started children) and
+//! once with the dense Gauss-Jordan baseline (Dantzig pricing, cold
+//! starts) — under identical node caps and no wall-clock limit, so the
+//! iteration counts are bit-for-bit reproducible across machines. Wall
+//! time is recorded for context but never compared: only the
+//! deterministic `lp_iterations` column gates CI (>20% regression on the
+//! sparse engine fails `--check`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use troy_bench::{motivational_problem, problem_for, table3_specs};
+use troy_ilp::{LpEngine, SolveParams, SolveStatus};
+use troyhls::{
+    formulate, FormulatedIlp, FormulationOptions, GreedySolver, SolveOptions, SynthesisProblem,
+    Synthesizer,
+};
+
+/// One benchmarked instance: a named problem plus the node cap that keeps
+/// the dense baseline tractable (both engines get the identical cap).
+struct BenchCase {
+    name: &'static str,
+    problem: SynthesisProblem,
+    node_limit: usize,
+    /// Known optimum the sparse engine must land on (Fig. 5 oracle).
+    expect_cost: Option<f64>,
+}
+
+/// Measured result of one engine on one case.
+struct EngineStats {
+    wall_ms: f64,
+    lp_iterations: usize,
+    nodes: usize,
+    refactorizations: usize,
+    status: &'static str,
+    objective: Option<f64>,
+}
+
+fn cases() -> Vec<BenchCase> {
+    let t3 = table3_specs();
+    let t3_case = |idx: usize, name: &'static str, node_limit: usize| BenchCase {
+        name,
+        problem: problem_for(&t3[idx]),
+        node_limit,
+        expect_cost: None,
+    };
+    vec![
+        BenchCase {
+            name: "fig5-polynom",
+            problem: motivational_problem(),
+            node_limit: 40_000,
+            expect_cost: Some(4160.0),
+        },
+        t3_case(0, "table3-polynom-l3", 200),
+        t3_case(1, "table3-polynom-l6", 12),
+        // The two largest rows of Table 3 — the ones the sparse engine
+        // exists for. The dense baseline only gets through a thin slice
+        // of the tree, so the cap is small and shared by both engines.
+        t3_case(9, "table3-ellipticicass-l16", 60),
+        t3_case(11, "table3-fir16-l12", 40),
+    ]
+}
+
+fn status_name(s: SolveStatus) -> &'static str {
+    match s {
+        SolveStatus::Optimal => "Optimal",
+        SolveStatus::Feasible => "Feasible",
+        SolveStatus::Infeasible => "Infeasible",
+        SolveStatus::Unknown => "Unknown",
+    }
+}
+
+fn run_engine(
+    ilp: &FormulatedIlp,
+    mip_start: Option<Vec<f64>>,
+    engine: LpEngine,
+    node_limit: usize,
+) -> EngineStats {
+    let params = SolveParams {
+        time_limit: None,
+        node_limit,
+        integral_objective: true,
+        mip_start,
+        branch_priority: ilp.branch_priorities(),
+        lp_engine: engine,
+        // The dense baseline has no warm-start path; leaving the flag on
+        // is harmless there and exercises the production default here.
+        warm_start: true,
+        ..SolveParams::default()
+    };
+    let t0 = Instant::now();
+    let r = ilp.model.solve(&params);
+    EngineStats {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        lp_iterations: r.lp_iterations(),
+        nodes: r.nodes(),
+        refactorizations: r.refactorizations(),
+        status: status_name(r.status()),
+        objective: r.objective(),
+    }
+}
+
+struct CaseResult {
+    name: &'static str,
+    node_limit: usize,
+    sparse: EngineStats,
+    dense: EngineStats,
+}
+
+impl CaseResult {
+    fn iteration_speedup(&self) -> f64 {
+        self.dense.lp_iterations as f64 / self.sparse.lp_iterations.max(1) as f64
+    }
+}
+
+fn run_case(case: &BenchCase) -> CaseResult {
+    let ilp = formulate(&case.problem, &FormulationOptions::default());
+    let mip_start = GreedySolver::new()
+        .synthesize(&case.problem, &SolveOptions::quick())
+        .ok()
+        .and_then(|s| ilp.encode(&s.implementation));
+    let sparse = run_engine(&ilp, mip_start.clone(), LpEngine::Sparse, case.node_limit);
+    let dense = run_engine(&ilp, mip_start, LpEngine::Dense, case.node_limit);
+    if let Some(expect) = case.expect_cost {
+        for (label, stats) in [("sparse", &sparse), ("dense", &dense)] {
+            let got = stats.objective.unwrap_or(f64::NAN);
+            assert!(
+                (got - expect).abs() < 0.5,
+                "{}: {label} engine landed on {got}, expected {expect}",
+                case.name
+            );
+        }
+    }
+    CaseResult {
+        name: case.name,
+        node_limit: case.node_limit,
+        sparse,
+        dense,
+    }
+}
+
+fn engine_json(out: &mut String, label: &str, s: &EngineStats) {
+    let obj = s
+        .objective
+        .map_or_else(|| "null".to_owned(), |o| format!("{o:.1}"));
+    let _ = write!(
+        out,
+        "      \"{label}\": {{ \"wall_ms\": {:.1}, \"lp_iterations\": {}, \"nodes\": {}, \
+         \"refactorizations\": {}, \"status\": \"{}\", \"objective\": {obj} }}",
+        s.wall_ms, s.lp_iterations, s.nodes, s.refactorizations, s.status
+    );
+}
+
+fn render_json(results: &[CaseResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n");
+    out.push_str("  \"note\": \"lp_iterations/nodes/refactorizations are deterministic; wall_ms is informational only\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"node_limit\": {},", r.node_limit);
+        engine_json(&mut out, "sparse", &r.sparse);
+        out.push_str(",\n");
+        engine_json(&mut out, "dense", &r.dense);
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "      \"iteration_speedup\": {:.2}",
+            r.iteration_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Repo-root path of the committed benchmark file.
+fn bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ilp.json")
+}
+
+/// Pulls `"lp_iterations": N` of the `sparse` block for `name` out of the
+/// committed JSON — a string scan over our own fixed format, so no JSON
+/// dependency is needed.
+fn committed_sparse_iterations(text: &str, name: &str) -> Option<usize> {
+    let row = text.find(&format!("\"name\": \"{name}\""))?;
+    let sparse = row + text[row..].find("\"sparse\"")?;
+    let key = sparse + text[sparse..].find("\"lp_iterations\": ")?;
+    let digits: String = text[key + "\"lp_iterations\": ".len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn check(results: &[CaseResult]) -> i32 {
+    let path = bench_path();
+    let Ok(committed) = std::fs::read_to_string(&path) else {
+        eprintln!("FAIL: no committed benchmark at {}", path.display());
+        return 1;
+    };
+    let mut failures = 0;
+    for r in results {
+        let Some(baseline) = committed_sparse_iterations(&committed, r.name) else {
+            eprintln!("FAIL: {} missing from the committed file", r.name);
+            failures += 1;
+            continue;
+        };
+        let fresh = r.sparse.lp_iterations;
+        // >20% more simplex iterations than the committed baseline is a
+        // regression; fewer is progress (regenerate the file to bank it).
+        let limit = baseline + baseline.div_ceil(5);
+        let verdict = if fresh > limit { "REGRESSION" } else { "ok" };
+        println!(
+            "{:<26} sparse iters: committed {baseline:>8}, fresh {fresh:>8}  (limit {limit}) {verdict}",
+            r.name
+        );
+        if fresh > limit {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("FAIL: {failures} row(s) regressed past the 20% iteration budget");
+        1
+    } else {
+        println!("all rows within the iteration budget");
+        0
+    }
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    // TROY_ILP_BENCH_CASES=fig5,fir16 narrows the grid (substring match) —
+    // handy when calibrating node caps for one row.
+    let filter = std::env::var("TROY_ILP_BENCH_CASES").ok();
+    let selected: Vec<BenchCase> = cases()
+        .into_iter()
+        .filter(|c| {
+            filter.as_ref().is_none_or(|f| {
+                f.split(',')
+                    .any(|pat| !pat.is_empty() && c.name.contains(pat.trim()))
+            })
+        })
+        .collect();
+    let results: Vec<CaseResult> = selected
+        .iter()
+        .map(|c| {
+            eprintln!("running {} (node cap {})...", c.name, c.node_limit);
+            run_case(c)
+        })
+        .collect();
+
+    println!(
+        "{:<26} {:>9} {:>12} {:>7} {:>7} | {:>12} {:>7} | {:>8}",
+        "case", "nodes≤", "sparse iters", "nodes", "refact", "dense iters", "nodes", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<26} {:>9} {:>12} {:>7} {:>7} | {:>12} {:>7} | {:>7.2}x",
+            r.name,
+            r.node_limit,
+            r.sparse.lp_iterations,
+            r.sparse.nodes,
+            r.sparse.refactorizations,
+            r.dense.lp_iterations,
+            r.dense.nodes,
+            r.iteration_speedup()
+        );
+    }
+
+    if check_mode {
+        std::process::exit(check(&results));
+    }
+    if filter.is_some() {
+        println!("case filter active: not rewriting the committed file");
+        return;
+    }
+    let path = bench_path();
+    std::fs::write(&path, render_json(&results)).expect("write BENCH_ilp.json");
+    println!("wrote {}", path.display());
+}

@@ -127,6 +127,21 @@ impl FormulatedIlp {
         }
         Some(values)
     }
+
+    /// Branching priorities for [`troy_ilp::SolveParams::branch_priority`]:
+    /// license variables (δ) first — they carry the objective — then
+    /// instance variables (ε), then the schedule binaries.
+    #[must_use]
+    pub fn branch_priorities(&self) -> Vec<i32> {
+        let mut priority = vec![0i32; self.model.num_vars()];
+        for &(e, ..) in &self.eps {
+            priority[e.index()] = 1;
+        }
+        for &(d, ..) in &self.delta {
+            priority[d.index()] = 2;
+        }
+        priority
+    }
 }
 
 /// Builds the paper's ILP for a problem.
@@ -444,21 +459,14 @@ impl Synthesizer for IlpSolver {
             .synthesize(problem, &SolveOptions::quick())
             .ok()
             .and_then(|s| ilp.encode(&s.implementation));
-        // Branch on license variables first (they carry the objective),
-        // then instance variables, then schedule binaries.
-        let mut branch_priority = vec![0i32; ilp.model.num_vars()];
-        for &(e, ..) in &ilp.eps {
-            branch_priority[e.index()] = 1;
-        }
-        for &(d, ..) in &ilp.delta {
-            branch_priority[d.index()] = 2;
-        }
         let params = SolveParams {
             time_limit: Some(options.time_limit.saturating_sub(start.elapsed())),
             integral_objective: true,
             mip_start,
-            branch_priority,
+            branch_priority: ilp.branch_priorities(),
             cancel: options.cancel.clone(),
+            lp_engine: options.lp_engine,
+            warm_start: options.warm_start,
             ..SolveParams::default()
         };
         let result = ilp.model.solve(&params);

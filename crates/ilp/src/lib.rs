@@ -6,10 +6,14 @@
 //! substrate from scratch:
 //!
 //! - a [`Model`] builder ([`LinExpr`], [`Cmp`], bounds, integrality);
-//! - a bounded-variable two-phase primal simplex for LP relaxations;
+//! - a bounded-variable two-phase primal **revised** simplex for the LP
+//!   relaxations (CSC sparse columns, LU + eta-file basis updates, devex
+//!   pricing), with the dense predecessor retained as a cross-check
+//!   baseline selectable via [`LpEngine`];
 //! - LP-based branch & bound with most-fractional branching, MIP starts,
-//!   time/node limits and graceful degradation ([`SolveStatus::Feasible`]
-//!   mirrors the paper's `*`-marked best-effort rows).
+//!   warm-started child LPs, time/node limits and graceful degradation
+//!   ([`SolveStatus::Feasible`] mirrors the paper's `*`-marked best-effort
+//!   rows).
 //!
 //! All variable bounds must be finite — true by construction for the 0-1
 //! scheduling formulations this workspace generates.
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod cancel;
+mod dense;
 mod export;
 mod model;
 mod presolve;
@@ -45,4 +50,4 @@ pub use cancel::Cancellation;
 pub use export::to_lp_format;
 pub use model::{Cmp, Constraint, LinExpr, Model, Sense, VarId, VarKind, Variable};
 pub use presolve::{presolve, Presolved};
-pub use solve::{Solution, SolveParams, SolveResult, SolveStatus};
+pub use solve::{LpEngine, Solution, SolveParams, SolveResult, SolveStatus};

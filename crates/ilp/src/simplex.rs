@@ -1,15 +1,27 @@
-#![allow(clippy::needless_range_loop)] // dense linear algebra reads clearer indexed
+#![allow(clippy::needless_range_loop)] // factorization kernels read clearer indexed
 
-//! Bounded-variable two-phase primal simplex with an explicit dense basis
-//! inverse.
+//! Bounded-variable two-phase primal **revised** simplex over sparse
+//! columns.
 //!
 //! The solver works on an internal standard form: minimize `c·x` subject to
 //! `A x = b` with finite bounds `lo ≤ x ≤ hi` on every variable (slack
-//! columns included — their bounds encode the original sense). The basis
-//! inverse is kept as a dense `m×m` matrix updated with elementary row
-//! operations on each pivot and refactorized from scratch periodically for
-//! numerical hygiene. Problem sizes in this workspace are a few thousand
-//! variables and rows, where this representation is simple and fast enough.
+//! columns included — their bounds encode the original sense). Compared to
+//! the dense predecessor (kept as [`crate::dense`] for baselines and
+//! cross-checks) this core:
+//!
+//! - stores the constraint matrix in **CSC** (compressed sparse column)
+//!   form — one flat `(row, value)` stream with column pointers — so
+//!   pricing and FTRAN touch only structural nonzeros;
+//! - represents the basis inverse as an **LU factorization plus an
+//!   eta-file** (product-form updates): each pivot appends one sparse eta
+//!   vector instead of rewriting an m×m inverse, and the basis is
+//!   refactorized from scratch every [`REFACTOR_EVERY`] pivots (or on
+//!   numerical breakdown) for hygiene;
+//! - prices with **devex** reference weights instead of Dantzig's rule,
+//!   falling back to Bland's rule under prolonged degeneracy;
+//! - accepts a **warm-start basis** (and returns the optimal basis), the
+//!   hook branch-and-bound uses to re-solve child LPs in a handful of
+//!   iterations instead of from the all-slack basis.
 
 /// Feasibility / optimality tolerance on variable values.
 const FEAS_TOL: f64 = 1e-7;
@@ -17,22 +29,78 @@ const FEAS_TOL: f64 = 1e-7;
 const COST_TOL: f64 = 1e-7;
 /// Minimum pivot magnitude.
 const PIVOT_TOL: f64 = 1e-9;
-/// Iterations between basis refactorizations.
-const REFACTOR_EVERY: usize = 256;
+/// Eta vectors accumulated between basis refactorizations.
+pub(crate) const REFACTOR_EVERY: usize = 96;
 
 /// How often the LP loops poll the caller's cancellation token; a clock
-/// read every 64 dense iterations is noise next to the algebra.
+/// read every 64 iterations is noise next to the algebra.
 const CANCEL_POLL_EVERY: usize = 64;
 /// Degenerate iterations before switching to Bland's rule.
 const BLAND_AFTER: usize = 64;
+/// Devex weights above this trigger a reference-framework reset.
+const DEVEX_RESET: f64 = 1e12;
 
-/// A sparse column of the constraint matrix.
+/// A sparse column of the constraint matrix, as `(row, value)` pairs in
+/// strictly increasing row order.
 pub(crate) type SparseCol = Vec<(usize, f64)>;
 
-/// Standard-form LP: minimize `cost·x` s.t. `Σ_j col_j x_j = b`, `lo≤x≤hi`.
+/// Compressed sparse column storage for the constraint matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct Csc {
+    /// `col_ptr[j]..col_ptr[j+1]` slices `row_idx`/`val` for column `j`.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl Csc {
+    /// Flattens per-column `(row, value)` lists into CSC form.
+    fn from_cols(m: usize, cols: &[SparseCol]) -> Csc {
+        let nnz: usize = cols.iter().map(Vec::len).sum();
+        let mut col_ptr = Vec::with_capacity(cols.len() + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        let mut val = Vec::with_capacity(nnz);
+        col_ptr.push(0);
+        for col in cols {
+            debug_assert!(
+                col.windows(2).all(|w| w[0].0 < w[1].0),
+                "column rows must be strictly increasing"
+            );
+            for &(row, a) in col {
+                debug_assert!(row < m, "row {row} out of range for {m} rows");
+                if a != 0.0 {
+                    row_idx.push(row);
+                    val.push(a);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Csc {
+            col_ptr,
+            row_idx,
+            val,
+        }
+    }
+
+    fn num_cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Iterates column `j` as `(row, value)` pairs.
+    pub(crate) fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.val[lo..hi].iter().copied())
+    }
+}
+
+/// Standard-form LP: minimize `cost·x` s.t. `A x = b`, `lo ≤ x ≤ hi`.
 #[derive(Debug, Clone)]
 pub(crate) struct LpProblem {
-    pub cols: Vec<SparseCol>,
+    pub csc: Csc,
     pub cost: Vec<f64>,
     pub lo: Vec<f64>,
     pub hi: Vec<f64>,
@@ -40,168 +108,438 @@ pub(crate) struct LpProblem {
 }
 
 impl LpProblem {
-    fn num_rows(&self) -> usize {
+    /// Builds the problem from per-column sparse lists (rows ascending).
+    pub(crate) fn from_cols(
+        cols: &[SparseCol],
+        cost: Vec<f64>,
+        lo: Vec<f64>,
+        hi: Vec<f64>,
+        b: Vec<f64>,
+    ) -> LpProblem {
+        let csc = Csc::from_cols(b.len(), cols);
+        debug_assert_eq!(csc.num_cols(), cost.len());
+        LpProblem {
+            csc,
+            cost,
+            lo,
+            hi,
+            b,
+        }
+    }
+
+    pub(crate) fn num_rows(&self) -> usize {
         self.b.len()
     }
 
-    fn num_vars(&self) -> usize {
-        self.cols.len()
+    pub(crate) fn num_vars(&self) -> usize {
+        self.cost.len()
+    }
+}
+
+/// Basic/nonbasic state of one standard-form variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarStatus {
+    /// Basic, occupying the given row of the basis.
+    Basic(usize),
+    /// Nonbasic at its lower bound.
+    Lower,
+    /// Nonbasic at its upper bound.
+    Upper,
+}
+
+/// A simplex basis: enough state to warm-start a related LP (same columns,
+/// possibly different bounds) from a previous optimum.
+#[derive(Debug, Clone)]
+pub(crate) struct Basis {
+    /// Per-variable status.
+    pub status: Vec<VarStatus>,
+    /// Variable occupying each basis row.
+    pub basis: Vec<usize>,
+}
+
+impl Basis {
+    /// Structural sanity check against a problem's dimensions.
+    fn fits(&self, prob: &LpProblem) -> bool {
+        self.status.len() == prob.num_vars()
+            && self.basis.len() == prob.num_rows()
+            && self
+                .basis
+                .iter()
+                .enumerate()
+                .all(|(row, &v)| v < self.status.len() && self.status[v] == VarStatus::Basic(row))
+            && self
+                .status
+                .iter()
+                .filter(|s| matches!(s, VarStatus::Basic(_)))
+                .count()
+                == self.basis.len()
     }
 }
 
 /// Result of an LP solve.
 #[derive(Debug, Clone)]
 pub(crate) enum LpOutcome {
-    /// Optimal solution found; `x` covers every standard-form variable.
-    Optimal { x: Vec<f64>, objective: f64 },
+    /// Optimal solution found; `x` covers every standard-form variable and
+    /// `basis` can warm-start a neighbouring LP.
+    Optimal {
+        x: Vec<f64>,
+        objective: f64,
+        basis: Basis,
+    },
     /// No feasible point exists.
     Infeasible,
-    /// Iteration limit hit before convergence (numerical trouble).
+    /// Genuine iteration exhaustion: `max_iters` pivots without
+    /// convergence. Poisons proof claims upstream.
     IterLimit,
+    /// The caller's deadline or cancellation token tripped mid-solve: a
+    /// clean budget stop, *not* a solver failure.
+    Cancelled,
+    /// Numerical breakdown (singular basis that refactorization could not
+    /// repair). Poisons proof claims upstream.
+    Numerics,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarStatus {
-    Basic(usize), // row index
-    Lower,
-    Upper,
+/// An LP outcome plus the effort it took.
+#[derive(Debug, Clone)]
+pub(crate) struct LpResult {
+    pub outcome: LpOutcome,
+    /// Simplex iterations (phase 1 + phase 2).
+    pub iterations: usize,
+    /// Basis (re)factorizations, the initial one included.
+    pub refactorizations: usize,
+}
+
+/// Dense row-major LU factors of the basis matrix with partial pivoting:
+/// `P·B = L·U`, L unit-lower (strict part stored below the diagonal), U
+/// upper. Solves skip zero right-hand-side entries, so FTRANs of sparse
+/// columns stay cheap even though storage is dense.
+struct LuFactors {
+    m: usize,
+    lu: Vec<f64>,
+    /// Row swapped with row `k` at elimination step `k`.
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factorizes the basis columns of `prob`; `None` when singular.
+    fn factorize(prob: &LpProblem, basis: &[usize]) -> Option<LuFactors> {
+        let m = basis.len();
+        let mut lu = vec![0.0; m * m];
+        for (col_idx, &var) in basis.iter().enumerate() {
+            for (row, a) in prob.csc.col(var) {
+                lu[row * m + col_idx] = a;
+            }
+        }
+        let mut piv = vec![0; m];
+        for k in 0..m {
+            let mut best = k;
+            let mut best_abs = lu[k * m + k].abs();
+            for r in k + 1..m {
+                let a = lu[r * m + k].abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+            if best_abs < PIVOT_TOL {
+                return None;
+            }
+            piv[k] = best;
+            if best != k {
+                for c in 0..m {
+                    lu.swap(k * m + c, best * m + c);
+                }
+            }
+            let pivot = lu[k * m + k];
+            for r in k + 1..m {
+                let e = lu[r * m + k];
+                if e == 0.0 {
+                    continue; // sparse skip: most basis columns are slacks
+                }
+                let f = e / pivot;
+                lu[r * m + k] = f;
+                for c in k + 1..m {
+                    let u = lu[k * m + c];
+                    if u != 0.0 {
+                        lu[r * m + c] -= f * u;
+                    }
+                }
+            }
+        }
+        Some(LuFactors { m, lu, piv })
+    }
+
+    /// Solves `B x = rhs` in place.
+    fn solve(&self, x: &mut [f64]) {
+        let m = self.m;
+        for k in 0..m {
+            let p = self.piv[k];
+            if p != k {
+                x.swap(k, p);
+            }
+        }
+        // L forward solve (unit diagonal), column-oriented to skip zeros.
+        for k in 0..m {
+            let xk = x[k];
+            if xk == 0.0 {
+                continue;
+            }
+            for r in k + 1..m {
+                let l = self.lu[r * m + k];
+                if l != 0.0 {
+                    x[r] -= l * xk;
+                }
+            }
+        }
+        // U back solve, column-oriented.
+        for k in (0..m).rev() {
+            let xk = x[k] / self.lu[k * m + k];
+            x[k] = xk;
+            if xk == 0.0 {
+                continue;
+            }
+            for r in 0..k {
+                let u = self.lu[r * m + k];
+                if u != 0.0 {
+                    x[r] -= u * xk;
+                }
+            }
+        }
+    }
+
+    /// Solves `Bᵀ y = rhs` in place.
+    fn solve_transpose(&self, x: &mut [f64]) {
+        let m = self.m;
+        // Uᵀ forward solve (Uᵀ is lower-triangular).
+        for k in 0..m {
+            let xk = x[k] / self.lu[k * m + k];
+            x[k] = xk;
+            if xk == 0.0 {
+                continue;
+            }
+            for c in k + 1..m {
+                let u = self.lu[k * m + c];
+                if u != 0.0 {
+                    x[c] -= u * xk;
+                }
+            }
+        }
+        // Lᵀ back solve (unit diagonal).
+        for k in (0..m).rev() {
+            let xk = x[k];
+            if xk == 0.0 {
+                continue;
+            }
+            for r in 0..k {
+                let l = self.lu[k * m + r];
+                if l != 0.0 {
+                    x[r] -= l * xk;
+                }
+            }
+        }
+        for k in (0..m).rev() {
+            let p = self.piv[k];
+            if p != k {
+                x.swap(k, p);
+            }
+        }
+    }
+}
+
+/// One product-form update: after a pivot on row `row` with column
+/// `alpha`, the new basis inverse is `E·B⁻¹` where `E` is the identity
+/// with column `row` replaced by the eta vector stored here.
+struct Eta {
+    row: usize,
+    /// `1 / alpha[row]`.
+    diag: f64,
+    /// `(i, -alpha[i] / alpha[row])` for `i != row`, nonzeros only.
+    entries: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    fn from_pivot(alpha: &[f64], row: usize) -> Eta {
+        let piv = alpha[row];
+        let diag = 1.0 / piv;
+        let entries = alpha
+            .iter()
+            .enumerate()
+            .filter(|&(i, &a)| i != row && a != 0.0)
+            .map(|(i, &a)| (i, -a * diag))
+            .collect();
+        Eta { row, diag, entries }
+    }
+
+    /// `x := E x` (FTRAN step).
+    fn ftran(&self, x: &mut [f64]) {
+        let t = x[self.row];
+        if t == 0.0 {
+            return;
+        }
+        x[self.row] = self.diag * t;
+        for &(i, v) in &self.entries {
+            x[i] += v * t;
+        }
+    }
+
+    /// `y := Eᵀ y` (BTRAN step).
+    fn btran(&self, x: &mut [f64]) {
+        let mut v = self.diag * x[self.row];
+        for &(i, w) in &self.entries {
+            v += w * x[i];
+        }
+        x[self.row] = v;
+    }
 }
 
 struct Tableau<'a> {
     prob: &'a LpProblem,
     m: usize,
-    /// Dense row-major m×m basis inverse.
-    binv: Vec<f64>,
+    lu: LuFactors,
+    etas: Vec<Eta>,
     /// Variable occupying each basis row.
     basis: Vec<usize>,
     status: Vec<VarStatus>,
     /// Current value of every variable.
     x: Vec<f64>,
+    /// Devex reference weights, per variable.
+    devex: Vec<f64>,
     degenerate_streak: usize,
+    refactorizations: usize,
 }
 
 impl<'a> Tableau<'a> {
-    /// Starts from the all-slack basis: the *last* `m` variables are assumed
-    /// to form an identity block (guaranteed by the caller).
-    fn new(prob: &'a LpProblem) -> Self {
+    /// Builds the tableau from a warm-start basis when one is given and
+    /// still factorizes; otherwise from the all-slack basis (the *last*
+    /// `m` columns form an identity block, guaranteed by the caller).
+    fn new(prob: &'a LpProblem, warm: Option<&Basis>) -> Tableau<'a> {
         let m = prob.num_rows();
         let n = prob.num_vars();
-        let mut status = vec![VarStatus::Lower; n];
-        let mut basis = Vec::with_capacity(m);
-        for (row, var) in (n - m..n).enumerate() {
-            debug_assert_eq!(
-                prob.cols[var],
-                vec![(row, 1.0)],
-                "slack block must be the identity"
-            );
-            status[var] = VarStatus::Basic(row);
-            basis.push(var);
-        }
-        // Nonbasic structural vars start at the bound nearer to zero to keep
-        // initial activities small.
+        let warm = warm.filter(|b| b.fits(prob));
+        let (status, basis, lu) = match warm {
+            Some(b) => match LuFactors::factorize(prob, &b.basis) {
+                Some(lu) => (b.status.clone(), b.basis.clone(), Some(lu)),
+                None => Tableau::all_slack(prob),
+            },
+            None => Tableau::all_slack(prob),
+        };
+        let lu = lu.expect("the all-slack identity basis always factorizes");
         let mut x = vec![0.0; n];
         for j in 0..n {
-            if matches!(status[j], VarStatus::Basic(_)) {
-                continue;
+            match status[j] {
+                VarStatus::Basic(_) => {}
+                VarStatus::Lower => x[j] = prob.lo[j],
+                VarStatus::Upper => x[j] = prob.hi[j],
             }
-            x[j] = if prob.lo[j].abs() <= prob.hi[j].abs() {
-                prob.lo[j]
-            } else {
-                status[j] = VarStatus::Upper;
-                prob.hi[j]
-            };
-        }
-        let mut binv = vec![0.0; m * m];
-        for i in 0..m {
-            binv[i * m + i] = 1.0;
         }
         let mut t = Tableau {
             prob,
             m,
-            binv,
+            lu,
+            etas: Vec::new(),
             basis,
             status,
             x,
+            devex: vec![1.0; n],
             degenerate_streak: 0,
+            refactorizations: 1,
         };
         t.recompute_basics();
         t
     }
 
+    /// The all-slack starting basis with nonbasics at the bound nearer
+    /// zero (keeps initial activities small).
+    fn all_slack(prob: &LpProblem) -> (Vec<VarStatus>, Vec<usize>, Option<LuFactors>) {
+        let m = prob.num_rows();
+        let n = prob.num_vars();
+        let mut status = vec![VarStatus::Lower; n];
+        let mut basis = Vec::with_capacity(m);
+        for (row, var) in (n - m..n).enumerate() {
+            debug_assert!(
+                {
+                    let col: Vec<(usize, f64)> = prob.csc.col(var).collect();
+                    col == vec![(row, 1.0)]
+                },
+                "slack block must be the identity"
+            );
+            status[var] = VarStatus::Basic(row);
+            basis.push(var);
+        }
+        for j in 0..n - m {
+            if prob.lo[j].abs() > prob.hi[j].abs() {
+                status[j] = VarStatus::Upper;
+            }
+        }
+        let lu = LuFactors::factorize(prob, &basis);
+        (status, basis, lu)
+    }
+
+    /// Extracts the basis for warm-starting a neighbouring LP.
+    fn snapshot(&self) -> Basis {
+        Basis {
+            status: self.status.clone(),
+            basis: self.basis.clone(),
+        }
+    }
+
+    /// `α := B⁻¹ rhs` in place, through the LU factors and the eta file.
+    fn ftran(&self, x: &mut [f64]) {
+        self.lu.solve(x);
+        for eta in &self.etas {
+            eta.ftran(x);
+        }
+    }
+
+    /// `y := B⁻ᵀ rhs` in place (etas in reverse, then the factors).
+    fn btran(&self, x: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            eta.btran(x);
+        }
+        self.lu.solve_transpose(x);
+    }
+
+    /// `α = B⁻¹ A_j` for a structural column.
+    fn ftran_col(&self, j: usize) -> Vec<f64> {
+        let mut alpha = vec![0.0; self.m];
+        for (row, a) in self.prob.csc.col(j) {
+            alpha[row] = a;
+        }
+        self.ftran(&mut alpha);
+        alpha
+    }
+
     /// Recomputes basic variable values `x_B = B⁻¹ (b − N x_N)`.
     fn recompute_basics(&mut self) {
-        let m = self.m;
         let mut rhs = self.prob.b.clone();
-        for (j, col) in self.prob.cols.iter().enumerate() {
+        for j in 0..self.prob.num_vars() {
             if matches!(self.status[j], VarStatus::Basic(_)) || self.x[j] == 0.0 {
                 continue;
             }
-            for &(row, a) in col {
-                rhs[row] -= a * self.x[j];
+            let xj = self.x[j];
+            for (row, a) in self.prob.csc.col(j) {
+                rhs[row] -= a * xj;
             }
         }
-        for i in 0..m {
-            let mut v = 0.0;
-            for k in 0..m {
-                v += self.binv[i * m + k] * rhs[k];
-            }
+        self.ftran(&mut rhs);
+        for (i, v) in rhs.into_iter().enumerate() {
             self.x[self.basis[i]] = v;
         }
     }
 
-    /// Rebuilds the dense basis inverse by Gauss-Jordan elimination.
-    /// Returns `false` when the basis matrix is numerically singular.
+    /// Refactorizes the basis from scratch, clearing the eta file.
+    /// Returns `false` when the basis matrix is numerically singular (the
+    /// previous factors are kept in that case).
     fn refactorize(&mut self) -> bool {
-        let m = self.m;
-        // Assemble B column-by-column from the basis variables.
-        let mut a = vec![0.0; m * m]; // B, row-major
-        for (col_idx, &var) in self.basis.iter().enumerate() {
-            for &(row, coeff) in &self.prob.cols[var] {
-                a[row * m + col_idx] = coeff;
+        match LuFactors::factorize(self.prob, &self.basis) {
+            Some(lu) => {
+                self.lu = lu;
+                self.etas.clear();
+                self.refactorizations += 1;
+                true
             }
+            None => false,
         }
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // Partial pivoting.
-            let mut best = col;
-            for r in col + 1..m {
-                if a[r * m + col].abs() > a[best * m + col].abs() {
-                    best = r;
-                }
-            }
-            if a[best * m + col].abs() < PIVOT_TOL {
-                return false;
-            }
-            if best != col {
-                for k in 0..m {
-                    a.swap(col * m + k, best * m + k);
-                    inv.swap(col * m + k, best * m + k);
-                }
-            }
-            let p = a[col * m + col];
-            for k in 0..m {
-                a[col * m + k] /= p;
-                inv[col * m + k] /= p;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = a[r * m + col];
-                if f == 0.0 {
-                    continue;
-                }
-                for k in 0..m {
-                    a[r * m + k] -= f * a[col * m + k];
-                    inv[r * m + k] -= f * inv[col * m + k];
-                }
-            }
-        }
-        self.binv = inv;
-        true
     }
 
     /// Total bound violation over basic variables (phase-1 objective).
@@ -227,35 +565,49 @@ impl<'a> Tableau<'a> {
         }
     }
 
-    /// `y = c_B^T B⁻¹` for the given basic cost vector.
+    /// `y = B⁻ᵀ c_B` for the given basic cost vector.
     fn duals(&self, cb: &[f64]) -> Vec<f64> {
-        let m = self.m;
-        let mut y = vec![0.0; m];
-        for (i, &c) in cb.iter().enumerate() {
-            if c == 0.0 {
-                continue;
-            }
-            let row = &self.binv[i * m..(i + 1) * m];
-            for (k, &b) in row.iter().enumerate() {
-                y[k] += c * b;
-            }
-        }
+        let mut y = cb.to_vec();
+        self.btran(&mut y);
         y
     }
 
-    /// `α = B⁻¹ A_j`.
-    fn ftran(&self, col: usize) -> Vec<f64> {
-        let m = self.m;
-        let mut alpha = vec![0.0; m];
-        for &(row, a) in &self.prob.cols[col] {
-            if a == 0.0 {
+    /// Devex weight maintenance after a pivot: entering column `q` took
+    /// over row `r` from `leave_var`, with tableau column `alpha`.
+    fn update_devex(&mut self, q: usize, r: usize, leave_var: usize, alpha: &[f64]) {
+        let ar = alpha[r];
+        let wq = self.devex[q].max(1.0);
+        // Pivot row of the tableau over nonbasic columns: ρ = eᵣᵀ B⁻¹ A.
+        let mut z = vec![0.0; self.m];
+        z[r] = 1.0;
+        self.btran(&mut z);
+        let scale = wq / (ar * ar);
+        let mut overflow = false;
+        for j in 0..self.prob.num_vars() {
+            if j == q || matches!(self.status[j], VarStatus::Basic(_)) {
                 continue;
             }
-            for i in 0..m {
-                alpha[i] += self.binv[i * m + row] * a;
+            let mut rho = 0.0;
+            for (row, a) in self.prob.csc.col(j) {
+                let zr = z[row];
+                if zr != 0.0 {
+                    rho += zr * a;
+                }
+            }
+            if rho != 0.0 {
+                let cand = rho * rho * scale;
+                if cand > self.devex[j] {
+                    self.devex[j] = cand;
+                    overflow |= cand > DEVEX_RESET;
+                }
             }
         }
-        alpha
+        let lw = scale.max(1.0);
+        self.devex[leave_var] = lw;
+        if overflow || lw > DEVEX_RESET {
+            // Start a fresh reference framework.
+            self.devex.fill(1.0);
+        }
     }
 
     /// One simplex iteration for the given variable costs.
@@ -267,8 +619,9 @@ impl<'a> Tableau<'a> {
         let cb: Vec<f64> = self.basis.iter().map(|&v| costs[v]).collect();
         let y = self.duals(&cb);
 
-        // Pricing: pick an improving nonbasic column.
-        let mut entering: Option<(usize, f64, bool)> = None; // (var, |d|, increase)
+        // Devex pricing: among improving nonbasic columns, maximize
+        // d²/weight (Bland: lowest index, unweighted).
+        let mut entering: Option<(usize, f64, bool)> = None; // (var, score, increase)
         for j in 0..self.prob.num_vars() {
             let dir = match self.status[j] {
                 VarStatus::Basic(_) => continue,
@@ -279,26 +632,30 @@ impl<'a> Tableau<'a> {
                 continue; // fixed variable can never improve
             }
             let mut d = costs[j];
-            for &(row, a) in &self.prob.cols[j] {
-                d -= y[row] * a;
+            for (row, a) in self.prob.csc.col(j) {
+                let yr = y[row];
+                if yr != 0.0 {
+                    d -= yr * a;
+                }
             }
             let improving = if dir { d < -COST_TOL } else { d > COST_TOL };
             if !improving {
                 continue;
             }
             if bland {
-                entering = Some((j, d.abs(), dir));
+                entering = Some((j, d * d, dir));
                 break;
             }
-            if entering.as_ref().is_none_or(|&(_, best, _)| d.abs() > best) {
-                entering = Some((j, d.abs(), dir));
+            let score = d * d / self.devex[j];
+            if entering.as_ref().is_none_or(|&(_, best, _)| score > best) {
+                entering = Some((j, score, dir));
             }
         }
         let Some((j, _, increase)) = entering else {
             return Ok(false);
         };
 
-        let alpha = self.ftran(j);
+        let alpha = self.ftran_col(j);
         // Basic variable i changes at rate `rate_i` per unit step t>=0.
         // increase: x_j := lo_j + t  => x_B -= alpha t   (rate -alpha)
         // decrease: x_j := hi_j - t  => x_B += alpha t   (rate +alpha)
@@ -388,6 +745,11 @@ impl<'a> Tableau<'a> {
                 if piv.abs() < PIVOT_TOL {
                     return Err(SimplexNumerics);
                 }
+                if !bland {
+                    // Weight updates need the *pre-pivot* basis inverse.
+                    let leave_var = self.basis[row];
+                    self.update_devex(j, row, leave_var, &alpha);
+                }
                 // Entering variable takes its new value.
                 self.x[j] = if increase {
                     self.prob.lo[j] + t
@@ -408,22 +770,9 @@ impl<'a> Tableau<'a> {
                 };
                 self.status[j] = VarStatus::Basic(row);
                 self.basis[row] = j;
-                // Update B⁻¹: eliminate the entering column.
-                let m = self.m;
-                let pivot_row: Vec<f64> = (0..m).map(|k| self.binv[row * m + k] / piv).collect();
-                for i in 0..m {
-                    if i == row {
-                        continue;
-                    }
-                    let f = alpha[i];
-                    if f == 0.0 {
-                        continue;
-                    }
-                    for k in 0..m {
-                        self.binv[i * m + k] -= f * pivot_row[k];
-                    }
-                }
-                self.binv[row * m..(row + 1) * m].copy_from_slice(&pivot_row);
+                // Product-form update: one sparse eta instead of an m×m
+                // inverse rewrite.
+                self.etas.push(Eta::from_pivot(&alpha, row));
             }
         }
         Ok(true)
@@ -436,43 +785,61 @@ struct SimplexNumerics;
 /// Solves a standard-form LP.
 ///
 /// The last `b.len()` columns must form an identity (the slack block built
-/// by the caller); the routine starts from the all-slack basis.
+/// by the caller). With `warm = None` the solve starts from the all-slack
+/// basis; a warm basis from a related LP (same columns, possibly tightened
+/// bounds) typically converges in a handful of phase-1/phase-2 pivots. A
+/// warm basis that no longer fits or factorizes falls back to cold start.
 pub(crate) fn solve_lp(
     prob: &LpProblem,
     max_iters: usize,
     deadline: Option<std::time::Instant>,
     cancel: Option<&crate::Cancellation>,
-) -> LpOutcome {
-    debug_assert!(prob.cols.len() >= prob.num_rows());
-    let mut t = Tableau::new(prob);
-    let phase1_costs: Vec<f64> = vec![0.0; prob.num_vars()];
+    warm: Option<&Basis>,
+) -> LpResult {
+    debug_assert!(prob.num_vars() >= prob.num_rows());
+    let mut t = Tableau::new(prob, warm);
     let mut iters = 0usize;
 
     // On large models a single degenerate LP can grind through the full
     // iteration limit for minutes — far past any caller deadline that is
-    // only checked between branch-and-bound nodes. So the iteration
-    // loops poll the caller's deadline and cancellation token as well
-    // (every CANCEL_POLL_EVERY iterations; one iteration is O(m·n)
-    // dense algebra, so the clock read is noise). A trip reports
-    // `IterLimit`: the branch-and-bound already treats that as an
-    // abandoned subtree and downgrades its proof claims.
+    // only checked between branch-and-bound nodes. So the iteration loops
+    // poll the caller's deadline and cancellation token as well (every
+    // CANCEL_POLL_EVERY iterations; one iteration is O(m·nnz) algebra, so
+    // the clock read is noise). A trip reports `Cancelled` — a clean
+    // budget stop the branch-and-bound must *not* count as a failed or
+    // abandoned subtree.
     let cancelled = |iters: usize| {
         iters % CANCEL_POLL_EVERY == 0
             && (cancel.is_some_and(crate::Cancellation::is_expired)
                 || deadline.is_some_and(|d| std::time::Instant::now() > d))
     };
+    macro_rules! done {
+        ($outcome:expr) => {
+            return LpResult {
+                outcome: $outcome,
+                iterations: iters,
+                refactorizations: t.refactorizations,
+            }
+        };
+    }
 
     // Phase 1: drive out infeasibility. Costs are recomputed every
     // iteration because they depend on which basics are out of bounds.
     while t.infeasibility() > FEAS_TOL * (1.0 + t.m as f64) {
-        if iters >= max_iters || cancelled(iters) {
-            return LpOutcome::IterLimit;
+        if iters >= max_iters {
+            done!(LpOutcome::IterLimit);
+        }
+        if cancelled(iters) {
+            done!(LpOutcome::Cancelled);
         }
         iters += 1;
-        if iters % REFACTOR_EVERY == 0 && t.refactorize() {
+        if t.etas.len() >= REFACTOR_EVERY {
+            if !t.refactorize() {
+                done!(LpOutcome::Numerics);
+            }
             t.recompute_basics();
         }
-        let mut costs = phase1_costs.clone();
+        let mut costs = vec![0.0; prob.num_vars()];
         for &v in &t.basis {
             costs[v] = t.phase1_cost(v);
         }
@@ -480,29 +847,35 @@ pub(crate) fn solve_lp(
             Ok(true) => {}
             Ok(false) => {
                 // Phase-1 optimal with residual infeasibility: no solution.
-                return if t.infeasibility() > 1e-5 {
-                    LpOutcome::Infeasible
-                } else {
-                    // Numerically tiny residual: accept and continue.
-                    break;
-                };
+                if t.infeasibility() > 1e-5 {
+                    done!(LpOutcome::Infeasible);
+                }
+                // Numerically tiny residual: accept and continue.
+                break;
             }
             Err(SimplexNumerics) => {
                 if !t.refactorize() {
-                    return LpOutcome::IterLimit;
+                    done!(LpOutcome::Numerics);
                 }
                 t.recompute_basics();
+                t.degenerate_streak = BLAND_AFTER; // keep Bland engaged
             }
         }
     }
 
     // Phase 2: optimize the true objective from the feasible basis.
     loop {
-        if iters >= max_iters || cancelled(iters) {
-            return LpOutcome::IterLimit;
+        if iters >= max_iters {
+            done!(LpOutcome::IterLimit);
+        }
+        if cancelled(iters) {
+            done!(LpOutcome::Cancelled);
         }
         iters += 1;
-        if iters % REFACTOR_EVERY == 0 && t.refactorize() {
+        if t.etas.len() >= REFACTOR_EVERY {
+            if !t.refactorize() {
+                done!(LpOutcome::Numerics);
+            }
             t.recompute_basics();
         }
         match t.iterate(&prob.cost, false) {
@@ -511,15 +884,15 @@ pub(crate) fn solve_lp(
                 // does (numerics), refactorize and clean up.
                 if t.infeasibility() > 1e-5 {
                     if !t.refactorize() {
-                        return LpOutcome::IterLimit;
+                        done!(LpOutcome::Numerics);
                     }
                     t.recompute_basics();
                     if t.infeasibility() > 1e-5 {
                         // Fall back to a fresh phase-1 pass.
-                        let outcome =
-                            resume_phase1(&mut t, &mut iters, max_iters, deadline, cancel);
-                        if let Some(out) = outcome {
-                            return out;
+                        if let Some(out) =
+                            resume_phase1(&mut t, &mut iters, max_iters, deadline, cancel)
+                        {
+                            done!(out);
                         }
                     }
                 }
@@ -527,15 +900,21 @@ pub(crate) fn solve_lp(
             Ok(false) => break,
             Err(SimplexNumerics) => {
                 if !t.refactorize() {
-                    return LpOutcome::IterLimit;
+                    done!(LpOutcome::Numerics);
                 }
                 t.recompute_basics();
+                t.degenerate_streak = BLAND_AFTER;
             }
         }
     }
 
     let objective = prob.cost.iter().zip(&t.x).map(|(c, x)| c * x).sum::<f64>();
-    LpOutcome::Optimal { x: t.x, objective }
+    let basis = t.snapshot();
+    done!(LpOutcome::Optimal {
+        x: t.x,
+        objective,
+        basis,
+    });
 }
 
 fn resume_phase1(
@@ -546,13 +925,22 @@ fn resume_phase1(
     cancel: Option<&crate::Cancellation>,
 ) -> Option<LpOutcome> {
     while t.infeasibility() > FEAS_TOL * (1.0 + t.m as f64) {
+        if *iters >= max_iters {
+            return Some(LpOutcome::IterLimit);
+        }
         let expired = *iters % CANCEL_POLL_EVERY == 0
             && (cancel.is_some_and(crate::Cancellation::is_expired)
                 || deadline.is_some_and(|d| std::time::Instant::now() > d));
-        if *iters >= max_iters || expired {
-            return Some(LpOutcome::IterLimit);
+        if expired {
+            return Some(LpOutcome::Cancelled);
         }
         *iters += 1;
+        if t.etas.len() >= REFACTOR_EVERY {
+            if !t.refactorize() {
+                return Some(LpOutcome::Numerics);
+            }
+            t.recompute_basics();
+        }
         let mut costs = vec![0.0; t.prob.num_vars()];
         for &v in &t.basis {
             costs[v] = t.phase1_cost(v);
@@ -562,9 +950,10 @@ fn resume_phase1(
             Ok(false) => return Some(LpOutcome::Infeasible),
             Err(SimplexNumerics) => {
                 if !t.refactorize() {
-                    return Some(LpOutcome::IterLimit);
+                    return Some(LpOutcome::Numerics);
                 }
                 t.recompute_basics();
+                t.degenerate_streak = BLAND_AFTER;
             }
         }
     }
@@ -572,12 +961,16 @@ fn resume_phase1(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// Builds a standard-form problem from dense rows `a·x (sense) b` with
     /// auto-generated slack columns. sense: -1 ≤, 0 =, +1 ≥.
-    fn build(cost: &[f64], bounds: &[(f64, f64)], rows: &[(&[f64], i8, f64)]) -> LpProblem {
+    pub(crate) fn build(
+        cost: &[f64],
+        bounds: &[(f64, f64)],
+        rows: &[(&[f64], i8, f64)],
+    ) -> LpProblem {
         let n = cost.len();
         let m = rows.len();
         let mut cols: Vec<SparseCol> = vec![Vec::new(); n];
@@ -614,18 +1007,12 @@ mod tests {
                 _ => unreachable!(),
             }
         }
-        LpProblem {
-            cols,
-            cost: full_cost,
-            lo,
-            hi,
-            b,
-        }
+        LpProblem::from_cols(&cols, full_cost, lo, hi, b)
     }
 
     fn assert_optimal(prob: &LpProblem, expect_obj: f64) -> Vec<f64> {
-        match solve_lp(prob, 10_000, None, None) {
-            LpOutcome::Optimal { x, objective } => {
+        match solve_lp(prob, 10_000, None, None, None).outcome {
+            LpOutcome::Optimal { x, objective, .. } => {
                 assert!(
                     (objective - expect_obj).abs() < 1e-5,
                     "objective {objective} != {expect_obj}"
@@ -700,7 +1087,7 @@ mod tests {
             &[(&[1.0], -1, 1.0), (&[1.0], 1, 3.0)],
         );
         assert!(matches!(
-            solve_lp(&p, 10_000, None, None),
+            solve_lp(&p, 10_000, None, None, None).outcome,
             LpOutcome::Infeasible
         ));
     }
@@ -715,7 +1102,7 @@ mod tests {
 
     #[test]
     fn negative_lower_bounds() {
-        // min x + y, x in [-5, 5], y in [-3, 3], x + y >= -6 -> obj -8...
+        // min x + y, x in [-5, 5], y in [-3, 3], x + y >= -6:
         // x+y >= -6 binds: optimum -6 (e.g. x=-5, y=-1).
         let p = build(
             &[1.0, 1.0],
@@ -769,7 +1156,8 @@ mod tests {
 
     #[test]
     fn klee_minty_cube_terminates() {
-        // The classic worst case for Dantzig pricing in 3-D:
+        // The classic worst case for Dantzig pricing in 3-D (devex does
+        // not fall for it, but the optimum is what matters here):
         // max 100 x1 + 10 x2 + x3
         // s.t. x1 <= 1; 20 x1 + x2 <= 100; 200 x1 + 20 x2 + x3 <= 10000.
         // Optimum 10000 at (0, 0, 10000).
@@ -788,7 +1176,7 @@ mod tests {
 
     #[test]
     fn expired_deadline_and_cancellation_abort_the_lp_promptly() {
-        // A perfectly solvable LP must still be abandoned as IterLimit
+        // A perfectly solvable LP must still be abandoned as `Cancelled`
         // when the caller's wall-clock budget is already gone — the
         // regression was a single degenerate LP grinding through the
         // full iteration limit for minutes between deadline checks.
@@ -804,13 +1192,13 @@ mod tests {
         let past = std::time::Instant::now();
         std::thread::sleep(std::time::Duration::from_millis(2));
         assert!(matches!(
-            solve_lp(&p, 10_000, Some(past), None),
-            LpOutcome::IterLimit
+            solve_lp(&p, 10_000, Some(past), None, None).outcome,
+            LpOutcome::Cancelled
         ));
         let expired = crate::Cancellation::with_deadline(std::time::Duration::ZERO);
         assert!(matches!(
-            solve_lp(&p, 10_000, None, Some(&expired)),
-            LpOutcome::IterLimit
+            solve_lp(&p, 10_000, None, Some(&expired), None).outcome,
+            LpOutcome::Cancelled
         ));
         // With live budgets the same LP still solves.
         let live = crate::Cancellation::with_deadline(std::time::Duration::from_secs(60));
@@ -819,9 +1207,28 @@ mod tests {
                 &p,
                 10_000,
                 Some(std::time::Instant::now() + std::time::Duration::from_secs(60)),
-                Some(&live)
-            ),
+                Some(&live),
+                None,
+            )
+            .outcome,
             LpOutcome::Optimal { .. }
+        ));
+    }
+
+    #[test]
+    fn iteration_exhaustion_reports_iter_limit_not_cancelled() {
+        let p = build(
+            &[-3.0, -5.0],
+            &[(0.0, 100.0), (0.0, 100.0)],
+            &[
+                (&[1.0, 0.0], -1, 4.0),
+                (&[0.0, 2.0], -1, 12.0),
+                (&[3.0, 2.0], -1, 18.0),
+            ],
+        );
+        assert!(matches!(
+            solve_lp(&p, 0, None, None, None).outcome,
+            LpOutcome::IterLimit
         ));
     }
 
@@ -850,9 +1257,7 @@ mod tests {
         // Two supplies (3, 4), two demands (5, 2); min cost flows.
         // vars: f11,f12,f21,f22; cost 4,6,2,3.
         // supply rows: f11+f12=3, f21+f22=4; demand: f11+f21=5, f12+f22=2.
-        // Optimum: f21=4 f11=1 f12=2 f22=0 -> 4*1+6*2+2*4 = 24?
-        // alternatives: f11=1,f12=2,f21=4,f22=0 cost=4+12+8=24;
-        // f11=3,f12=0,f21=2,f22=2 cost=12+4+6=22 -> optimum 22.
+        // Optimum: f11=3,f12=0,f21=2,f22=2 cost=12+4+6=22.
         let p = build(
             &[4.0, 6.0, 2.0, 3.0],
             &[(0.0, 10.0); 4],
@@ -864,5 +1269,168 @@ mod tests {
             ],
         );
         assert_optimal(&p, 22.0);
+    }
+
+    #[test]
+    fn warm_start_from_own_optimum_resolves_in_a_handful_of_pivots() {
+        let p = build(
+            &[-3.0, -5.0],
+            &[(0.0, 100.0), (0.0, 100.0)],
+            &[
+                (&[1.0, 0.0], -1, 4.0),
+                (&[0.0, 2.0], -1, 12.0),
+                (&[3.0, 2.0], -1, 18.0),
+            ],
+        );
+        let cold = solve_lp(&p, 10_000, None, None, None);
+        let LpOutcome::Optimal { basis, .. } = cold.outcome else {
+            panic!("cold solve must be optimal");
+        };
+        let warm = solve_lp(&p, 10_000, None, None, Some(&basis));
+        let LpOutcome::Optimal { objective, .. } = warm.outcome else {
+            panic!("warm solve must be optimal");
+        };
+        assert!((objective - -36.0).abs() < 1e-5);
+        assert!(
+            warm.iterations <= 2,
+            "re-solving from the optimal basis took {} pivots",
+            warm.iterations
+        );
+        assert!(warm.iterations < cold.iterations);
+    }
+
+    #[test]
+    fn warm_start_survives_bound_tightening() {
+        // Branch-and-bound's exact usage: tighten one variable's bounds
+        // and re-solve from the parent basis.
+        let p = build(
+            &[-10.0, -13.0, -7.0],
+            &[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)],
+            &[(&[5.0, 6.0, 4.0], -1, 10.0)],
+        );
+        let cold = solve_lp(&p, 10_000, None, None, None);
+        let LpOutcome::Optimal { basis, .. } = cold.outcome else {
+            panic!("cold solve must be optimal");
+        };
+        // Branch a = 0 (a was fractional 4/5 at the LP optimum).
+        let mut child = p.clone();
+        child.hi[0] = 0.0;
+        let warm = solve_lp(&child, 10_000, None, None, Some(&basis));
+        let LpOutcome::Optimal { objective, .. } = warm.outcome else {
+            panic!("warm child must be optimal");
+        };
+        // b=1, c=1 -> 20.
+        assert!((objective - -20.0).abs() < 1e-5);
+        let coldc = solve_lp(&child, 10_000, None, None, None);
+        let LpOutcome::Optimal {
+            objective: cold_obj,
+            ..
+        } = coldc.outcome
+        else {
+            panic!("cold child must be optimal");
+        };
+        assert!((objective - cold_obj).abs() < 1e-6, "warm == cold optimum");
+    }
+
+    #[test]
+    fn stale_basis_falls_back_to_cold_start() {
+        let p = build(
+            &[1.0, 1.0],
+            &[(1.0, 5.0), (1.0, 5.0)],
+            &[(&[1.0, 1.0], -1, 100.0)],
+        );
+        // A basis for a different (larger) problem must be rejected.
+        let bogus = Basis {
+            status: vec![VarStatus::Lower; 99],
+            basis: vec![0; 7],
+        };
+        assert!(matches!(
+            solve_lp(&p, 10_000, None, None, Some(&bogus)).outcome,
+            LpOutcome::Optimal { .. }
+        ));
+    }
+
+    #[test]
+    fn eta_file_matches_fresh_refactorization_after_long_pivot_runs() {
+        // Drive a transportation-like LP to optimality (many pivots), then
+        // verify the eta-file representation of B⁻¹ agrees with a fresh
+        // LU refactorization on FTRANs of every structural column.
+        let p = build(
+            &[4.0, 6.0, 2.0, 3.0, 1.0, 2.5],
+            &[(0.0, 10.0); 6],
+            &[
+                (&[1.0, 1.0, 0.0, 0.0, 1.0, 0.0], 0, 3.0),
+                (&[0.0, 0.0, 1.0, 1.0, 0.0, 1.0], 0, 4.0),
+                (&[1.0, 0.0, 1.0, 0.0, 1.0, 1.0], 0, 5.0),
+                (&[0.0, 1.0, 0.0, 1.0, 0.0, 0.0], 0, 2.0),
+            ],
+        );
+        let mut t = Tableau::new(&p, None);
+        let mut pivots = 0usize;
+        // Phase 1 until feasible, then phase 2 — accumulating etas.
+        for _ in 0..200 {
+            let phase1 = t.infeasibility() > FEAS_TOL * (1.0 + t.m as f64);
+            let costs = if phase1 {
+                let mut c = vec![0.0; p.num_vars()];
+                for &v in &t.basis {
+                    c[v] = t.phase1_cost(v);
+                }
+                c
+            } else {
+                p.cost.clone()
+            };
+            match t.iterate(&costs, phase1) {
+                Ok(true) => pivots += 1,
+                Ok(false) | Err(SimplexNumerics) => break,
+            }
+        }
+        assert!(pivots >= 2, "expected a real pivot run, got {pivots}");
+        assert!(!t.etas.is_empty(), "pivot run must populate the eta file");
+        // FTRAN every column through LU+etas, then through fresh factors.
+        let via_etas: Vec<Vec<f64>> = (0..p.num_vars()).map(|j| t.ftran_col(j)).collect();
+        assert!(t.refactorize(), "optimal basis must factorize");
+        assert!(t.etas.is_empty());
+        for (j, old) in via_etas.iter().enumerate() {
+            let fresh = t.ftran_col(j);
+            for (a, b) in old.iter().zip(&fresh) {
+                assert!(
+                    (a - b).abs() < 1e-8,
+                    "column {j}: eta-file {a} vs refactorized {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refactorization_happens_on_long_runs() {
+        // A chain model that needs > REFACTOR_EVERY pivots end to end.
+        let n = REFACTOR_EVERY + 40;
+        let rows: Vec<(Vec<f64>, i8, f64)> = (0..n)
+            .map(|i| {
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = 1.0;
+                if i > 0 {
+                    coeffs[i - 1] = -0.5;
+                }
+                (coeffs, 1i8, 1.0)
+            })
+            .collect();
+        let rows_ref: Vec<(&[f64], i8, f64)> = rows
+            .iter()
+            .map(|(v, s, r)| (v.as_slice(), *s, *r))
+            .collect();
+        let cost = vec![1.0; n];
+        let bounds = vec![(0.0, 1e6); n];
+        let p = build(&cost, &bounds, &rows_ref);
+        let r = solve_lp(&p, 100_000, None, None, None);
+        assert!(matches!(r.outcome, LpOutcome::Optimal { .. }));
+        assert!(
+            r.refactorizations >= 2,
+            "a {}-pivot run must refactorize at least once beyond the \
+             initial factorization (iterations: {}, refactorizations: {})",
+            n,
+            r.iterations,
+            r.refactorizations
+        );
     }
 }

@@ -1,10 +1,26 @@
 //! LP relaxation plumbing and the branch-and-bound driver.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cancel::Cancellation;
 use crate::model::{Cmp, Model, Sense, VarKind};
-use crate::simplex::{solve_lp, LpOutcome, LpProblem, SparseCol};
+use crate::simplex::{solve_lp, Basis, LpOutcome, LpProblem, SparseCol};
+
+/// Which simplex engine solves the LP relaxations.
+///
+/// The sparse revised simplex is the production engine; the dense
+/// predecessor is retained as an independently-written baseline for
+/// cross-checks and for the `ilp-bench` speedup measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// CSC storage, LU + eta-file basis updates, devex pricing, warm
+    /// starts across branch-and-bound nodes.
+    #[default]
+    Sparse,
+    /// Dense m×m basis inverse, Dantzig pricing, cold start per node.
+    Dense,
+}
 
 /// Knobs for [`Model::solve`].
 ///
@@ -32,7 +48,8 @@ pub struct SolveParams {
     /// Absolute integrality tolerance when rounding LP values.
     pub int_tol: f64,
     /// Optional known-feasible assignment used as the initial incumbent
-    /// (a MIP start); must be feasible for the model or it is ignored.
+    /// (a MIP start); must be feasible for the model — integrality of the
+    /// integer variables included — or it is ignored.
     pub mip_start: Option<Vec<f64>>,
     /// If `true`, objective coefficients are assumed integral for all
     /// integer variables and bounds are rounded up when pruning.
@@ -46,6 +63,11 @@ pub struct SolveParams {
     /// node. Expiry behaves exactly like the time limit: the best
     /// incumbent (if any) is returned as [`SolveStatus::Feasible`].
     pub cancel: Cancellation,
+    /// Which simplex engine solves the node LPs.
+    pub lp_engine: LpEngine,
+    /// Whether child nodes warm-start from the parent's optimal basis
+    /// (sparse engine only; the dense baseline always cold-starts).
+    pub warm_start: bool,
 }
 
 impl Default for SolveParams {
@@ -59,6 +81,8 @@ impl Default for SolveParams {
             integral_objective: false,
             branch_priority: Vec::new(),
             cancel: Cancellation::new(),
+            lp_engine: LpEngine::Sparse,
+            warm_start: true,
         }
     }
 }
@@ -87,6 +111,9 @@ pub struct SolveResult {
     bound: Option<f64>,
     nodes: usize,
     elapsed: Duration,
+    lp_iterations: usize,
+    refactorizations: usize,
+    lp_failures: bool,
 }
 
 impl SolveResult {
@@ -119,6 +146,26 @@ impl SolveResult {
     #[must_use]
     pub fn elapsed(&self) -> Duration {
         self.elapsed
+    }
+
+    /// Total simplex iterations across every node LP.
+    #[must_use]
+    pub fn lp_iterations(&self) -> usize {
+        self.lp_iterations
+    }
+
+    /// Total basis (re)factorizations across every node LP.
+    #[must_use]
+    pub fn refactorizations(&self) -> usize {
+        self.refactorizations
+    }
+
+    /// Whether any node LP failed outright (iteration exhaustion or
+    /// numerical breakdown — *not* deadline/cancel trips), voiding proof
+    /// claims for the search.
+    #[must_use]
+    pub fn lp_failures(&self) -> bool {
+        self.lp_failures
     }
 
     /// The variable assignment, if a feasible solution was found.
@@ -230,13 +277,7 @@ fn build_relaxation(model: &Model) -> Relaxation {
         }
     }
     Relaxation {
-        prob: LpProblem {
-            cols,
-            cost,
-            lo,
-            hi,
-            b,
-        },
+        prob: LpProblem::from_cols(&cols, cost, lo, hi, b),
         n_structural: n,
         obj_sign,
     }
@@ -248,6 +289,10 @@ struct Node {
     overrides: Vec<(usize, f64, f64)>,
     /// Parent LP bound (minimization sense) for best-first ordering.
     bound: f64,
+    /// Parent's optimal basis for warm-starting this node's LP; shared
+    /// between siblings (the basis matrix is bound-independent, so the
+    /// parent's factorization stays valid under the child's overrides).
+    basis: Option<Arc<Basis>>,
 }
 
 impl Model {
@@ -256,7 +301,9 @@ impl Model {
     /// Returns the best solution found together with its proof status; see
     /// [`SolveStatus`]. Infeasibility and optimality are proven exactly
     /// (up to tolerances); hitting a limit downgrades the status to
-    /// [`SolveStatus::Feasible`] or [`SolveStatus::Unknown`].
+    /// [`SolveStatus::Feasible`] or [`SolveStatus::Unknown`] — a truncated
+    /// search never reports [`SolveStatus::Infeasible`] or
+    /// [`SolveStatus::Optimal`].
     ///
     /// # Examples
     ///
@@ -271,6 +318,7 @@ impl Model {
     /// assert_eq!(m.solve(&SolveParams::default()).status(), SolveStatus::Infeasible);
     /// ```
     #[must_use]
+    #[allow(clippy::too_many_lines)]
     pub fn solve(&self, params: &SolveParams) -> SolveResult {
         let start = Instant::now();
         let relax = build_relaxation(self);
@@ -278,9 +326,16 @@ impl Model {
             .filter(|&i| self.variable(crate::model::VarId(i as u32)).kind() == VarKind::Integer)
             .collect();
 
-        // Incumbent from the MIP start, if it checks out.
+        // Incumbent from the MIP start, if it checks out — which requires
+        // integrality of the integer variables on top of linear
+        // feasibility, or a fractional warm start would seed a bogus
+        // pruning bound.
         let mut incumbent: Option<(Vec<f64>, f64)> = params.mip_start.as_ref().and_then(|v| {
-            if self.check_feasible(v, 1e-5).is_none() {
+            let integral = v.len() == self.num_vars()
+                && int_vars
+                    .iter()
+                    .all(|&i| (v[i] - v[i].round()).abs() <= params.int_tol);
+            if integral && self.check_feasible(v, 1e-5).is_none() {
                 Some((
                     v.clone(),
                     relax.obj_sign * (self.objective_value(v) - self.objective_offset()),
@@ -297,13 +352,26 @@ impl Model {
         let mut stack: Vec<Node> = vec![Node {
             overrides: Vec::new(),
             bound: f64::NEG_INFINITY,
+            basis: None,
         }];
         let mut nodes = 0usize;
+        let mut lp_iterations = 0usize;
+        let mut refactorizations = 0usize;
         let mut limit_hit = false;
-        let mut lp_failures = false; // IterLimit abandoned a subtree
+        let mut lp_failures = false; // IterLimit/Numerics abandoned a subtree
         let mut infeasible_proven = true; // stays true only if every leaf was pruned exactly
 
-        while let Some(node) = stack.pop() {
+        // Node bounds are applied to one shared problem and reverted before
+        // the next node, instead of cloning the whole LpProblem per node.
+        let mut prob = relax.prob.clone();
+        let root_lo = relax.prob.lo.clone();
+        let root_hi = relax.prob.hi.clone();
+        let mut touched: Vec<usize> = Vec::new();
+
+        loop {
+            // Limits are checked *before* popping: a node popped and then
+            // abandoned on break would silently vanish from the open set
+            // and tighten the reported bound past what was proven.
             if let Some(limit) = params.time_limit {
                 if start.elapsed() > limit {
                     limit_hit = true;
@@ -318,6 +386,7 @@ impl Model {
                 limit_hit = true;
                 break;
             }
+            let Some(node) = stack.pop() else { break };
             // Prune against the incumbent before paying for the LP.
             if let Some((_, inc_obj)) = &incumbent {
                 if prune(node.bound, *inc_obj, params) {
@@ -326,28 +395,64 @@ impl Model {
             }
             nodes += 1;
 
-            // Apply this node's bound overrides.
-            let mut prob = relax.prob.clone();
+            // Apply this node's bound overrides in place.
+            for &v in &touched {
+                prob.lo[v] = root_lo[v];
+                prob.hi[v] = root_hi[v];
+            }
+            touched.clear();
             for &(v, lo, hi) in &node.overrides {
                 prob.lo[v] = lo;
                 prob.hi[v] = hi;
+                touched.push(v);
             }
 
-            match solve_lp(
-                &prob,
-                params.lp_iter_limit,
-                lp_deadline,
-                Some(&params.cancel),
-            ) {
+            let warm = if params.warm_start {
+                node.basis.as_deref()
+            } else {
+                None
+            };
+            let lp = match params.lp_engine {
+                LpEngine::Sparse => solve_lp(
+                    &prob,
+                    params.lp_iter_limit,
+                    lp_deadline,
+                    Some(&params.cancel),
+                    warm,
+                ),
+                LpEngine::Dense => crate::dense::solve_lp_dense(
+                    &prob,
+                    params.lp_iter_limit,
+                    lp_deadline,
+                    Some(&params.cancel),
+                ),
+            };
+            lp_iterations += lp.iterations;
+            refactorizations += lp.refactorizations;
+
+            match lp.outcome {
                 LpOutcome::Infeasible => {}
-                LpOutcome::IterLimit => {
+                LpOutcome::Cancelled => {
+                    // Clean budget stop, exactly like the between-node
+                    // deadline check: the node goes back to the open set
+                    // (its bound is still unproven territory) and the
+                    // search winds down without poisoning proof claims.
+                    stack.push(node);
+                    limit_hit = true;
+                    break;
+                }
+                LpOutcome::IterLimit | LpOutcome::Numerics => {
                     // Cannot bound or explore this subtree: give up on it
                     // and downgrade every proof-dependent claim.
                     limit_hit = true;
                     infeasible_proven = false;
                     lp_failures = true;
                 }
-                LpOutcome::Optimal { x, objective } => {
+                LpOutcome::Optimal {
+                    x,
+                    objective,
+                    basis,
+                } => {
                     if let Some((_, inc_obj)) = &incumbent {
                         if prune(objective, *inc_obj, params) {
                             continue;
@@ -389,6 +494,12 @@ impl Model {
                             let floor = x[v].floor();
                             let lo = prob.lo[v];
                             let hi = prob.hi[v];
+                            // Both children inherit this node's optimal
+                            // basis: the basis matrix does not depend on
+                            // bounds, so the child LP re-solves in a few
+                            // dual-infeasibility-repair pivots instead of
+                            // from the all-slack basis.
+                            let parent_basis = Some(Arc::new(basis));
                             // Depth-first: push the "closer" child last so it
                             // pops first (dive toward the LP value).
                             let mut down = node.overrides.clone();
@@ -400,10 +511,12 @@ impl Model {
                             stack.push(Node {
                                 overrides: first,
                                 bound: objective,
+                                basis: parent_basis.clone(),
                             });
                             stack.push(Node {
                                 overrides: second,
                                 bound: objective,
+                                basis: parent_basis,
                             });
                         }
                     }
@@ -428,28 +541,33 @@ impl Model {
             }
         };
 
+        // A truncated search (limit trip, or nodes left open for any other
+        // reason) proves nothing terminal.
+        let truncated = limit_hit || !stack.is_empty();
         let elapsed = start.elapsed();
         match incumbent {
             Some((vals, min_obj)) => {
-                let proven = !limit_hit && stack.is_empty();
                 let objective = self.objective_offset() + relax.obj_sign * min_obj;
                 let bound =
                     min_bound(Some(min_obj)).map(|b| self.objective_offset() + relax.obj_sign * b);
                 SolveResult {
-                    status: if proven {
-                        SolveStatus::Optimal
-                    } else {
+                    status: if truncated {
                         SolveStatus::Feasible
+                    } else {
+                        SolveStatus::Optimal
                     },
                     bound,
                     values: Some(vals),
                     objective: Some(objective),
                     nodes,
                     elapsed,
+                    lp_iterations,
+                    refactorizations,
+                    lp_failures,
                 }
             }
             None => SolveResult {
-                status: if !limit_hit && stack.is_empty() && infeasible_proven {
+                status: if !truncated && infeasible_proven {
                     SolveStatus::Infeasible
                 } else {
                     SolveStatus::Unknown
@@ -459,6 +577,9 @@ impl Model {
                 bound: min_bound(None).map(|b| self.objective_offset() + relax.obj_sign * b),
                 nodes,
                 elapsed,
+                lp_iterations,
+                refactorizations,
+                lp_failures,
             },
         }
     }
@@ -654,6 +775,48 @@ mod tests {
     }
 
     #[test]
+    fn fractional_mip_start_rejected() {
+        // max a + b s.t. a + b <= 1, binaries. The point (0.5, 0.5) is
+        // *linearly* feasible with objective 1.0 — accepting it as the
+        // incumbent would prune both genuine optima (objective 1) and
+        // report the fractional vector as the solution.
+        let mut m = Model::maximize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        m.set_objective(LinExpr::sum([a, b]));
+        m.add_le("cap", LinExpr::sum([a, b]), 1.0);
+        let params = SolveParams {
+            mip_start: Some(vec![0.5, 0.5]),
+            ..SolveParams::default()
+        };
+        let r = m.solve(&params);
+        assert_eq!(r.status(), SolveStatus::Optimal);
+        assert_eq!(r.objective().unwrap().round() as i64, 1);
+        let vals = r.values().unwrap();
+        for v in vals {
+            assert!(
+                (v - v.round()).abs() < 1e-6,
+                "solution must be integral, got {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_length_mip_start_ignored() {
+        let mut m = Model::minimize();
+        let a = m.binary("a");
+        m.set_objective(LinExpr::term(1.0, a));
+        m.add_ge("one", LinExpr::term(1.0, a), 1.0);
+        let params = SolveParams {
+            mip_start: Some(vec![1.0, 0.0, 1.0]), // three values, one var
+            ..SolveParams::default()
+        };
+        let r = m.solve(&params);
+        assert_eq!(r.status(), SolveStatus::Optimal);
+        assert_eq!(r.objective().unwrap().round() as i64, 1);
+    }
+
+    #[test]
     fn node_limit_degrades_gracefully() {
         let mut m = Model::maximize();
         let vars: Vec<_> = (0..12).map(|i| m.binary(format!("v{i}"))).collect();
@@ -743,5 +906,130 @@ mod tests {
         m.add_le("cap", LinExpr::term(1.0, x), 4.0);
         let r = solve(&m);
         assert_eq!(r.objective().unwrap().round() as i64, 108);
+    }
+
+    #[test]
+    fn dense_engine_matches_sparse_end_to_end() {
+        let mut m = Model::maximize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.set_objective(LinExpr::term(10.0, a) + LinExpr::term(13.0, b) + LinExpr::term(7.0, c));
+        m.add_le(
+            "cap",
+            LinExpr::term(5.0, a) + LinExpr::term(6.0, b) + LinExpr::term(4.0, c),
+            10.0,
+        );
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let params = SolveParams {
+                lp_engine: engine,
+                ..SolveParams::default()
+            };
+            let r = m.solve(&params);
+            assert_eq!(r.status(), SolveStatus::Optimal, "{engine:?}");
+            assert_eq!(r.objective().unwrap().round() as i64, 20, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn cancelled_mid_search_never_reports_infeasible() {
+        // A feasible covering model whose search is cancelled before the
+        // first node: the regression was LP Cancelled outcomes being
+        // conflated with LP failures, and truncated searches reporting
+        // the leftover `infeasible_proven` flag as a proof.
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..16).map(|i| m.binary(format!("v{i}"))).collect();
+        let mut obj = LinExpr::new();
+        let mut cover = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj.add_term(f64::from(i as u32 % 6 + 1), v);
+            cover.add_term(f64::from(i as u32 % 4 + 1), v);
+        }
+        m.set_objective(obj);
+        m.add_ge("cover", cover, 13.0);
+        let cancel = Cancellation::new();
+        cancel.cancel();
+        let params = SolveParams {
+            cancel,
+            ..SolveParams::default()
+        };
+        let r = m.solve(&params);
+        assert_ne!(
+            r.status(),
+            SolveStatus::Infeasible,
+            "truncated search claimed an infeasibility proof"
+        );
+        assert_ne!(r.status(), SolveStatus::Optimal);
+        assert!(!r.lp_failures(), "cancellation is not an LP failure");
+    }
+
+    #[test]
+    fn cancelled_lp_outcomes_do_not_set_lp_failures() {
+        // Cancel *during* the search (deadline in the near future) so the
+        // trip lands inside a node LP, not only at the between-node check.
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..18).map(|i| m.binary(format!("v{i}"))).collect();
+        let mut obj = LinExpr::new();
+        let mut cover = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj.add_term(f64::from(i as u32 % 7 + 1), v);
+            cover.add_term(f64::from(i as u32 % 5 + 1), v);
+        }
+        m.set_objective(obj);
+        m.add_ge("cover", cover, 19.0);
+        let params = SolveParams {
+            cancel: Cancellation::with_deadline(Duration::from_micros(200)),
+            time_limit: None,
+            ..SolveParams::default()
+        };
+        let r = m.solve(&params);
+        assert_ne!(r.status(), SolveStatus::Infeasible);
+        assert!(!r.lp_failures(), "cancellation is not an LP failure");
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_over_the_tree() {
+        // Same model solved with and without warm starts must land on the
+        // same optimum (node/iteration counts may differ).
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 10.0);
+        let y = m.integer("y", 0.0, 10.0);
+        let z = m.integer("z", 0.0, 10.0);
+        m.set_objective(LinExpr::term(3.0, x) + LinExpr::term(4.0, y) + LinExpr::term(2.0, z));
+        m.add_ge("c1", LinExpr::term(2.0, x) + LinExpr::term(1.0, y), 7.0);
+        m.add_ge("c2", LinExpr::term(1.0, x) + LinExpr::term(3.0, z), 9.0);
+        m.add_ge("c3", LinExpr::term(1.0, y) + LinExpr::term(1.0, z), 4.0);
+        let warm = m.solve(&SolveParams::default());
+        let cold = m.solve(&SolveParams {
+            warm_start: false,
+            ..SolveParams::default()
+        });
+        assert_eq!(warm.status(), SolveStatus::Optimal);
+        assert_eq!(cold.status(), SolveStatus::Optimal);
+        assert!((warm.objective().unwrap() - cold.objective().unwrap()).abs() < 1e-6);
+        assert!(
+            warm.lp_iterations() <= cold.lp_iterations(),
+            "warm starts took more iterations ({}) than cold starts ({})",
+            warm.lp_iterations(),
+            cold.lp_iterations()
+        );
+    }
+
+    #[test]
+    fn solve_result_reports_lp_effort() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 10.0);
+        let y = m.integer("y", 0.0, 10.0);
+        m.set_objective(LinExpr::term(3.0, x) + LinExpr::term(4.0, y));
+        m.add_ge("c1", LinExpr::term(2.0, x) + LinExpr::term(1.0, y), 7.0);
+        m.add_ge("c2", LinExpr::term(1.0, x) + LinExpr::term(3.0, y), 9.0);
+        let r = solve(&m);
+        assert_eq!(r.status(), SolveStatus::Optimal);
+        assert!(r.lp_iterations() > 0, "LP effort must be accounted");
+        assert!(
+            r.refactorizations() > 0,
+            "every LP factorizes at least once"
+        );
+        assert!(!r.lp_failures());
     }
 }

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use troy_ilp::Cancellation;
+use troy_ilp::{Cancellation, LinExpr, Model, SolveParams, SolveStatus};
 
 #[test]
 fn zero_budget_child_is_cancelled_immediately() {
@@ -72,4 +72,64 @@ fn remaining_budget_of_a_past_deadline_child_is_zero() {
     let parent = Cancellation::new();
     let child = parent.child_with_deadline(Duration::ZERO);
     assert_eq!(child.remaining(), Some(Duration::ZERO));
+}
+
+/// A feasible covering model large enough that branch and bound takes a
+/// measurable amount of work before proving optimality.
+fn feasible_cover_model() -> Model {
+    let mut m = Model::minimize();
+    let vars: Vec<_> = (0..20).map(|i| m.binary(format!("v{i}"))).collect();
+    let mut obj = LinExpr::new();
+    let mut cover = LinExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        obj.add_term(f64::from(i as u32 % 6 + 1), v);
+        cover.add_term(f64::from(i as u32 % 4 + 1), v);
+    }
+    m.set_objective(obj);
+    m.add_ge("cover", cover, 17.0);
+    m
+}
+
+#[test]
+fn cancelling_mid_search_on_a_feasible_model_never_reports_infeasible() {
+    // Sweep cancellation budgets from "trips inside the first LP" to
+    // "trips between nodes": whatever point of the search the token
+    // expires at, a truncated search must report Feasible/Unknown, never
+    // an infeasibility proof. This was the LP-outcome-misreporting bug:
+    // a deadline trip inside `solve_lp` surfaced as an abandoned-subtree
+    // failure and left `infeasible_proven` in a claimable state.
+    let m = feasible_cover_model();
+    for micros in [0u64, 50, 200, 800, 3200] {
+        let params = SolveParams {
+            cancel: Cancellation::with_deadline(Duration::from_micros(micros)),
+            time_limit: None,
+            ..SolveParams::default()
+        };
+        let r = m.solve(&params);
+        assert_ne!(
+            r.status(),
+            SolveStatus::Infeasible,
+            "cancelled search (budget {micros}µs) claimed an infeasibility proof"
+        );
+        assert!(
+            !r.lp_failures(),
+            "cancellation (budget {micros}µs) must not count as an LP failure"
+        );
+    }
+}
+
+#[test]
+fn explicit_cancel_token_behaves_like_a_deadline_trip() {
+    let m = feasible_cover_model();
+    let cancel = Cancellation::new();
+    cancel.cancel();
+    let params = SolveParams {
+        cancel,
+        time_limit: None,
+        ..SolveParams::default()
+    };
+    let r = m.solve(&params);
+    assert_ne!(r.status(), SolveStatus::Infeasible);
+    assert_ne!(r.status(), SolveStatus::Optimal, "nothing was proven");
+    assert!(!r.lp_failures());
 }

@@ -320,6 +320,7 @@ fn select(
         time_limit: GRACE_TIME,
         node_limit: options.node_limit.min(GRACE_NODES),
         cancel: Cancellation::new(),
+        ..options.clone()
     };
     match GreedySolver::new().synthesize(problem, &grace) {
         Ok(s) => Ok(PortfolioResult {

@@ -468,6 +468,7 @@ pub fn supervise(
             time_limit: GRACE_BUDGET,
             node_limit: config.options.node_limit.min(GRACE_NODES),
             cancel: Cancellation::with_deadline(GRACE_BUDGET),
+            ..config.options.clone()
         };
         if let Ok(s) = synthesize_isolated(Backend::Greedy, problem, &grace) {
             if is_sound(problem, &s) {
@@ -535,6 +536,7 @@ fn run_rung(
             time_limit: slice,
             node_limit: config.options.node_limit,
             cancel: token.clone(),
+            ..config.options.clone()
         };
 
         let fault = chaos.fault_for_attempt(backend, relaxation, attempt);
@@ -839,6 +841,34 @@ mod tests {
             err.kind
         );
         assert!(err.to_string().contains("relax"), "{err}");
+    }
+
+    #[test]
+    fn deadline_cancelled_runs_never_claim_infeasibility() {
+        // Regression for the LP outcome split: a deadline tripping in the
+        // middle of branch-and-bound used to be indistinguishable from a
+        // failed LP and could poison the infeasibility proof. Whatever a
+        // feasible problem under an aggressive deadline produces — a win,
+        // a degraded design, or typed exhaustion — it must never be the
+        // supervisor's proven-infeasible verdict.
+        let problem = tiny_problem();
+        for micros in [0u64, 100, 500, 2_000, 10_000] {
+            let config = SupervisorConfig {
+                degrade: false,
+                options: SolveOptions {
+                    cancel: Cancellation::with_deadline(Duration::from_micros(micros)),
+                    ..SolveOptions::quick()
+                },
+                ..SupervisorConfig::default()
+            };
+            match supervise(&problem, &config, &Chaos::disabled()) {
+                Ok(sup) => assert!(is_sound(&sup.problem, &sup.synthesis)),
+                Err(err) => assert!(
+                    !matches!(err.kind, SupervisorErrorKind::Infeasible { .. }),
+                    "deadline trip misreported as infeasibility at {micros}us: {err}"
+                ),
+            }
+        }
     }
 
     #[test]
