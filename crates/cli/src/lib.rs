@@ -13,6 +13,7 @@
 //! troyhls-cli lint <benchmark|file.dfg> [options]
 //! troyhls-cli profile <benchmark|file.dfg> [--samples N] [--distance D]
 //! troyhls-cli serve [options]
+//! troyhls-cli campaign [options]
 //!
 //! synth options:
 //!   --mode detection|recovery     protection level   (default recovery)
@@ -69,6 +70,29 @@
 //!   --chaos-seed N                supervisor fault injection (testing);
 //!                                 TROY_CHAOS=N does the same
 //!
+//! campaign options (runs a seeded Trojan-injection campaign grid: a
+//! stratified corpus — rarity × payload × coalition × trigger shape plus a
+//! clean control — planted into every synthesized design and driven over
+//! the worker pool; exits 1 when a corrupting activation escapes detection
+//! in the hard-guarantee slice or the clean control reports any activity,
+//! printing replayable (seed, cell-id) witnesses):
+//!   --seed N                      master seed (decimal or 0x hex;
+//!                                 default 0xDAC14) — the whole report is
+//!                                 a pure function of it
+//!   --cells N                     deterministic cap on grid cells
+//!   --steps N                     mission steps per cell (default 16)
+//!   --traces N                    input traces per (design, trojan)
+//!   --jobs N                      pool workers    (default: TROY_JOBS/cores)
+//!   --benchmarks a,b,c            built-in benchmarks to synthesize
+//!                                 (default polynom,diff2)
+//!   --mode detection|recovery|both    design modes   (default both)
+//!   --via-daemon                  additionally route one synth request per
+//!                                 cell through a live in-process
+//!                                 troy-service daemon over TCP and
+//!                                 cross-check status/cost/cache coherence
+//!   --json                        emit the full CampaignReport as JSON
+//!                                 (per-cell rows incl. latency_us)
+//!
 //! lint options (problem flags as for synth, plus):
 //!   --solver NAME                 synthesize first, then lint the binding;
 //!                                 without it only pre-solve analysis runs
@@ -105,6 +129,7 @@ use troy_portfolio::{
 use troy_resilience::{
     parse_duration, supervise, Chaos, Supervised, SupervisorConfig, CHAOS_PANIC_MARKER, LADDER,
 };
+use troy_sim::{run_grid, CampaignReport, DesignUnderTest, GridConfig, PayloadKind};
 use troyhls::{
     emit_verilog, implementation_dot, markdown_summary, schedule_chart, AnnealingSolver, Catalog,
     ExactSolver, GreedySolver, IlpSolver, Implementation, Mode, SolveOptions, SynthesisProblem,
@@ -195,11 +220,15 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let rest: Vec<String> = it.cloned().collect();
             serve(&rest, out).map(|()| 0)
         }
+        Some("campaign") => {
+            let rest: Vec<String> = it.cloned().collect();
+            campaign(&rest, out)
+        }
         Some(other) => Err(err(format!(
-            "unknown command `{other}`; expected list|show|synth|batch|lint|profile|serve"
+            "unknown command `{other}`; expected list|show|synth|batch|lint|profile|serve|campaign"
         ))),
         None => Err(err(
-            "usage: troyhls <list|show|synth|batch|lint|profile|serve> ...",
+            "usage: troyhls <list|show|synth|batch|lint|profile|serve|campaign> ...",
         )),
     }
 }
@@ -591,6 +620,326 @@ fn serve(args: &[String], out: &mut String) -> Result<(), CliError> {
         snap.shed_overload, snap.shed_circuit, snap.malformed, snap.panics, snap.cache_hits,
     );
     Ok(())
+}
+
+/// Parses a u64 seed written in decimal or `0x` hex.
+fn parse_seed(v: &str) -> Result<u64, CliError> {
+    v.strip_prefix("0x")
+        .or_else(|| v.strip_prefix("0X"))
+        .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16))
+        .map_err(|_| {
+            err(format!(
+                "--seed: expected a u64 (decimal or 0x hex), got `{v}`"
+            ))
+        })
+}
+
+/// Parses a strictly positive count flag.
+fn parse_count(flag: &str, v: &str) -> Result<usize, CliError> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| err(format!("{flag}: expected a positive number")))
+}
+
+/// `campaign`: run the seeded Trojan-injection campaign grid and gate the
+/// exit code on the hard-guarantee slice (every corrupting memory-less
+/// activation in a `DetectionRecovery` design must be detected) and the
+/// clean negative control (a Trojan-free cell must report zero activity).
+#[allow(clippy::too_many_lines)]
+fn campaign(args: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut config = GridConfig::default();
+    let mut benchmarks = vec!["polynom".to_owned(), "diff2".to_owned()];
+    let mut modes = vec![Mode::DetectionOnly, Mode::DetectionRecovery];
+    let mut jobs = default_jobs();
+    let mut via_daemon = false;
+    let mut json = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => config.seed = parse_seed(take_value(args, &mut i, "--seed")?)?,
+            "--cells" => {
+                config.max_cells = Some(parse_count(
+                    "--cells",
+                    take_value(args, &mut i, "--cells")?,
+                )?);
+            }
+            "--steps" => {
+                config.steps = parse_count("--steps", take_value(args, &mut i, "--steps")?)?;
+            }
+            "--traces" => {
+                config.traces = parse_count("--traces", take_value(args, &mut i, "--traces")?)?;
+            }
+            "--jobs" => jobs = parse_jobs(take_value(args, &mut i, "--jobs")?)?,
+            "--benchmarks" => {
+                benchmarks = take_value(args, &mut i, "--benchmarks")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if benchmarks.is_empty() {
+                    return Err(err(
+                        "--benchmarks: expected a comma-separated list of names",
+                    ));
+                }
+            }
+            "--mode" => {
+                modes = match take_value(args, &mut i, "--mode")? {
+                    "detection" => vec![Mode::DetectionOnly],
+                    "recovery" => vec![Mode::DetectionRecovery],
+                    "both" => vec![Mode::DetectionOnly, Mode::DetectionRecovery],
+                    other => {
+                        return Err(err(format!(
+                            "--mode: expected detection|recovery|both, got `{other}`"
+                        )))
+                    }
+                };
+            }
+            "--via-daemon" => via_daemon = true,
+            "--json" => json = true,
+            other => return Err(err(format!("campaign: unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+
+    let solver = ExactSolver::new();
+    let options = SolveOptions::quick();
+    let mut designs = Vec::with_capacity(benchmarks.len() * modes.len());
+    for name in &benchmarks {
+        for &mode in &modes {
+            designs.push(
+                DesignUnderTest::synthesize(name, mode, &solver, &options)
+                    .map_err(|e| err(format!("campaign: {e}")))?,
+            );
+        }
+    }
+
+    let report = run_grid(&designs, &config, jobs);
+
+    if via_daemon {
+        campaign_via_daemon(&designs, &report, out)?;
+    }
+
+    // The clean negative control: any activity in a Trojan-free cell means
+    // the NC/RC comparator itself is unsound.
+    let clean_violations: Vec<String> = report
+        .cells
+        .iter()
+        .filter(|c| c.spec.kind == PayloadKind::Clean)
+        .filter(|c| {
+            c.activations
+                + c.corrupted
+                + c.detected
+                + c.missed
+                + c.false_alarms
+                + c.recovered
+                + c.recovery_failed
+                > 0
+        })
+        .map(|c| {
+            format!(
+                "FAIL: clean control cell {} reported activity \
+                 (activations {}, false alarms {})",
+                c.id, c.activations, c.false_alarms
+            )
+        })
+        .collect();
+    let escapes = report.guarantee_escapes();
+
+    if json {
+        out.push_str(&report.to_json(true));
+        for v in &clean_violations {
+            eprintln!("{v}");
+        }
+        for e in &escapes {
+            eprintln!(
+                "FAIL: escape in guarantee slice: cell={} step={} \
+                 (replay: troyhls campaign --seed {:#x})",
+                e.cell, e.step, e.seed
+            );
+        }
+    } else {
+        out.push_str(&report.summary_text());
+        // Worst missed cells outside the guarantee slice — data, not
+        // failure: the paper's rare-trigger assumption excludes them.
+        let mut missed: Vec<_> = report.cells.iter().filter(|c| c.missed > 0).collect();
+        missed.sort_by(|a, b| b.missed.cmp(&a.missed).then_with(|| a.id.cmp(&b.id)));
+        if !missed.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {} cells with missed corrupting activations (worst first):",
+                missed.len()
+            );
+            for c in missed.iter().take(8) {
+                let _ = writeln!(out, "    {}  missed {}/{}", c.id, c.missed, c.corrupted);
+            }
+        }
+        for v in &clean_violations {
+            let _ = writeln!(out, "{v}");
+        }
+        for e in &escapes {
+            let _ = writeln!(
+                out,
+                "FAIL: escape in guarantee slice: cell={} step={} \
+                 (replay: troyhls campaign --seed {:#x})",
+                e.cell, e.step, e.seed
+            );
+        }
+        if clean_violations.is_empty() && escapes.is_empty() {
+            let _ = writeln!(
+                out,
+                "campaign gates passed: guarantee slice clean, clean control silent"
+            );
+        }
+    }
+
+    Ok(i32::from(
+        !(clean_violations.is_empty() && escapes.is_empty()),
+    ))
+}
+
+/// Cross-checks the campaign against a live daemon: starts an in-process
+/// [`troy_service::Service`], routes one `synth` request per grid cell
+/// through it over TCP in lockstep (the daemon's slowloris guard treats
+/// frames buffered behind a long synthesis as a stalled peer, so requests
+/// are not pipelined), and requires every response to land
+/// `ok`/`degraded`, every `ok` response for the same (benchmark, mode) to
+/// price identically, and the repeats to hit the daemon's result cache.
+fn campaign_via_daemon(
+    designs: &[DesignUnderTest],
+    report: &CampaignReport,
+    out: &mut String,
+) -> Result<(), CliError> {
+    use std::io::Write as _;
+
+    let service = troy_service::Service::start(troy_service::ServiceConfig::default())
+        .map_err(|e| err(format!("campaign: daemon start: {e}")))?;
+    let addr = service.local_addr();
+
+    let result = daemon_roundtrips(designs, report, addr);
+    // Always drain, even when the round trips failed mid-way.
+    if let Ok(mut stream) = std::net::TcpStream::connect(addr) {
+        let _ = writeln!(stream, "{{\"id\":\"drain\",\"cmd\":\"shutdown\"}}");
+    }
+    let snap = service.join();
+    let ok = result?;
+
+    if report.cells.len() > designs.len() && snap.cache_hits == 0 {
+        return Err(err(
+            "campaign: daemon served repeated problems without a single cache hit",
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "via-daemon: {ok} synth responses over {addr} ({} cache hits, {} degraded)",
+        snap.cache_hits, snap.completed_degraded,
+    );
+    Ok(())
+}
+
+/// Sends one synth request per cell and validates the responses; returns
+/// the number of accepted responses.
+fn daemon_roundtrips(
+    designs: &[DesignUnderTest],
+    report: &CampaignReport,
+    addr: std::net::SocketAddr,
+) -> Result<usize, CliError> {
+    use std::io::{BufRead as _, BufReader, Write as _};
+
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| err(format!("campaign: connect {addr}: {e}")))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| err(format!("campaign: clone socket: {e}")))?,
+    );
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| err(format!("campaign: clone socket: {e}")))?;
+    let mut costs: std::collections::HashMap<(String, &'static str), u64> =
+        std::collections::HashMap::new();
+    let mut ok = 0usize;
+    for c in &report.cells {
+        let d = designs
+            .iter()
+            .find(|d| d.name == c.benchmark && d.problem.mode() == c.mode)
+            .ok_or_else(|| err("campaign: internal: cell without a matching design"))?;
+        let mode = match c.mode {
+            Mode::DetectionOnly => "detection",
+            Mode::DetectionRecovery => "recovery",
+        };
+        writeln!(
+            writer,
+            "{{\"id\":\"{}\",\"cmd\":\"synth\",\"benchmark\":\"{}\",\"mode\":\"{mode}\",\
+             \"catalog\":\"paper8\",\"lambda_det\":{},\"lambda_rec\":{},\"deadline_ms\":20000}}",
+            c.id,
+            c.benchmark,
+            d.problem.detection_latency(),
+            d.problem.recovery_latency(),
+        )
+        .map_err(|e| err(format!("campaign: send to daemon: {e}")))?;
+
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| err(format!("campaign: read from daemon: {e}")))?;
+        let id = scan_json_str(&line, "id").unwrap_or("<none>");
+        if id != c.id {
+            return Err(err(format!(
+                "campaign: daemon answered out of order: expected `{}`, got `{id}`",
+                c.id
+            )));
+        }
+        let status = scan_json_str(&line, "status").unwrap_or("<none>");
+        if status != "ok" && status != "degraded" {
+            return Err(err(format!(
+                "campaign: daemon rejected cell `{}`: status `{status}`",
+                c.id
+            )));
+        }
+        if status == "ok" {
+            let cost = scan_json_u64(&line, "cost").ok_or_else(|| {
+                err(format!(
+                    "campaign: daemon response for `{}` lacks a cost",
+                    c.id
+                ))
+            })?;
+            let key = (c.benchmark.clone(), troy_sim::mode_tag(c.mode));
+            if let Some(&prior) = costs.get(&key) {
+                if prior != cost {
+                    return Err(err(format!(
+                        "campaign: daemon priced {}/{} inconsistently: {prior} then {cost}",
+                        c.benchmark,
+                        troy_sim::mode_tag(c.mode),
+                    )));
+                }
+            } else {
+                costs.insert(key, cost);
+            }
+        }
+        ok += 1;
+    }
+    Ok(ok)
+}
+
+/// Pulls `"key":"value"` out of the daemon's fixed no-spaces JSON format.
+fn scan_json_str<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let at = text.find(&tag)? + tag.len();
+    text[at..].split('"').next()
+}
+
+/// Pulls `"key":<integer>` out of the daemon's fixed no-spaces JSON format.
+fn scan_json_u64(text: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = text.find(&tag)? + tag.len();
+    let digits: String = text[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 /// Quietens the process panic hook for *injected* chaos panics (their
@@ -1667,5 +2016,119 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--jobs"));
+    }
+
+    #[test]
+    fn campaign_small_grid_passes_its_gates() {
+        let (out, code) = cli_with_code(&[
+            "campaign",
+            "--benchmarks",
+            "polynom",
+            "--cells",
+            "12",
+            "--steps",
+            "4",
+            "--seed",
+            "0x5151",
+        ])
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("campaign: seed 0x5151, 12 cells"), "{out}");
+        assert!(out.contains("guarantee slice:"), "{out}");
+        assert!(out.contains("campaign gates passed"), "{out}");
+    }
+
+    #[test]
+    fn campaign_json_is_structured_and_deterministic_across_jobs() {
+        let args = |jobs: &'static str| {
+            vec![
+                "campaign",
+                "--benchmarks",
+                "diff2",
+                "--cells",
+                "10",
+                "--steps",
+                "4",
+                "--seed",
+                "77",
+                "--jobs",
+                jobs,
+                "--json",
+            ]
+        };
+        let (serial, code) = cli_with_code(&args("1")).unwrap();
+        assert_eq!(code, 0, "{serial}");
+        assert!(serial.contains("\"schema\": 1"), "{serial}");
+        assert!(serial.contains("\"rows\": ["), "{serial}");
+        assert!(serial.contains("\"seed\": 77"), "{serial}");
+        let (parallel, _) = cli_with_code(&args("4")).unwrap();
+        // latency_us is wall-clock; everything else must agree.
+        let strip = |s: &str| {
+            s.lines()
+                .map(|l| match l.find(", \"latency_us\":") {
+                    Some(at) => format!("{} }}", &l[..at]),
+                    None => l.to_owned(),
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&serial), strip(&parallel));
+    }
+
+    #[test]
+    fn campaign_mode_filter_restricts_the_designs() {
+        let (out, code) = cli_with_code(&[
+            "campaign",
+            "--benchmarks",
+            "polynom",
+            "--mode",
+            "recovery",
+            "--cells",
+            "6",
+            "--steps",
+            "3",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"mode\": \"rec\""), "{out}");
+        assert!(!out.contains("\"mode\": \"det\""), "{out}");
+    }
+
+    #[test]
+    fn campaign_rejects_bad_flags() {
+        for (args, fragment) in [
+            (vec!["campaign", "--seed", "0xzz"], "--seed"),
+            (vec!["campaign", "--cells", "0"], "--cells"),
+            (vec!["campaign", "--steps", "none"], "--steps"),
+            (vec!["campaign", "--mode", "zen"], "--mode"),
+            (vec!["campaign", "--benchmarks", " , "], "--benchmarks"),
+            (vec!["campaign", "--benchmarks", "nosuch"], "nosuch"),
+            (vec!["campaign", "--jobs", "0"], "--jobs"),
+            (vec!["campaign", "--fast"], "unknown flag"),
+        ] {
+            let e = cli(&args).unwrap_err();
+            assert!(e.0.contains(fragment), "{args:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn campaign_via_daemon_cross_checks_the_serve_path() {
+        let (out, code) = cli_with_code(&[
+            "campaign",
+            "--benchmarks",
+            "polynom",
+            "--cells",
+            "8",
+            "--steps",
+            "3",
+            "--via-daemon",
+        ])
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("via-daemon: 8 synth responses"), "{out}");
+        // 8 cells over 2 designs: the daemon must have served repeats from
+        // its result cache.
+        assert!(!out.contains("0 cache hits"), "{out}");
     }
 }

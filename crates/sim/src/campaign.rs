@@ -15,7 +15,7 @@ use troyhls::{Implementation, License, Mode, SynthesisProblem};
 use crate::controller::PhaseController;
 use crate::datapath::CoreLibrary;
 use crate::semantics::InputVector;
-use crate::trojan::{Payload, Trigger, Trojan};
+use crate::trojan::{rarity_mask, Payload, Trigger, Trojan};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -140,11 +140,7 @@ pub fn run_campaign(
 
     for _ in 0..config.runs {
         let license = licenses[rng.random_range(0..licenses.len())];
-        let mask = if config.rarity_bits >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << config.rarity_bits) - 1
-        };
+        let mask = rarity_mask(config.rarity_bits);
         let pattern = rng.random::<u64>() & mask;
         let mut inputs = InputVector::from_seed(dfg, rng.random());
 
@@ -253,7 +249,10 @@ pub fn naive_reexecution_recovery_rate(
 
     for _ in 0..config.runs {
         let license = licenses[rng.random_range(0..licenses.len())];
-        let mask = (1u64 << config.rarity_bits.min(63)) - 1;
+        // Shares `rarity_mask` with `run_campaign`: the two paths used to
+        // disagree at `rarity_bits >= 64` (this one clamped to 63 and got a
+        // 2^63-1 mask instead of the full word).
+        let mask = rarity_mask(config.rarity_bits);
         let pattern = rng.random::<u64>() & mask;
         let mut library = CoreLibrary::new();
         library.infect(

@@ -41,8 +41,10 @@
 mod campaign;
 mod collusion;
 mod controller;
+mod corpus;
 mod datapath;
 mod fault;
+mod grid;
 mod mission;
 mod profile;
 mod semantics;
@@ -52,10 +54,17 @@ mod trojan;
 pub use campaign::{naive_reexecution_recovery_rate, run_campaign, CampaignConfig, CampaignResult};
 pub use collusion::{collusion_audit, execute_with_collusion, ColludingTrojan, CollusionOutcome};
 pub use controller::{PhaseController, RunReport};
+pub use corpus::{
+    derive_seed, generate_corpus, plant, CorpusConfig, PayloadKind, PlantedTrojan, TrojanSpec,
+};
 pub use datapath::{CoreLibrary, Datapath, PhaseOutputs};
 pub use fault::{recovery_matrix, FaultClass, MatrixCell, RecoveryStrategy};
+pub use grid::{
+    mode_tag, replay_cell, run_grid, CampaignReport, CellOutcome, DesignUnderTest, EscapeWitness,
+    GridConfig,
+};
 pub use mission::{run_mission, MissionReport};
 pub use profile::{profile_related_pairs, profile_related_pairs_with, ProfileConfig};
 pub use semantics::{eval_op, golden_eval, operands, sink_outputs, InputVector};
 pub use trace::trace_run;
-pub use trojan::{Payload, Trigger, Trojan, TrojanState};
+pub use trojan::{rarity_mask, Payload, Trigger, Trojan, TrojanState};

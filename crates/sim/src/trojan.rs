@@ -40,6 +40,19 @@ pub enum Trigger {
     },
 }
 
+/// The operand mask selecting the low `bits` bits — the campaign engines'
+/// shared notion of trigger *rarity* (wider mask = rarer trigger, firing
+/// once per `2^bits` uniform operand values). Saturates at the full word:
+/// `bits >= 64` yields an exact-match mask.
+#[must_use]
+pub fn rarity_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
 impl Trigger {
     /// A combinational trigger matching one exact first-operand value.
     #[must_use]
@@ -245,5 +258,15 @@ mod tests {
     fn state_default_is_clean() {
         assert_eq!(TrojanState::new(), TrojanState::default());
         assert!(!TrojanState::new().is_latched());
+    }
+
+    #[test]
+    fn rarity_mask_saturates_at_word_width() {
+        assert_eq!(rarity_mask(0), 0);
+        assert_eq!(rarity_mask(1), 1);
+        assert_eq!(rarity_mask(12), 0xFFF);
+        assert_eq!(rarity_mask(63), u64::MAX >> 1);
+        assert_eq!(rarity_mask(64), u64::MAX);
+        assert_eq!(rarity_mask(200), u64::MAX);
     }
 }
