@@ -155,10 +155,19 @@ pub enum Code {
     /// was produced on a degraded path and the diversity guarantee was
     /// not machine-checked.
     UncertifiedResponse,
+    /// TS005: the request was served by a backup worker after the shard
+    /// owner selected by the cluster's consistent-hash ring failed
+    /// mid-request or was breaker-demoted at dispatch; the result is
+    /// still byte-equivalent to the owner's answer for the same key.
+    WorkerFailover,
+    /// TS006: the cluster shed the request because no live worker could
+    /// accept it — every worker was dead, draining or breaker-demoted;
+    /// the rejection carries a `retry_after_ms` hint.
+    ClusterUnavailable,
 }
 
 /// Total number of published codes.
-pub const NUM_CODES: usize = 31;
+pub const NUM_CODES: usize = 33;
 
 impl Code {
     /// Every published code, in code order.
@@ -196,6 +205,8 @@ impl Code {
             Code::ConePairCollapse,
             Code::RecoveryConeExposure,
             Code::UncertifiedResponse,
+            Code::WorkerFailover,
+            Code::ClusterUnavailable,
         ]
     }
 
@@ -234,6 +245,8 @@ impl Code {
             Code::ConePairCollapse => "TQ006",
             Code::RecoveryConeExposure => "TQ007",
             Code::UncertifiedResponse => "TS004",
+            Code::WorkerFailover => "TS005",
+            Code::ClusterUnavailable => "TS006",
         }
     }
 
@@ -272,6 +285,8 @@ impl Code {
             Code::ConePairCollapse => "cone-pair-collapse",
             Code::RecoveryConeExposure => "recovery-cone-exposure",
             Code::UncertifiedResponse => "uncertified-response",
+            Code::WorkerFailover => "worker-failover",
+            Code::ClusterUnavailable => "cluster-unavailable",
         }
     }
 
@@ -340,6 +355,12 @@ impl Code {
             Code::UncertifiedResponse => {
                 "the response carries no machine-checked security certificate"
             }
+            Code::WorkerFailover => {
+                "the request was re-dispatched to a backup worker after its shard owner failed"
+            }
+            Code::ClusterUnavailable => {
+                "the cluster shed the request: no live worker could accept it"
+            }
         }
     }
 
@@ -377,7 +398,9 @@ impl Code {
             | Code::TransientRetried
             | Code::ServiceOverloaded
             | Code::CircuitOpen
-            | Code::RequestDeadlineExhausted => None,
+            | Code::RequestDeadlineExhausted
+            | Code::WorkerFailover
+            | Code::ClusterUnavailable => None,
         }
     }
 
@@ -410,7 +433,9 @@ impl Code {
             | Code::BackendFault
             | Code::ServiceOverloaded
             | Code::CircuitOpen
-            | Code::RequestDeadlineExhausted => Severity::Warning,
+            | Code::RequestDeadlineExhausted
+            | Code::WorkerFailover
+            | Code::ClusterUnavailable => Severity::Warning,
             Code::ZeroMobility
             | Code::TightVendorPool
             | Code::RegisterPressure

@@ -40,6 +40,8 @@ const REGISTRY: [(&str, &str, Severity); NUM_CODES] = [
     ("TQ006", "cone-pair-collapse", Severity::Warning),
     ("TQ007", "recovery-cone-exposure", Severity::Note),
     ("TS004", "uncertified-response", Severity::Warning),
+    ("TS005", "worker-failover", Severity::Warning),
+    ("TS006", "cluster-unavailable", Severity::Warning),
 ];
 
 #[test]

@@ -84,6 +84,12 @@ fn sample(code: Code) -> Diagnostic {
         Code::UncertifiedResponse => d.with_fixit(FixIt::advice(
             "re-request with no_degrade or retry once the primary rung recovers",
         )),
+        Code::WorkerFailover => d.with_fixit(FixIt::advice(
+            "the answer is valid; check the demoted worker's health before rebalancing",
+        )),
+        Code::ClusterUnavailable => d.with_fixit(FixIt::advice(
+            "retry after the hinted backoff or add workers to the cluster",
+        )),
     }
 }
 

@@ -70,6 +70,26 @@
 //!   --chaos-seed N                supervisor fault injection (testing);
 //!                                 TROY_CHAOS=N does the same
 //!
+//! cluster options (runs the sharded multi-daemon synthesis cluster from
+//! `troy-cluster`: a router speaking the daemon protocol in front of N
+//! worker daemons, with a shared cache tier, health-checked breakers and
+//! failover re-dispatch; a `shutdown` request drains it):
+//!   --workers N                   worker daemons      (default 2)
+//!   --addr HOST:PORT              router bind address (default 127.0.0.1:0)
+//!   --addr-file PATH              write the bound address to PATH once
+//!                                 listening (atomic; removed on drain)
+//!   --seed N                      consistent-hash ring seed (decimal or
+//!                                 0x hex) — fixes shard placement
+//!   --max-inflight N              per-worker concurrent syntheses (default 4)
+//!   --queue-depth N               per-worker wait queue        (default 8)
+//!   --default-deadline DUR        per-request budget when the request
+//!                                 carries none        (default 30s)
+//!   --drain-deadline DUR          shutdown grace for in-flight work
+//!                                 (default 5s)
+//!   --probe-depth N               peer cache probes per request (default 2)
+//!   --chaos-seed N                router dispatch fault injection
+//!                                 (testing); TROY_CHAOS=N does the same
+//!
 //! campaign options (runs a seeded Trojan-injection campaign grid: a
 //! stratified corpus — rarity × payload × coalition × trigger shape plus a
 //! clean control — planted into every synthesized design and driven over
@@ -220,15 +240,19 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, CliError> {
             let rest: Vec<String> = it.cloned().collect();
             serve(&rest, out).map(|()| 0)
         }
+        Some("cluster") => {
+            let rest: Vec<String> = it.cloned().collect();
+            cluster(&rest, out).map(|()| 0)
+        }
         Some("campaign") => {
             let rest: Vec<String> = it.cloned().collect();
             campaign(&rest, out)
         }
         Some(other) => Err(err(format!(
-            "unknown command `{other}`; expected list|show|synth|batch|lint|profile|serve|campaign"
+            "unknown command `{other}`; expected list|show|synth|batch|lint|profile|serve|cluster|campaign"
         ))),
         None => Err(err(
-            "usage: troyhls <list|show|synth|batch|lint|profile|serve|campaign> ...",
+            "usage: troyhls <list|show|synth|batch|lint|profile|serve|cluster|campaign> ...",
         )),
     }
 }
@@ -600,14 +624,16 @@ fn serve(args: &[String], out: &mut String) -> Result<(), CliError> {
     let service = troy_service::Service::start(config).map_err(|e| err(format!("serve: {e}")))?;
     let addr = service.local_addr();
     if let Some(path) = &addr_file {
-        std::fs::write(path, format!("{addr}\n"))
-            .map_err(|e| err(format!("--addr-file: `{path}`: {e}")))?;
+        write_addr_file(path, addr)?;
     }
     // `out` is only flushed after `run` returns, so the bound address
     // goes to stderr (and the addr file) for anyone waiting on startup.
     eprintln!("troyhls serving on {addr}; send {{\"cmd\":\"shutdown\"}} to drain");
 
     let snap = service.join();
+    if let Some(path) = &addr_file {
+        remove_addr_file(path);
+    }
     let _ = writeln!(out, "serve: drained cleanly on {addr}");
     let _ = writeln!(
         out,
@@ -618,6 +644,134 @@ fn serve(args: &[String], out: &mut String) -> Result<(), CliError> {
         out,
         "  shed: overload {}  circuit {}  malformed {}  panics {}  cache hits {}",
         snap.shed_overload, snap.shed_circuit, snap.malformed, snap.panics, snap.cache_hits,
+    );
+    Ok(())
+}
+
+/// Writes the bound address to `path` atomically: the whole line appears
+/// under the final name via a rename, never a torn partial write, so a
+/// supervisor polling the file cannot read half an address.
+fn write_addr_file(path: &str, addr: std::net::SocketAddr) -> Result<(), CliError> {
+    use std::io::Write as _;
+    let target = std::path::Path::new(path);
+    let tmp = target.with_extension(format!("tmp.{}", std::process::id()));
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(format!("{addr}\n").as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, target)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write.map_err(|e| err(format!("--addr-file: `{path}`: {e}")))
+}
+
+/// Removes the addr file on drain so stale addresses never linger; a
+/// daemon that is gone must not look reachable.
+fn remove_addr_file(path: &str) {
+    let _ = std::fs::remove_file(path);
+}
+
+/// `cluster`: run the sharded multi-daemon synthesis cluster until a
+/// `shutdown` request drains it, then report the router counters.
+#[allow(clippy::too_many_lines)]
+fn cluster(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut config = troy_cluster::ClusterConfig::default();
+    let mut addr_file: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                config.workers = parse_count("--workers", take_value(args, &mut i, "--workers")?)?;
+            }
+            "--addr" => {
+                take_value(args, &mut i, "--addr")?.clone_into(&mut config.addr);
+            }
+            "--addr-file" => {
+                addr_file = Some(take_value(args, &mut i, "--addr-file")?.to_owned());
+            }
+            "--seed" => {
+                config.ring_seed = parse_seed(take_value(args, &mut i, "--seed")?)?;
+            }
+            "--max-inflight" => {
+                config.max_inflight = parse_count(
+                    "--max-inflight",
+                    take_value(args, &mut i, "--max-inflight")?,
+                )?;
+            }
+            "--queue-depth" => {
+                config.queue_depth =
+                    parse_count("--queue-depth", take_value(args, &mut i, "--queue-depth")?)?;
+            }
+            "--default-deadline" => {
+                let v = take_value(args, &mut i, "--default-deadline")?;
+                config.default_deadline = parse_positive_duration("--default-deadline", v)?;
+            }
+            "--drain-deadline" => {
+                let v = take_value(args, &mut i, "--drain-deadline")?;
+                config.drain_deadline = parse_positive_duration("--drain-deadline", v)?;
+            }
+            "--probe-depth" => {
+                config.probe_depth =
+                    parse_count("--probe-depth", take_value(args, &mut i, "--probe-depth")?)?;
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    take_value(args, &mut i, "--chaos-seed")?
+                        .parse()
+                        .map_err(|_| err("--chaos-seed: expected a u64 seed"))?,
+                );
+            }
+            other => return Err(err(format!("cluster: unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+
+    config.chaos = chaos_seed.map_or_else(Chaos::from_env, Chaos::seeded);
+    if config.chaos.is_enabled() {
+        quiet_injected_panics();
+    }
+
+    let workers = config.workers;
+    let cluster = troy_cluster::Cluster::start(config).map_err(|e| err(format!("cluster: {e}")))?;
+    let addr = cluster.local_addr();
+    if let Some(path) = &addr_file {
+        write_addr_file(path, addr)?;
+    }
+    eprintln!(
+        "troyhls cluster routing on {addr} across {workers} workers; \
+         send {{\"cmd\":\"shutdown\"}} to drain"
+    );
+
+    let snap = cluster.join();
+    if let Some(path) = &addr_file {
+        remove_addr_file(path);
+    }
+    let _ = writeln!(out, "cluster: drained cleanly on {addr}");
+    let _ = writeln!(
+        out,
+        "  connections {}  requests {}  ok {}  error {}  relayed rejects {}  sheds {}",
+        snap.connections,
+        snap.requests,
+        snap.routed_ok,
+        snap.routed_error,
+        snap.relayed_rejects,
+        snap.sheds,
+    );
+    let _ = writeln!(
+        out,
+        "  probes {} (hits {})  failovers {}  malformed {}  chaos: kill {} part {} torn {} stall {}",
+        snap.probes,
+        snap.probe_hits,
+        snap.failovers,
+        snap.malformed,
+        snap.chaos_kills,
+        snap.chaos_partitions,
+        snap.chaos_torn,
+        snap.chaos_stalls,
     );
     Ok(())
 }
@@ -2003,6 +2157,89 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("drained cleanly"), "{out}");
         assert!(out.contains("connections 1"), "{out}");
+        assert!(
+            !addr_file.exists(),
+            "a drained daemon must not look reachable: the addr file stays behind"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cluster_rejects_bad_flags() {
+        assert!(cli(&["cluster", "--workers", "0"])
+            .unwrap_err()
+            .0
+            .contains("--workers"));
+        assert!(cli(&["cluster", "--seed", "banana"])
+            .unwrap_err()
+            .0
+            .contains("--seed"));
+        assert!(cli(&["cluster", "--bogus"])
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn cluster_routes_requests_until_a_shutdown_drains_it() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let dir = scratch_dir("cluster");
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let addr_file_arg = addr_file.to_str().unwrap().to_owned();
+        let daemon = std::thread::spawn(move || {
+            cli_with_code(&[
+                "cluster",
+                "--workers",
+                "2",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_arg,
+                "--default-deadline",
+                "5s",
+                "--drain-deadline",
+                "2s",
+            ])
+        });
+        // Wait for the router to publish its bound address.
+        let t0 = std::time::Instant::now();
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.trim().parse::<std::net::SocketAddr>().is_ok() {
+                    break text.trim().to_owned();
+                }
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "cluster never published its address"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"{\"id\":\"p\",\"cmd\":\"ping\"}\n{\"id\":\"bye\",\"cmd\":\"shutdown\"}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\":\"pong\""), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("draining"), "{line}");
+
+        let (out, code) = daemon
+            .join()
+            .expect("cluster thread")
+            .expect("cluster exits ok");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("cluster: drained cleanly"), "{out}");
+        assert!(out.contains("connections 1"), "{out}");
+        assert!(
+            !addr_file.exists(),
+            "a drained cluster must not look reachable: the addr file stays behind"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,42 @@
+//! `troy-cluster`: a sharded multi-daemon synthesis cluster.
+//!
+//! The paper's run-time protection loop assumes re-synthesis stays
+//! available even while individual machines misbehave; `troy-service`
+//! hardened one daemon, and this crate scales that contract out to a
+//! fleet. A [`Cluster`] is a TCP router speaking the exact daemon
+//! protocol in front of N worker daemons, sharding by the portfolio's
+//! content-addressed request keys on a seeded consistent-hash ring:
+//!
+//! - **Shared cache tier** — the key-owning worker's cache is always
+//!   consulted, and workers answer cache lookups for each other over
+//!   the wire (`cmd: "probe"`), so a rebalance or demotion never
+//!   re-spends solved work.
+//! - **Health-checked breakers** — periodic pings plus dispatch error
+//!   rate feed one rationed circuit breaker per worker; a sick worker
+//!   is demoted from dispatch (and promoted back by a single half-open
+//!   trial) without dropping anything in flight.
+//! - **Failover re-dispatch** — a dead or partitioned worker's requests
+//!   are re-hashed to the next live worker on the ring with the
+//!   *remaining* deadline intact, tagged `TS005`.
+//! - **Typed shed** — with no admissible worker the router rejects
+//!   `unavailable` + `TS006` with a `retry_after_ms` hint; worker-side
+//!   overload rejections are relayed with *their* hints verbatim.
+//!
+//! The cluster-level chaos contract (pinned by this crate's soak tests
+//! under seeded worker-kill/stall/partition/torn-frame faults): every
+//! accepted request terminates with a valid certified result, a typed
+//! error, or an explicit shed — no request is silently lost, and
+//! routed answers are identical to a single daemon's for the same key.
+//!
+//! Start one with [`Cluster::start`], or from the CLI via
+//! `troyhls cluster`.
+
+pub mod ring;
+pub mod router;
+pub mod stats;
+pub mod worker;
+
+pub use ring::Ring;
+pub use router::{Cluster, ClusterConfig, ClusterHandle};
+pub use stats::{ClusterSnapshot, ClusterStats};
+pub use worker::{WorkerSlot, WorkerState};

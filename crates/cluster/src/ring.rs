@@ -1,0 +1,168 @@
+//! A seeded consistent-hash ring over worker slots.
+//!
+//! The router places every request by its content-addressed cache key
+//! (`troy_service::request_key`), so two requests describing the same
+//! synthesis problem always land on the same worker and its result cache
+//! fills with exactly the keys it owns. Virtual nodes (`replicas` points
+//! per member) keep the shards balanced, and the classic consistent-hash
+//! property bounds rebalance churn: when a worker joins, the only keys
+//! that move are the ones the joiner now owns — every other key keeps
+//! its owner and therefore its warm cache.
+//!
+//! [`Ring::walk`] returns *all* members in ring order from the key's
+//! position, not just the owner: rank 1 is the shard owner, rank 2 is
+//! the failover target (and, after a join, usually the *previous* owner
+//! — which is why the router's peer-cache probes consult it), and so on.
+//! Membership is append-only; dead or draining workers stay on the ring
+//! and are filtered by the dispatcher, so placement never flaps while a
+//! worker is merely sick.
+
+/// `splitmix64`: the same cheap avalanching mixer the chaos harness and
+/// backoff jitter use, duplicated here so the ring stays self-contained.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded virtual-node consistent-hash ring; members are worker slot
+/// indices.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    seed: u64,
+    replicas: usize,
+    /// Sorted `(point, member)` pairs — the ring itself.
+    points: Vec<(u64, usize)>,
+    members: usize,
+}
+
+impl Ring {
+    /// Builds a ring with `replicas` virtual nodes per member. The seed
+    /// fixes every point position, so two routers configured alike agree
+    /// on placement.
+    #[must_use]
+    pub fn new(seed: u64, replicas: usize, members: &[usize]) -> Self {
+        let mut ring = Ring {
+            seed,
+            replicas: replicas.max(1),
+            points: Vec::new(),
+            members: 0,
+        };
+        ring.rebuild(members);
+        ring
+    }
+
+    /// Recomputes the ring for a new membership list. Point positions
+    /// depend only on `(seed, member, replica)`, never on list order or
+    /// length — the consistent-hash guarantee that a join moves only the
+    /// keys the joiner takes over.
+    pub fn rebuild(&mut self, members: &[usize]) {
+        self.points.clear();
+        self.members = members.len();
+        for &m in members {
+            let base = mix(self.seed ^ mix((m as u64) + 1));
+            for r in 0..self.replicas {
+                let point = mix(base ^ mix(r as u64).rotate_left(23));
+                self.points.push((point, m));
+            }
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Number of members currently on the ring.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// All members in ring order starting at the key's position: index 0
+    /// is the shard owner, index 1 the first failover target, and so on.
+    /// Each member appears exactly once. Empty only when the ring is.
+    #[must_use]
+    pub fn walk(&self, key: (u64, u64)) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let k = mix(key.0 ^ mix(key.1 ^ self.seed));
+        let start = self.points.partition_point(|&(p, _)| p < k);
+        let mut order = Vec::with_capacity(self.members);
+        for i in 0..self.points.len() {
+            let (_, member) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&member) {
+                order.push(member);
+                if order.len() == self.members {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> impl Iterator<Item = (u64, u64)> {
+        (0..n).map(|i| (mix(i), mix(i ^ 0xABCD)))
+    }
+
+    #[test]
+    fn walk_is_deterministic_and_covers_every_member() {
+        let ring = Ring::new(7, 32, &[0, 1, 2]);
+        for key in keys(64) {
+            let walk = ring.walk(key);
+            assert_eq!(walk.len(), 3, "every member appears once");
+            let mut sorted = walk.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            assert_eq!(walk, ring.walk(key), "placement is a pure function");
+        }
+    }
+
+    #[test]
+    fn seeds_shuffle_ownership() {
+        let a = Ring::new(1, 32, &[0, 1, 2, 3]);
+        let b = Ring::new(2, 32, &[0, 1, 2, 3]);
+        let moved = keys(256).filter(|&k| a.walk(k)[0] != b.walk(k)[0]).count();
+        assert!(moved > 0, "different seeds give different placements");
+    }
+
+    #[test]
+    fn join_moves_keys_only_to_the_joiner() {
+        // The consistent-hash contract behind graceful rebalance: adding
+        // w2 may claim keys, but no key may move *between* w0 and w1 —
+        // their caches stay valid for everything they keep.
+        let mut ring = Ring::new(42, 32, &[0, 1]);
+        let before: Vec<usize> = keys(512).map(|k| ring.walk(k)[0]).collect();
+        ring.rebuild(&[0, 1, 2]);
+        let mut claimed = 0;
+        for (key, old_owner) in keys(512).zip(before) {
+            let new_owner = ring.walk(key)[0];
+            if new_owner != old_owner {
+                assert_eq!(new_owner, 2, "only the joiner may take ownership");
+                // The demoted previous owner is the natural peer-cache
+                // probe target: it must be next in the walk.
+                assert_eq!(ring.walk(key)[1], old_owner);
+                claimed += 1;
+            }
+        }
+        assert!(claimed > 0, "the joiner takes a share of the keyspace");
+    }
+
+    #[test]
+    fn virtual_nodes_balance_the_shards() {
+        let ring = Ring::new(9, 64, &[0, 1, 2]);
+        let mut counts = [0usize; 3];
+        for key in keys(3000) {
+            counts[ring.walk(key)[0]] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (500..=1500).contains(&c),
+                "no shard may hold a grossly skewed share: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,975 @@
+//! The cluster router: a TCP front-end that shards synthesis requests
+//! across N `troy-service` worker daemons.
+//!
+//! The router speaks the exact daemon protocol (one JSON request per
+//! line, one response line per request), so a client cannot tell a
+//! cluster from a single daemon except by reading the `stats` trailer.
+//! Placement is by the request's content-addressed cache key on a
+//! seeded consistent-hash ring ([`crate::ring`]); the routing pipeline
+//! for a `synth` is:
+//!
+//! 1. **Key + walk** — derive the cache key, walk the ring: rank 1 is
+//!    the shard owner, later ranks are failover targets.
+//! 2. **Peer cache probes** — before dispatching, probe up to
+//!    `probe_depth` other non-dead workers' caches over the wire
+//!    (`cmd: "probe"`); a hit is relayed as-is, certificate included.
+//!    The dispatch head checks its own cache inline, so it is never
+//!    probed. This is the shared cache tier: after a rebalance or a
+//!    demotion, the previous owner's warm results keep serving.
+//! 3. **Dispatch with failover** — forward to the first live worker
+//!    whose rationed [`Breaker`](troy_service::Breaker) admits, with
+//!    `deadline_ms` rewritten to the *remaining* budget. A transport
+//!    failure (dead worker, torn frame, partition) records a breaker
+//!    failure and re-dispatches to the next candidate with the
+//!    remaining deadline intact; the served response gains a `TS005`
+//!    diagnostic whenever a non-owner answered.
+//! 4. **Typed shed** — with no admissible worker at all, the router
+//!    sheds `unavailable` + `TS006` with a `retry_after_ms` hint taken
+//!    from the breakers. Worker-issued rejections (overload, draining)
+//!    are relayed verbatim — their `retry_after_ms` comes from the
+//!    worker that owns the queue, not from a router constant — tagged
+//!    with the worker's name.
+//!
+//! A health-check thread pings every non-dead worker each
+//! `health_interval` through the same breaker (`admit` → ping →
+//! outcome), so a sick worker is demoted from dispatch by its breaker
+//! and promoted back by a successful half-open probe, without any state
+//! change a request could race against.
+//!
+//! Chaos: with a seeded [`Chaos`] handle the router injects
+//! [`ClusterFault`]s at dispatch sites — worker kill, stall, partition,
+//! torn frame — which is how the cluster-level soak drives the
+//! never-lost contract: every accepted request terminates with a valid
+//! certified result, a typed error, or an explicit shed carrying
+//! `retry_after_ms`.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use troy_analysis::Code;
+use troy_resilience::{Chaos, ClusterFault};
+use troy_service::{
+    parse_request, request_key, BreakerConfig, BreakerDecision, Cmd, Json, RejectKind, Request,
+    Response, Service, ServiceConfig, StatsSnapshot, MAX_LINE,
+};
+
+use crate::ring::Ring;
+use crate::stats::{ClusterSnapshot, ClusterStats};
+use crate::worker::{WorkerSlot, WorkerState};
+
+/// How the cluster runs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Router bind address (`:0` picks a free port).
+    pub addr: String,
+    /// In-process worker daemons to spawn (each binds `127.0.0.1:0`).
+    pub workers: usize,
+    /// Consistent-hash ring seed; fixes placement.
+    pub ring_seed: u64,
+    /// Virtual nodes per worker on the ring.
+    pub replicas: usize,
+    /// Non-head workers whose caches are probed before a dispatch.
+    pub probe_depth: usize,
+    /// Deadline applied when a request carries no `deadline_ms`.
+    pub default_deadline: Duration,
+    /// How long the final drain waits for router connections.
+    pub drain_deadline: Duration,
+    /// Slowloris bound for frames arriving at the router.
+    pub frame_deadline: Duration,
+    /// Extra wait past a request's deadline for the worker's own typed
+    /// deadline response to arrive before the router fails over.
+    pub dispatch_grace: Duration,
+    /// Budget for one peer cache probe round trip.
+    pub probe_timeout: Duration,
+    /// Period of the health-check ping loop.
+    pub health_interval: Duration,
+    /// Budget for one health-check ping round trip.
+    pub health_timeout: Duration,
+    /// Per-worker rationed breaker policy (dispatch + health outcomes).
+    pub worker_breaker: BreakerConfig,
+    /// Per-worker admission: concurrent syntheses.
+    pub max_inflight: usize,
+    /// Per-worker admission: bounded queue depth.
+    pub queue_depth: usize,
+    /// Cluster-fault injector (dispatch-site faults only; the workers
+    /// themselves run without chaos so results stay deterministic).
+    pub chaos: Chaos,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            ring_seed: 0x7452_6f79, // "tRoy"
+            replicas: 32,
+            probe_depth: 2,
+            default_deadline: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
+            frame_deadline: Duration::from_secs(2),
+            dispatch_grace: Duration::from_millis(500),
+            probe_timeout: Duration::from_millis(250),
+            health_interval: Duration::from_millis(500),
+            health_timeout: Duration::from_millis(250),
+            worker_breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_secs(2),
+            },
+            max_inflight: 4,
+            queue_depth: 8,
+            chaos: Chaos::disabled(),
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection, the health thread
+/// and the handle.
+struct Shared {
+    stats: ClusterStats,
+    /// Append-only: slots are cordoned or killed, never removed, so
+    /// ring member indices stay stable.
+    workers: RwLock<Vec<Arc<WorkerSlot>>>,
+    ring: RwLock<Ring>,
+    draining: AtomicBool,
+    connections_live: AtomicU64,
+    chaos: Chaos,
+    probe_depth: usize,
+    default_deadline: Duration,
+    frame_deadline: Duration,
+    dispatch_grace: Duration,
+    probe_timeout: Duration,
+    health_interval: Duration,
+    health_timeout: Duration,
+    ring_seed: u64,
+    replicas: usize,
+    worker_breaker: BreakerConfig,
+    /// Template for newly joined workers (`addr` re-set per spawn).
+    worker_template: ServiceConfig,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn worker_snapshot(&self) -> Vec<Arc<WorkerSlot>> {
+        self.workers.read().expect("workers lock").clone()
+    }
+
+    fn stats_json(&self) -> String {
+        self.stats.snapshot().to_json()
+    }
+}
+
+/// A running cluster: router + workers + health loop.
+pub struct Cluster {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    health: JoinHandle<()>,
+    drain_deadline: Duration,
+}
+
+/// A handle that can observe and steer the cluster from another thread
+/// (and from tests: kill, cordon, join workers).
+#[derive(Clone)]
+pub struct ClusterHandle {
+    shared: Arc<Shared>,
+}
+
+impl Cluster {
+    /// Spawns `config.workers` in-process daemons, binds the router and
+    /// starts the accept and health loops.
+    ///
+    /// # Errors
+    /// Propagates bind failures (router or any worker).
+    #[allow(clippy::needless_pass_by_value)] // mirrors Service::start
+    pub fn start(config: ClusterConfig) -> std::io::Result<Cluster> {
+        let worker_template = ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_inflight: config.max_inflight,
+            queue_depth: config.queue_depth,
+            default_deadline: config.default_deadline,
+            drain_deadline: config.drain_deadline,
+            frame_deadline: config.frame_deadline,
+            ..ServiceConfig::default()
+        };
+        let mut slots = Vec::with_capacity(config.workers);
+        for i in 0..config.workers.max(1) {
+            slots.push(Arc::new(spawn_worker(
+                i,
+                &worker_template,
+                config.worker_breaker,
+            )?));
+        }
+        let members: Vec<usize> = (0..slots.len()).collect();
+        let ring = Ring::new(config.ring_seed, config.replicas, &members);
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            stats: ClusterStats::default(),
+            workers: RwLock::new(slots),
+            ring: RwLock::new(ring),
+            draining: AtomicBool::new(false),
+            connections_live: AtomicU64::new(0),
+            chaos: config.chaos,
+            probe_depth: config.probe_depth,
+            default_deadline: config.default_deadline,
+            frame_deadline: config.frame_deadline,
+            dispatch_grace: config.dispatch_grace,
+            probe_timeout: config.probe_timeout,
+            health_interval: config.health_interval,
+            health_timeout: config.health_timeout,
+            ring_seed: config.ring_seed,
+            replicas: config.replicas,
+            worker_breaker: config.worker_breaker,
+            worker_template,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || health_loop(&shared))
+        };
+        Ok(Cluster {
+            local_addr,
+            shared,
+            accept,
+            health,
+            drain_deadline: config.drain_deadline,
+        })
+    }
+
+    /// The router's bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A steering handle, cloneable across threads.
+    #[must_use]
+    pub fn handle(&self) -> ClusterHandle {
+        ClusterHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Point-in-time router counters.
+    #[must_use]
+    pub fn stats(&self) -> ClusterSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Blocks until the cluster has drained (a `shutdown` request or
+    /// [`ClusterHandle::shutdown`]), gracefully drains every worker
+    /// daemon, and returns the final router counters.
+    #[must_use]
+    pub fn join(self) -> ClusterSnapshot {
+        while !self.shared.is_draining() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let _ = self.accept.join();
+        let _ = self.health.join();
+        let drained_by = Instant::now() + self.drain_deadline;
+        while self.shared.connections_live.load(Ordering::SeqCst) > 0 && Instant::now() < drained_by
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for slot in self.shared.worker_snapshot() {
+            let _ = slot.shutdown_service();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+impl ClusterHandle {
+    /// Begins a graceful drain of the whole cluster. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a drain has begun.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Point-in-time router counters.
+    #[must_use]
+    pub fn stats(&self) -> ClusterSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Number of worker slots ever started (including dead ones).
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers.read().expect("workers lock").len()
+    }
+
+    /// Lifecycle state of worker `i`.
+    #[must_use]
+    pub fn worker_state(&self, i: usize) -> Option<WorkerState> {
+        self.shared.worker_snapshot().get(i).map(|s| s.state())
+    }
+
+    /// Serve-path counters of worker `i`'s daemon.
+    #[must_use]
+    pub fn worker_stats(&self, i: usize) -> Option<StatsSnapshot> {
+        self.shared
+            .worker_snapshot()
+            .get(i)
+            .map(|s| s.service_stats())
+    }
+
+    /// Crash-stops worker `i` (the chaos harness's kill primitive):
+    /// in-flight responses are dropped, the router observes EOF and
+    /// re-dispatches. Returns `false` for an unknown index.
+    pub fn kill_worker(&self, i: usize) -> bool {
+        match self.shared.worker_snapshot().get(i) {
+            Some(slot) => {
+                slot.kill();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cordons worker `i` for graceful rebalance: no new syntheses are
+    /// dispatched to it, in-flight work finishes, and its warm cache
+    /// keeps answering peer probes until the cluster's final drain.
+    /// Returns `false` for an unknown index.
+    pub fn drain_worker(&self, i: usize) -> bool {
+        match self.shared.worker_snapshot().get(i) {
+            Some(slot) => {
+                slot.cordon();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Spawns one more in-process worker and rebalances the ring onto
+    /// it. Only the keys the joiner now owns move (see
+    /// [`Ring::rebuild`]); everything else keeps its warm cache.
+    ///
+    /// # Errors
+    /// Propagates the new daemon's bind failure.
+    pub fn add_worker(&self) -> std::io::Result<usize> {
+        let mut workers = self.shared.workers.write().expect("workers lock");
+        let idx = workers.len();
+        let slot = spawn_worker(
+            idx,
+            &self.shared.worker_template,
+            self.shared.worker_breaker,
+        )?;
+        workers.push(Arc::new(slot));
+        let members: Vec<usize> = (0..workers.len()).collect();
+        let mut ring = self.shared.ring.write().expect("ring lock");
+        let mut rebuilt = Ring::new(self.shared.ring_seed, self.shared.replicas, &members);
+        std::mem::swap(&mut *ring, &mut rebuilt);
+        Ok(idx)
+    }
+
+    /// The ring walk a request's cache key resolves to: index 0 is the
+    /// shard owner, later entries the failover order. Lets tests (and
+    /// operators) predict placement.
+    ///
+    /// # Errors
+    /// The request does not describe a well-formed synthesis problem.
+    pub fn placement(&self, request: &Request) -> Result<Vec<usize>, String> {
+        let key = request_key(request)?;
+        Ok(self
+            .shared
+            .ring
+            .read()
+            .expect("ring lock")
+            .walk(key.halves()))
+    }
+}
+
+fn spawn_worker(
+    idx: usize,
+    template: &ServiceConfig,
+    breaker: BreakerConfig,
+) -> std::io::Result<WorkerSlot> {
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..template.clone()
+    };
+    let service = Service::start(config)?;
+    Ok(WorkerSlot::new(format!("w{idx}"), service, breaker))
+}
+
+/// Accepts until drain begins (same nonblocking poll as the daemon).
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.is_draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ClusterStats::bump(&shared.stats.connections);
+                shared.connections_live.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.connections_live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Pings every non-dead worker each `health_interval` through its
+/// rationed breaker: `admit` gates the ping (an open breaker cools
+/// down untouched; half-open admits exactly one trial), and the ping's
+/// outcome is the recorded evidence. Dispatch outcomes feed the same
+/// breaker, so error rate and liveness jointly demote a worker.
+fn health_loop(shared: &Arc<Shared>) {
+    while !shared.is_draining() {
+        std::thread::sleep(shared.health_interval);
+        for slot in shared.worker_snapshot() {
+            if slot.state() == WorkerState::Dead {
+                continue;
+            }
+            match slot.breaker.admit(Instant::now()) {
+                BreakerDecision::Reject { .. } => continue,
+                BreakerDecision::Admit { .. } => {}
+            }
+            let ok = matches!(
+                roundtrip(slot.addr, "{\"id\":\"hc\",\"cmd\":\"ping\"}", shared.health_timeout),
+                Ok(line) if line.contains("\"status\":\"pong\"")
+            );
+            let now = Instant::now();
+            if ok {
+                slot.breaker.record_success(now);
+            } else {
+                slot.breaker.record_failure(now);
+            }
+        }
+    }
+}
+
+/// Reads frames off one router connection (same bounded-frame contract
+/// as the daemon: `MAX_LINE`, slowloris deadline, one response per
+/// request).
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut frame_start: Option<Instant> = None;
+    loop {
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            frame_start = if buf.is_empty() {
+                None
+            } else {
+                Some(Instant::now())
+            };
+            let line = String::from_utf8_lossy(&line[..nl]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serve_line(&line, shared, &mut stream) {
+                LineVerdict::KeepGoing => {}
+                LineVerdict::Close => return,
+            }
+        }
+        if shared.is_draining() {
+            return;
+        }
+        if buf.len() > MAX_LINE {
+            let reject = Response::reject(
+                None,
+                RejectKind::Malformed,
+                format!("frame exceeds the {MAX_LINE}-byte line limit"),
+            );
+            ClusterStats::bump(&shared.stats.malformed);
+            let _ = write_line(&mut stream, &reject.render_with(&shared.stats_json()));
+            return;
+        }
+        if let Some(t0) = frame_start {
+            if t0.elapsed() > shared.frame_deadline {
+                let reject = Response::reject(
+                    None,
+                    RejectKind::Malformed,
+                    format!(
+                        "partial frame: no newline within {:?} of the first byte",
+                        shared.frame_deadline
+                    ),
+                );
+                ClusterStats::bump(&shared.stats.malformed);
+                let _ = write_line(&mut stream, &reject.render_with(&shared.stats_json()));
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                if buf.is_empty() && frame_start.is_none() {
+                    frame_start = Some(Instant::now());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+enum LineVerdict {
+    KeepGoing,
+    Close,
+}
+
+/// Parses and routes one frame, writing exactly one response line.
+fn serve_line(line: &str, shared: &Arc<Shared>, stream: &mut TcpStream) -> LineVerdict {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            ClusterStats::bump(&shared.stats.malformed);
+            let reject = Response::reject(None, RejectKind::Malformed, msg);
+            let _ = write_line(stream, &reject.render_with(&shared.stats_json()));
+            return LineVerdict::Close;
+        }
+    };
+    let id = request.id.clone();
+    let close_after = request.cmd == Cmd::Shutdown;
+    let rendered = match catch_unwind(AssertUnwindSafe(|| route(line, &request, shared))) {
+        Ok(rendered) => rendered,
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            let reject = Response::reject(
+                Some(&id),
+                RejectKind::Internal,
+                format!("router panicked: {detail}"),
+            );
+            reject.render_with(&shared.stats_json())
+        }
+    };
+    if write_line(stream, &rendered).is_err() || close_after {
+        LineVerdict::Close
+    } else {
+        LineVerdict::KeepGoing
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    let mut out = String::with_capacity(line.len() + 1);
+    out.push_str(line);
+    out.push('\n');
+    stream.write_all(out.as_bytes())
+}
+
+/// Routes one parsed request and returns the fully rendered response
+/// line (local responses carry the cluster `stats` trailer; relayed
+/// worker responses have it substituted in).
+fn route(line: &str, request: &Request, shared: &Arc<Shared>) -> String {
+    match request.cmd {
+        Cmd::Ping => Response::outcome(&request.id, "pong").render_with(&shared.stats_json()),
+        Cmd::Stats => Response::outcome(&request.id, "ok").render_with(&shared.stats_json()),
+        Cmd::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let mut r = Response::outcome(&request.id, "ok");
+            r.message = Some("draining: the cluster no longer accepts requests".to_owned());
+            r.render_with(&shared.stats_json())
+        }
+        Cmd::Synth => dispatch_synth(line, request, shared),
+        Cmd::Probe => dispatch_probe(line, request, shared),
+    }
+}
+
+/// Full routing pipeline for one `synth` (see the module docs).
+fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String {
+    ClusterStats::bump(&shared.stats.requests);
+    let key = match request_key(request) {
+        Ok(k) => k,
+        Err(msg) => {
+            ClusterStats::bump(&shared.stats.routed_error);
+            return Response::reject(Some(&request.id), RejectKind::BadRequest, msg)
+                .render_with(&shared.stats_json());
+        }
+    };
+    let deadline = request.deadline.unwrap_or(shared.default_deadline);
+    let t_end = Instant::now() + deadline;
+    // Ring before workers: membership is append-only and `add_worker`
+    // pushes the slot before rebuilding the ring, so reading in this
+    // order guarantees every walked index resolves to a slot.
+    let walk = shared.ring.read().expect("ring lock").walk(key.halves());
+    let workers = shared.worker_snapshot();
+    let owner = walk.first().copied();
+    // The raw frame re-parsed as JSON so the forwarded copies (probe
+    // command, rewritten deadline) preserve every original field.
+    let Some(frame) = Json::parse(line) else {
+        // parse_request accepted it, so this cannot happen; shed typed.
+        ClusterStats::bump(&shared.stats.routed_error);
+        return Response::reject(Some(&request.id), RejectKind::Internal, "unroutable frame")
+            .render_with(&shared.stats_json());
+    };
+
+    // Peer cache tier: probe other workers' caches before spending a
+    // solver anywhere. The predicted dispatch head is excluded — it
+    // will consult its own cache inline when the synth arrives.
+    let head = walk
+        .iter()
+        .copied()
+        .find(|&i| workers[i].is_dispatchable() && !workers[i].breaker.is_open(Instant::now()));
+    let probe_line = with_cmd(&frame, "probe");
+    let probe_targets: Vec<usize> = walk
+        .iter()
+        .copied()
+        .filter(|&i| Some(i) != head && workers[i].is_probeable())
+        .take(shared.probe_depth)
+        .collect();
+    for i in probe_targets {
+        ClusterStats::bump(&shared.stats.probes);
+        let slot = &workers[i];
+        match roundtrip(slot.addr, &probe_line, shared.probe_timeout) {
+            Ok(resp) => {
+                slot.breaker.record_success(Instant::now());
+                let parsed = Json::parse(&resp);
+                if parsed
+                    .as_ref()
+                    .and_then(|j| j.get("status"))
+                    .and_then(Json::as_str)
+                    == Some("ok")
+                {
+                    ClusterStats::bump(&shared.stats.probe_hits);
+                    ClusterStats::bump(&shared.stats.routed_ok);
+                    let failover = Some(i) != owner;
+                    if let Some(out) = annotate(&resp, &slot.name, failover, shared) {
+                        return out;
+                    }
+                }
+            }
+            Err(_) => slot.breaker.record_failure(Instant::now()),
+        }
+    }
+
+    // Dispatch with failover: walk order, live workers whose breaker
+    // admits, one attempt each, remaining deadline carried forward.
+    let mut attempt = 0usize;
+    let mut failovers = 0usize;
+    let mut attempted_any = false;
+    let mut reject_hints: Vec<Duration> = Vec::new();
+    for &i in &walk {
+        let slot = &workers[i];
+        if !slot.is_dispatchable() {
+            continue;
+        }
+        match slot.breaker.admit(Instant::now()) {
+            BreakerDecision::Reject { retry_after } => {
+                reject_hints.push(retry_after);
+                continue;
+            }
+            BreakerDecision::Admit { .. } => {}
+        }
+        attempted_any = true;
+        let mut remaining = t_end.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return deadline_error(request, failovers, shared);
+        }
+        // Chaos: dispatch-site fault injection. Kill, partition and
+        // torn-frame all consume this candidate (the transport failed);
+        // a stall only delays it.
+        match shared.chaos.fault_for_dispatch(i, key.halves().0, attempt) {
+            Some(ClusterFault::WorkerKill) => {
+                ClusterStats::bump(&shared.stats.chaos_kills);
+                slot.kill();
+                slot.breaker.record_failure(Instant::now());
+                failovers += 1;
+                ClusterStats::bump(&shared.stats.failovers);
+                attempt += 1;
+                continue;
+            }
+            Some(ClusterFault::Partition) => {
+                ClusterStats::bump(&shared.stats.chaos_partitions);
+                slot.breaker.record_failure(Instant::now());
+                failovers += 1;
+                ClusterStats::bump(&shared.stats.failovers);
+                attempt += 1;
+                continue;
+            }
+            Some(ClusterFault::TornFrame) => {
+                ClusterStats::bump(&shared.stats.chaos_torn);
+                send_torn_frame(slot.addr, &with_deadline(&frame, remaining));
+                slot.breaker.record_failure(Instant::now());
+                failovers += 1;
+                ClusterStats::bump(&shared.stats.failovers);
+                attempt += 1;
+                continue;
+            }
+            Some(ClusterFault::WorkerStall(d)) => {
+                ClusterStats::bump(&shared.stats.chaos_stalls);
+                std::thread::sleep(d.min(remaining));
+                remaining = t_end.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return deadline_error(request, failovers, shared);
+                }
+            }
+            None => {}
+        }
+        attempt += 1;
+        let dispatch_line = with_deadline(&frame, remaining);
+        if let Ok(resp) = roundtrip(slot.addr, &dispatch_line, remaining + shared.dispatch_grace) {
+            let Some(parsed) = Json::parse(&resp) else {
+                // A garbled frame is transport failure, not truth.
+                slot.breaker.record_failure(Instant::now());
+                failovers += 1;
+                ClusterStats::bump(&shared.stats.failovers);
+                continue;
+            };
+            slot.breaker.record_success(Instant::now());
+            let status = parsed.get("status").and_then(Json::as_str).unwrap_or("");
+            match status {
+                "ok" | "degraded" | "miss" => ClusterStats::bump(&shared.stats.routed_ok),
+                "error" => ClusterStats::bump(&shared.stats.routed_error),
+                _ => ClusterStats::bump(&shared.stats.relayed_rejects),
+            }
+            let failover = failovers > 0 || Some(i) != owner;
+            if let Some(out) = annotate(&resp, &slot.name, failover, shared) {
+                return out;
+            }
+            // Unannotatable yet parseable cannot happen (annotate only
+            // fails on non-objects); relay verbatim as a last resort
+            // rather than dropping the request.
+            return resp;
+        }
+        slot.breaker.record_failure(Instant::now());
+        failovers += 1;
+        ClusterStats::bump(&shared.stats.failovers);
+    }
+
+    if attempted_any {
+        // Every admitted candidate failed mid-flight: a typed error, so
+        // the client knows work may have been attempted.
+        ClusterStats::bump(&shared.stats.routed_error);
+        let mut r = Response::reject(
+            Some(&request.id),
+            RejectKind::Failed,
+            "every live worker failed during dispatch",
+        );
+        if failovers > 0 {
+            r.codes.push(Code::WorkerFailover.as_str().to_owned());
+        }
+        return r.render_with(&shared.stats_json());
+    }
+
+    // Nothing was even admitted: the explicit cluster shed. The retry
+    // hint comes from the workers' breakers where one exists.
+    ClusterStats::bump(&shared.stats.sheds);
+    let mut r = Response::reject(
+        Some(&request.id),
+        RejectKind::Unavailable,
+        "no live worker could accept the request",
+    );
+    let hint = reject_hints
+        .iter()
+        .min()
+        .copied()
+        .unwrap_or(Duration::from_millis(100));
+    r.retry_after_ms = Some(hint.as_millis().max(1) as u64);
+    r.codes = vec![Code::ClusterUnavailable.as_str().to_owned()];
+    r.render_with(&shared.stats_json())
+}
+
+/// A client-facing `probe`: consult every non-dead worker's cache in
+/// walk order; the first hit is relayed, otherwise `miss`.
+fn dispatch_probe(line: &str, request: &Request, shared: &Arc<Shared>) -> String {
+    ClusterStats::bump(&shared.stats.requests);
+    let key = match request_key(request) {
+        Ok(k) => k,
+        Err(msg) => {
+            ClusterStats::bump(&shared.stats.routed_error);
+            return Response::reject(Some(&request.id), RejectKind::BadRequest, msg)
+                .render_with(&shared.stats_json());
+        }
+    };
+    // Ring before workers (see dispatch_synth): every walked index
+    // then resolves to a slot.
+    let walk = shared.ring.read().expect("ring lock").walk(key.halves());
+    let workers = shared.worker_snapshot();
+    let owner = walk.first().copied();
+    for &i in &walk {
+        let slot = &workers[i];
+        if !slot.is_probeable() {
+            continue;
+        }
+        ClusterStats::bump(&shared.stats.probes);
+        match roundtrip(slot.addr, line, shared.probe_timeout) {
+            Ok(resp) => {
+                slot.breaker.record_success(Instant::now());
+                let parsed = Json::parse(&resp);
+                if parsed
+                    .as_ref()
+                    .and_then(|j| j.get("status"))
+                    .and_then(Json::as_str)
+                    == Some("ok")
+                {
+                    ClusterStats::bump(&shared.stats.probe_hits);
+                    ClusterStats::bump(&shared.stats.routed_ok);
+                    let failover = Some(i) != owner;
+                    if let Some(out) = annotate(&resp, &slot.name, failover, shared) {
+                        return out;
+                    }
+                }
+            }
+            Err(_) => slot.breaker.record_failure(Instant::now()),
+        }
+    }
+    ClusterStats::bump(&shared.stats.routed_ok);
+    Response::outcome(&request.id, "miss").render_with(&shared.stats_json())
+}
+
+/// The typed deadline error for a request whose budget ran out while
+/// the router was still trying candidates.
+fn deadline_error(request: &Request, failovers: usize, shared: &Arc<Shared>) -> String {
+    ClusterStats::bump(&shared.stats.routed_error);
+    let mut r = Response::reject(
+        Some(&request.id),
+        RejectKind::Deadline,
+        "deadline exhausted during cluster dispatch",
+    );
+    r.codes
+        .push(Code::RequestDeadlineExhausted.as_str().to_owned());
+    if failovers > 0 {
+        r.codes.push(Code::WorkerFailover.as_str().to_owned());
+    }
+    r.render_with(&shared.stats_json())
+}
+
+/// One full request/response round trip against a worker: connect,
+/// send the frame, read one line within `budget`.
+fn roundtrip(addr: SocketAddr, line: &str, budget: Duration) -> std::io::Result<String> {
+    let t_end = Instant::now() + budget;
+    let mut stream = TcpStream::connect_timeout(&addr, budget.min(Duration::from_secs(1)))?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut out = String::with_capacity(line.len() + 1);
+    out.push_str(line);
+    out.push('\n');
+    stream.write_all(out.as_bytes())?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            return Ok(String::from_utf8_lossy(&buf[..nl]).into_owned());
+        }
+        if Instant::now() >= t_end {
+            return Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "no response line within the dispatch budget",
+            ));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "worker closed before responding",
+                ))
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The torn-frame chaos fault: deliver roughly half the frame, no
+/// newline, then slam the connection shut.
+fn send_torn_frame(addr: SocketAddr, line: &str) {
+    if let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+        let torn = &line.as_bytes()[..line.len() / 2];
+        let _ = stream.write_all(torn);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Re-renders the original frame with `cmd` replaced (field order and
+/// everything else preserved).
+fn with_cmd(frame: &Json, cmd: &str) -> String {
+    rewrite(frame, "cmd", Json::Str(cmd.to_owned()))
+}
+
+/// Re-renders the original frame with `deadline_ms` set to the
+/// remaining budget — failover re-dispatch never restarts the clock.
+fn with_deadline(frame: &Json, remaining: Duration) -> String {
+    let ms = (remaining.as_millis() as u64).max(1);
+    rewrite(frame, "deadline_ms", Json::Num(ms))
+}
+
+fn rewrite(frame: &Json, key: &str, value: Json) -> String {
+    let mut frame = frame.clone();
+    if let Json::Obj(fields) = &mut frame {
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => fields.push((key.to_owned(), value)),
+        }
+    }
+    frame.render()
+}
+
+/// Relay surgery on a worker response line: substitute the cluster's
+/// `stats` trailer, tag rejections/errors with the serving worker's
+/// name, and append `TS005` when a non-owner served the request. Field
+/// order is preserved so relayed responses stay byte-comparable with
+/// single-daemon ones (modulo exactly these fields).
+fn annotate(resp: &str, worker: &str, failover: bool, shared: &Arc<Shared>) -> Option<String> {
+    let mut json = Json::parse(resp)?;
+    let Json::Obj(fields) = &mut json else {
+        return None;
+    };
+    let status = fields
+        .iter()
+        .find(|(k, _)| k == "status")
+        .and_then(|(_, v)| v.as_str())
+        .unwrap_or("")
+        .to_owned();
+    if failover {
+        let code = Json::Str(Code::WorkerFailover.as_str().to_owned());
+        if let Some((_, Json::Arr(codes))) = fields.iter_mut().find(|(k, _)| k == "codes") {
+            if !codes
+                .iter()
+                .any(|c| c.as_str() == Some(Code::WorkerFailover.as_str()))
+            {
+                codes.push(code);
+            }
+        } else {
+            let at = fields
+                .iter()
+                .position(|(k, _)| k == "stats")
+                .unwrap_or(fields.len());
+            fields.insert(at, ("codes".to_owned(), Json::Arr(vec![code])));
+        }
+    }
+    if matches!(status.as_str(), "rejected" | "error") {
+        let at = fields
+            .iter()
+            .position(|(k, _)| k == "stats")
+            .unwrap_or(fields.len());
+        fields.insert(at, ("worker".to_owned(), Json::Str(worker.to_owned())));
+    }
+    let stats = Json::parse(&shared.stats_json())?;
+    match fields.iter_mut().find(|(k, _)| k == "stats") {
+        Some(slot) => slot.1 = stats,
+        None => fields.push(("stats".to_owned(), stats)),
+    }
+    Some(json.render())
+}

@@ -1,0 +1,138 @@
+//! Router-path counters, reported in every response's `stats` trailer.
+//!
+//! The router substitutes its own counters for the worker's in every
+//! relayed response, so a client always sees cluster-level health in the
+//! same frame position a single daemon reports its own.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters for the cluster router. All increments are
+/// relaxed — monotonic telemetry, not synchronization.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    /// Connections accepted by the router.
+    pub connections: AtomicU64,
+    /// Routable requests received (`synth` + `probe`).
+    pub requests: AtomicU64,
+    /// Requests relayed with an `ok`, `degraded` or `miss` outcome.
+    pub routed_ok: AtomicU64,
+    /// Requests relayed with (or terminated by) a typed `error`.
+    pub routed_error: AtomicU64,
+    /// Worker rejections (overload, draining…) relayed to the client.
+    pub relayed_rejects: AtomicU64,
+    /// Requests shed by the router itself: no live worker could accept
+    /// (`unavailable` + TS006).
+    pub sheds: AtomicU64,
+    /// Peer cache probes sent to workers.
+    pub probes: AtomicU64,
+    /// Peer cache probes answered with a hit.
+    pub probe_hits: AtomicU64,
+    /// Dispatch attempts re-hashed to a backup worker after a transport
+    /// failure or injected fault.
+    pub failovers: AtomicU64,
+    /// Lines that failed protocol parsing at the router.
+    pub malformed: AtomicU64,
+    /// Injected worker-kill faults.
+    pub chaos_kills: AtomicU64,
+    /// Injected network-partition faults.
+    pub chaos_partitions: AtomicU64,
+    /// Injected torn-frame faults.
+    pub chaos_torn: AtomicU64,
+    /// Injected worker-stall faults.
+    pub chaos_stalls: AtomicU64,
+}
+
+impl ClusterStats {
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for rendering.
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            routed_ok: self.routed_ok.load(Ordering::Relaxed),
+            routed_error: self.routed_error.load(Ordering::Relaxed),
+            relayed_rejects: self.relayed_rejects.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            probe_hits: self.probe_hits.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            chaos_kills: self.chaos_kills.load(Ordering::Relaxed),
+            chaos_partitions: self.chaos_partitions.load(Ordering::Relaxed),
+            chaos_torn: self.chaos_torn.load(Ordering::Relaxed),
+            chaos_stalls: self.chaos_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ClusterStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on ClusterStats
+pub struct ClusterSnapshot {
+    pub connections: u64,
+    pub requests: u64,
+    pub routed_ok: u64,
+    pub routed_error: u64,
+    pub relayed_rejects: u64,
+    pub sheds: u64,
+    pub probes: u64,
+    pub probe_hits: u64,
+    pub failovers: u64,
+    pub malformed: u64,
+    pub chaos_kills: u64,
+    pub chaos_partitions: u64,
+    pub chaos_torn: u64,
+    pub chaos_stalls: u64,
+}
+
+impl ClusterSnapshot {
+    /// Renders the counters as a JSON object (the `stats` trailer).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"connections\":{},\"requests\":{},\"routed_ok\":{},\
+             \"routed_error\":{},\"relayed_rejects\":{},\"sheds\":{},\
+             \"probes\":{},\"probe_hits\":{},\"failovers\":{},\
+             \"malformed\":{},\"chaos_kills\":{},\"chaos_partitions\":{},\
+             \"chaos_torn\":{},\"chaos_stalls\":{}}}",
+            self.connections,
+            self.requests,
+            self.routed_ok,
+            self.routed_error,
+            self.relayed_rejects,
+            self.sheds,
+            self.probes,
+            self.probe_hits,
+            self.failovers,
+            self.malformed,
+            self.chaos_kills,
+            self.chaos_partitions,
+            self.chaos_torn,
+            self.chaos_stalls,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_service::Json;
+
+    #[test]
+    fn snapshot_renders_as_json() {
+        let stats = ClusterStats::default();
+        ClusterStats::bump(&stats.requests);
+        ClusterStats::bump(&stats.requests);
+        ClusterStats::bump(&stats.failovers);
+        let snap = stats.snapshot();
+        let json = Json::parse(&snap.to_json()).expect("stats render parses");
+        assert_eq!(json.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("failovers").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("sheds").and_then(Json::as_u64), Some(0));
+    }
+}

@@ -1,0 +1,173 @@
+//! One worker slot: an in-process `troy-service` daemon plus the
+//! router-side health state wrapped around it.
+//!
+//! A slot's lifecycle is monotonic — `Live → Draining → Dead` — and the
+//! three states mean three different things to the dispatcher:
+//!
+//! - **Live**: dispatchable (subject to its rationed [`Breaker`]) and
+//!   probeable.
+//! - **Draining** (cordoned): no new syntheses are dispatched to it, but
+//!   in-flight work finishes and its warm result cache keeps answering
+//!   peer probes — graceful rebalance demotes without dropping work.
+//! - **Dead**: crash-stopped; skipped entirely. Requests it owned are
+//!   re-hashed to the next live worker on the ring.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use troy_service::{Breaker, BreakerConfig, Service, ServiceHandle, StatsSnapshot};
+
+/// Router-visible lifecycle state of one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Accepting dispatches and probes.
+    Live,
+    /// Cordoned: finishes in-flight work and answers cache probes, but
+    /// receives no new syntheses.
+    Draining,
+    /// Crash-stopped (or observed dead); skipped entirely.
+    Dead,
+}
+
+impl WorkerState {
+    fn as_u8(self) -> u8 {
+        match self {
+            WorkerState::Live => 0,
+            WorkerState::Draining => 1,
+            WorkerState::Dead => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> WorkerState {
+        match v {
+            0 => WorkerState::Live,
+            1 => WorkerState::Draining,
+            _ => WorkerState::Dead,
+        }
+    }
+
+    /// Stable wire/debug tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkerState::Live => "live",
+            WorkerState::Draining => "draining",
+            WorkerState::Dead => "dead",
+        }
+    }
+}
+
+/// One worker daemon as the router sees it.
+pub struct WorkerSlot {
+    /// Stable short name (`w0`, `w1`, …), surfaced in typed errors.
+    pub name: String,
+    /// The worker daemon's bound address.
+    pub addr: SocketAddr,
+    /// Rationed health breaker: periodic pings and dispatch outcomes
+    /// both feed it, and an open breaker demotes the worker from
+    /// dispatch without touching its state (it may still be probed).
+    pub breaker: Breaker,
+    /// Monotonic lifecycle state (`fetch_max`: never downgrades).
+    state: AtomicU8,
+    handle: ServiceHandle,
+    /// The owned daemon, taken exactly once at final drain.
+    service: Mutex<Option<Service>>,
+}
+
+impl WorkerSlot {
+    /// Wraps a freshly started in-process daemon.
+    #[must_use]
+    pub fn new(name: String, service: Service, breaker: BreakerConfig) -> Self {
+        WorkerSlot {
+            name,
+            addr: service.local_addr(),
+            breaker: Breaker::new(breaker),
+            state: AtomicU8::new(WorkerState::Live.as_u8()),
+            handle: service.handle(),
+            service: Mutex::new(Some(service)),
+        }
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> WorkerState {
+        WorkerState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    /// Escalates the state; downgrades are ignored (a dead worker never
+    /// silently resurrects).
+    pub fn escalate(&self, to: WorkerState) {
+        self.state.fetch_max(to.as_u8(), Ordering::SeqCst);
+    }
+
+    /// May receive new syntheses (breaker permitting).
+    #[must_use]
+    pub fn is_dispatchable(&self) -> bool {
+        self.state() == WorkerState::Live
+    }
+
+    /// May answer peer cache probes (anything not crash-stopped).
+    #[must_use]
+    pub fn is_probeable(&self) -> bool {
+        self.state() != WorkerState::Dead
+    }
+
+    /// Crash-stops the worker daemon the way a `SIGKILL` would — pending
+    /// responses are dropped, peers see EOF — and marks the slot dead.
+    pub fn kill(&self) {
+        self.handle.kill();
+        self.escalate(WorkerState::Dead);
+    }
+
+    /// Cordons the worker: the dispatcher stops sending it new work,
+    /// while in-flight syntheses finish and its cache keeps serving peer
+    /// probes. The daemon itself is only torn down at final drain.
+    pub fn cordon(&self) {
+        self.escalate(WorkerState::Draining);
+    }
+
+    /// Begins the daemon's own graceful drain and blocks for it,
+    /// returning the final serve-path counters. `None` after the first
+    /// call (the daemon can be joined once) or for a slot with no
+    /// in-process daemon.
+    pub fn shutdown_service(&self) -> Option<StatsSnapshot> {
+        self.escalate(WorkerState::Draining);
+        let service = self.service.lock().expect("worker slot lock").take()?;
+        service.handle().shutdown();
+        Some(service.join())
+    }
+
+    /// Point-in-time serve-path counters of the worker daemon.
+    #[must_use]
+    pub fn service_stats(&self) -> StatsSnapshot {
+        self.handle.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use troy_service::{Service, ServiceConfig};
+
+    #[test]
+    fn lifecycle_is_monotonic() {
+        let service = Service::start(ServiceConfig::default()).expect("worker starts");
+        let slot = WorkerSlot::new("w0".into(), service, BreakerConfig::default());
+        assert_eq!(slot.state(), WorkerState::Live);
+        assert!(slot.is_dispatchable() && slot.is_probeable());
+
+        slot.cordon();
+        assert_eq!(slot.state(), WorkerState::Draining);
+        assert!(!slot.is_dispatchable(), "cordoned: no new dispatches");
+        assert!(slot.is_probeable(), "cordoned: cache still answers");
+        slot.escalate(WorkerState::Live);
+        assert_eq!(slot.state(), WorkerState::Draining, "no downgrades");
+
+        slot.kill();
+        assert_eq!(slot.state(), WorkerState::Dead);
+        assert!(!slot.is_probeable());
+        let _ = slot.shutdown_service();
+        assert!(slot.shutdown_service().is_none(), "joinable exactly once");
+    }
+}

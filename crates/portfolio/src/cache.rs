@@ -31,6 +31,20 @@ use crate::race::{Backend, PortfolioResult};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey(u64, u64);
 
+impl CacheKey {
+    /// The two independent 64-bit fingerprint streams, in render order
+    /// (`halves().0` is the first 16 hex digits of [`fmt::Display`]).
+    ///
+    /// Consumers that place content-addressed requests — the cluster
+    /// router's consistent-hash ring — need the raw words, not the hex
+    /// rendering; exposing them keeps router-side placement and
+    /// worker-side cache addressing derived from the same fingerprint.
+    #[must_use]
+    pub fn halves(self) -> (u64, u64) {
+        (self.0, self.1)
+    }
+}
+
 impl fmt::Display for CacheKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}{:016x}", self.0, self.1)
@@ -658,6 +672,12 @@ mod tests {
             "area bound is part of the key"
         );
         assert_eq!(k1.to_string().len(), 32);
+        let (a, b) = k1.halves();
+        assert_eq!(
+            format!("{a:016x}{b:016x}"),
+            k1.to_string(),
+            "halves expose the rendered fingerprint words in order"
+        );
     }
 
     #[test]

@@ -46,6 +46,28 @@ pub enum InjectedFault {
     SpuriousCancel,
 }
 
+/// A fault injected on the router↔worker leg of a synthesis cluster —
+/// the infrastructure-failure side of the wire, applied by the cluster
+/// router's dispatch path (and its soak harness) under an enabled
+/// handle. The cluster contract these exist to test: no matter which of
+/// them fire, every accepted request still terminates with a certified
+/// result, a typed error, or an explicit shed — never silence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterFault {
+    /// Crash-stop the target worker (no drain, in-flight responses are
+    /// dropped on the floor) before the dispatch goes out.
+    WorkerKill,
+    /// Sleep this long before forwarding the request — a slow worker or
+    /// congested link; the remaining-deadline bookkeeping must absorb it.
+    WorkerStall(Duration),
+    /// Refuse to open the router→worker connection, as a network
+    /// partition would; the router must fail over, not hang.
+    Partition,
+    /// Deliver only a prefix of the request frame and close, so the
+    /// worker sees a torn frame and the router sees no response.
+    TornFrame,
+}
+
 /// A fault a misbehaving *client* inflicts on the synthesis service —
 /// the adversarial side of the wire protocol, injected by the soak
 /// harness's synthetic clients rather than by the server itself.
@@ -154,6 +176,36 @@ impl Chaos {
         }
     }
 
+    /// The cluster fault (if any) scheduled for dispatch attempt
+    /// `attempt` of the request fingerprinted by `key` when routed to
+    /// worker `worker`. A pure function of `(seed, worker, key,
+    /// attempt)` — independent of wall clock, thread identity and
+    /// arrival order — so a seeded soak replays the same fault schedule
+    /// for the same request stream regardless of `TROY_JOBS`. Roughly
+    /// 24% of dispatches fault under an enabled handle: 3% worker kill,
+    /// 7% partition, 7% torn frame, 7% stall of 1–12 ms.
+    #[must_use]
+    pub fn fault_for_dispatch(
+        &self,
+        worker: usize,
+        key: u64,
+        attempt: usize,
+    ) -> Option<ClusterFault> {
+        let site = mix((worker as u64) ^ 0x63_6c75_7374_6572) // "cluster"
+            ^ mix(key).rotate_left(17)
+            ^ mix(attempt as u64).rotate_left(41);
+        let h = self.roll(site)?;
+        match h % 100 {
+            0..=2 => Some(ClusterFault::WorkerKill),
+            3..=9 => Some(ClusterFault::Partition),
+            10..=16 => Some(ClusterFault::TornFrame),
+            17..=23 => Some(ClusterFault::WorkerStall(Duration::from_millis(
+                1 + (h >> 32) % 12,
+            ))),
+            _ => None,
+        }
+    }
+
     /// Applies the pre-attempt side of `fault` (stall or cancel);
     /// panics are the solver wrapper's job, see [`Chaos::maybe_panic`].
     pub fn apply_before_attempt(&self, fault: Option<InjectedFault>, token: &Cancellation) {
@@ -247,6 +299,48 @@ mod tests {
                 assert_eq!(c.fault_for_request(client, request), None);
             }
         }
+        for worker in 0..4 {
+            for attempt in 0..4 {
+                assert_eq!(c.fault_for_dispatch(worker, 0xfeed, attempt), None);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_fault_schedules_are_deterministic_and_cover_all_families() {
+        let c = Chaos::seeded(5);
+        for worker in 0..3 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    c.fault_for_dispatch(worker, 0xabcd, attempt),
+                    c.fault_for_dispatch(worker, 0xabcd, attempt),
+                    "pure function of (seed, worker, key, attempt)"
+                );
+            }
+        }
+        let (mut kills, mut stalls, mut partitions, mut torn, mut clean) = (0, 0, 0, 0, 0);
+        for seed in 0..96 {
+            let c = Chaos::seeded(seed);
+            for worker in 0..3 {
+                for key in 0..8u64 {
+                    match c.fault_for_dispatch(worker, key.wrapping_mul(0x9e37), 0) {
+                        Some(ClusterFault::WorkerKill) => kills += 1,
+                        Some(ClusterFault::WorkerStall(d)) => {
+                            assert!(d >= Duration::from_millis(1));
+                            assert!(d <= Duration::from_millis(12));
+                            stalls += 1;
+                        }
+                        Some(ClusterFault::Partition) => partitions += 1,
+                        Some(ClusterFault::TornFrame) => torn += 1,
+                        None => clean += 1,
+                    }
+                }
+            }
+        }
+        assert!(
+            kills > 0 && stalls > 0 && partitions > 0 && torn > 0 && clean > kills,
+            "{kills}/{stalls}/{partitions}/{torn}/{clean}"
+        );
     }
 
     #[test]

@@ -12,10 +12,17 @@
 //!
 //! Timing is deterministic by construction: every method takes `now` as
 //! a parameter instead of reading a clock, so tests (and the chaos
-//! harness) drive breakers through any schedule they like. The half-open
-//! probe is not rationed — between cooldown expiry and the next recorded
-//! outcome, several in-flight requests may all try the rung; that is a
-//! deliberate simplification, bounded by the supervisor's own deadlines.
+//! harness) drive breakers through any schedule they like. The panel's
+//! half-open probe is not rationed — between cooldown expiry and the
+//! next recorded outcome, several in-flight requests may all try the
+//! rung; that is a deliberate simplification, bounded by the
+//! supervisor's own deadlines.
+//!
+//! [`Breaker`] is the rationed single-entity variant used for cluster
+//! worker health: at most one half-open trial is admitted at a time
+//! ([`BreakerDecision::Admit`] with `probe: true`); concurrent callers
+//! get a typed [`BreakerDecision::Reject`] with a retry hint instead of
+//! all storming the recovering worker — or hanging.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -118,6 +125,126 @@ impl Breakers {
     }
 }
 
+/// What a rationed [`Breaker`] decides for one admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Proceed. `probe` is `true` when this admission is the single
+    /// half-open trial; the caller must report the outcome through
+    /// [`Breaker::record_success`]/[`Breaker::record_failure`] (an
+    /// abandoned probe claim expires after one cooldown, so a crashed
+    /// prober cannot wedge the breaker open forever).
+    Admit {
+        /// This admission is the half-open trial request.
+        probe: bool,
+    },
+    /// Typed rejection: the breaker is open, or another caller already
+    /// holds the half-open probe slot.
+    Reject {
+        /// Hint until the next worthwhile attempt.
+        retry_after: Duration,
+    },
+}
+
+/// A rationed closed → open → half-open breaker for a single entity
+/// (one cluster worker), sharing [`BreakerConfig`] with the panel.
+///
+/// Unlike [`Breakers`], the half-open state admits exactly one trial at
+/// a time: the first `admit` after the cooldown claims the probe slot,
+/// and every concurrent caller is rejected with a retry hint until the
+/// probe's outcome is recorded. Methods take `now` explicitly, so the
+/// transition schedule is fully deterministic under test.
+#[derive(Debug)]
+pub struct Breaker {
+    config: BreakerConfig,
+    state: Mutex<RationedState>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RationedState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    /// When the outstanding half-open probe was admitted, if any.
+    probe_started: Option<Instant>,
+}
+
+impl Breaker {
+    /// A closed breaker.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            config,
+            state: Mutex::new(RationedState::default()),
+        }
+    }
+
+    /// Decides one admission at `now`: closed admits freely, open
+    /// rejects with the remaining cooldown, half-open admits exactly one
+    /// probe and rejects everyone else until its outcome lands.
+    pub fn admit(&self, now: Instant) -> BreakerDecision {
+        let mut state = self.state.lock().expect("breaker lock");
+        match state.open_until {
+            None => BreakerDecision::Admit { probe: false },
+            Some(until) if now < until => BreakerDecision::Reject {
+                retry_after: until - now,
+            },
+            Some(_) => {
+                // Cooldown elapsed: half-open. A live probe claim blocks
+                // further trials; a stale one (prober died without
+                // reporting) is reclaimed after a full cooldown.
+                let claimed = state
+                    .probe_started
+                    .is_some_and(|t0| now.saturating_duration_since(t0) < self.config.cooldown);
+                if claimed {
+                    BreakerDecision::Reject {
+                        retry_after: self.config.cooldown / 4,
+                    }
+                } else {
+                    state.probe_started = Some(now);
+                    BreakerDecision::Admit { probe: true }
+                }
+            }
+        }
+    }
+
+    /// `true` while the breaker is open and its cooldown has not yet
+    /// elapsed at `now` (half-open is *not* open: a probe may run).
+    #[must_use]
+    pub fn is_open(&self, now: Instant) -> bool {
+        let state = self.state.lock().expect("breaker lock");
+        state.open_until.is_some_and(|until| now < until)
+    }
+
+    /// Remaining cooldown at `now`; `None` when closed or half-open.
+    #[must_use]
+    pub fn retry_after(&self, now: Instant) -> Option<Duration> {
+        let state = self.state.lock().expect("breaker lock");
+        state
+            .open_until
+            .filter(|&until| now < until)
+            .map(|until| until - now)
+    }
+
+    /// Records a success: the breaker closes and the streak resets
+    /// (this is also how a half-open probe's win is reported).
+    pub fn record_success(&self, _now: Instant) {
+        let mut state = self.state.lock().expect("breaker lock");
+        *state = RationedState::default();
+    }
+
+    /// Records a failure; at the threshold the breaker opens until
+    /// `now + cooldown`. A failure while half-open (the probe losing)
+    /// re-opens immediately for another full cooldown.
+    pub fn record_failure(&self, now: Instant) {
+        let mut state = self.state.lock().expect("breaker lock");
+        let half_open_probe_failed = state.open_until.is_some_and(|until| now >= until);
+        state.probe_started = None;
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        if state.consecutive_failures >= self.config.failure_threshold || half_open_probe_failed {
+            state.open_until = Some(now + self.config.cooldown);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +291,106 @@ mod tests {
         assert!(b.open_at(again).is_empty());
         b.record_failure(Backend::Exact, again);
         assert!(b.open_at(again).is_empty(), "streak was reset by success");
+    }
+
+    fn rationed(threshold: u32, cooldown_ms: u64) -> Breaker {
+        Breaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn rationed_breaker_walks_closed_open_half_open() {
+        let b = rationed(2, 100);
+        let t0 = Instant::now();
+        assert_eq!(b.admit(t0), BreakerDecision::Admit { probe: false });
+        b.record_failure(t0);
+        assert_eq!(b.admit(t0), BreakerDecision::Admit { probe: false });
+        b.record_failure(t0);
+        assert!(b.is_open(t0));
+        assert_eq!(
+            b.admit(t0),
+            BreakerDecision::Reject {
+                retry_after: Duration::from_millis(100)
+            }
+        );
+        assert_eq!(b.retry_after(t0), Some(Duration::from_millis(100)));
+        // Cooldown elapsed: exactly one probe is admitted.
+        let half_open = t0 + Duration::from_millis(150);
+        assert!(!b.is_open(half_open));
+        assert_eq!(b.admit(half_open), BreakerDecision::Admit { probe: true });
+        // The probe succeeding re-closes; the streak is gone.
+        b.record_success(half_open);
+        assert_eq!(b.admit(half_open), BreakerDecision::Admit { probe: false });
+        b.record_failure(half_open);
+        assert!(!b.is_open(half_open), "streak was reset by the success");
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let b = rationed(2, 100);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        let probe_time = t0 + Duration::from_millis(120);
+        assert_eq!(b.admit(probe_time), BreakerDecision::Admit { probe: true });
+        b.record_failure(probe_time);
+        assert!(b.is_open(probe_time));
+        assert_eq!(b.retry_after(probe_time), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_under_concurrency() {
+        // Satellite contract: N concurrent admissions against a
+        // half-open breaker yield exactly one trial; every loser gets a
+        // typed rejection with a retry hint — immediately, not a hang.
+        let b = rationed(1, 50);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        assert!(b.is_open(t0));
+        let half_open = t0 + Duration::from_millis(80);
+        let decisions: Vec<BreakerDecision> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| scope.spawn(|| b.admit(half_open)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        let probes = decisions
+            .iter()
+            .filter(|d| matches!(d, BreakerDecision::Admit { probe: true }))
+            .count();
+        assert_eq!(probes, 1, "exactly one trial admitted: {decisions:?}");
+        for d in &decisions {
+            match d {
+                BreakerDecision::Admit { probe } => assert!(*probe, "only the trial may pass"),
+                BreakerDecision::Reject { retry_after } => {
+                    assert!(*retry_after > Duration::ZERO, "losers get a usable hint");
+                }
+            }
+        }
+        // While the probe is outstanding, later arrivals keep losing…
+        let later = half_open + Duration::from_millis(1);
+        assert!(matches!(b.admit(later), BreakerDecision::Reject { .. }));
+        // …and its success re-opens the floodgates for everyone.
+        b.record_success(later);
+        assert_eq!(b.admit(later), BreakerDecision::Admit { probe: false });
+    }
+
+    #[test]
+    fn abandoned_probe_claim_expires_after_one_cooldown() {
+        let b = rationed(1, 50);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        let half_open = t0 + Duration::from_millis(60);
+        assert_eq!(b.admit(half_open), BreakerDecision::Admit { probe: true });
+        // The prober dies without reporting: the claim goes stale after
+        // a cooldown and the next caller may try again.
+        let stale = half_open + Duration::from_millis(55);
+        assert_eq!(b.admit(stale), BreakerDecision::Admit { probe: true });
     }
 
     #[test]

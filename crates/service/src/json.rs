@@ -85,6 +85,52 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders the value back to compact wire JSON, preserving object
+    /// field order — the inverse of [`Json::parse`] on the subset, which
+    /// is what lets the cluster router annotate a relayed worker
+    /// response (worker id, failover codes, cluster stats) without
+    /// re-deriving it.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => out.push_str(&escape(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(key));
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -291,6 +337,29 @@ mod tests {
         // At the cap it still parses.
         let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
         assert!(Json::parse(&ok).is_some());
+    }
+
+    #[test]
+    fn render_is_the_inverse_of_parse_on_the_subset() {
+        for line in [
+            r#"{"id":"r1","status":"ok","cost":4160,"proven":true,"cached":false,"codes":["TS001","TR002"],"extra":null}"#,
+            r#"{"nested":{"a":[1,2,{"b":"x"}]},"s":"quote \" slash \\ nl \n"}"#,
+            "[]",
+            "{}",
+            r#""just a string""#,
+            "42",
+        ] {
+            let parsed = Json::parse(line).expect("fixture parses");
+            let rendered = parsed.render();
+            assert_eq!(
+                Json::parse(&rendered).expect("render parses"),
+                parsed,
+                "{line}"
+            );
+            // Compact input with the subset's escapes round-trips byte
+            // for byte (field order is preserved).
+            assert_eq!(Json::parse(&rendered).unwrap().render(), rendered);
+        }
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod server;
 pub mod stats;
 
 pub use admission::{Admission, Admitted, Permit};
-pub use breaker::{BreakerConfig, Breakers};
+pub use breaker::{Breaker, BreakerConfig, BreakerDecision, Breakers};
 pub use json::Json;
 pub use protocol::{parse_request, Cmd, RejectKind, Request, Response};
-pub use server::{Service, ServiceConfig, ServiceHandle, MAX_LINE};
+pub use server::{build_problem, request_key, Service, ServiceConfig, ServiceHandle, MAX_LINE};
 pub use stats::{ServiceStats, StatsSnapshot};

@@ -13,9 +13,12 @@
 //!
 //! A `synth` request names either a built-in `benchmark` or carries the
 //! graph inline as `dfg` text (the `troy-dfg` format with `\n` escapes).
-//! Every response carries `status` — `ok`, `degraded`, `rejected` or
-//! `error` — plus a `stats` trailer with the daemon's counters, so a
-//! client always learns both its own outcome and the service's health.
+//! A `probe` request has the same shape but only consults the result
+//! cache: `ok` (with the cached design) on a hit, `miss` otherwise —
+//! no solver ever runs. Every response carries `status` — `ok`,
+//! `degraded`, `miss`, `rejected` or `error` — plus a `stats` trailer
+//! with the daemon's counters, so a client always learns both its own
+//! outcome and the service's health.
 
 use std::time::Duration;
 
@@ -29,6 +32,13 @@ use crate::stats::StatsSnapshot;
 pub enum Cmd {
     /// Synthesize a design.
     Synth,
+    /// Result-cache lookup only: a `synth`-shaped request that answers
+    /// `ok` (with the cached design and its certificate) on a hit and
+    /// `miss` without running any solver otherwise. This is the peer
+    /// cache protocol: a cluster router probes the key-owning worker's
+    /// cache over the wire before dispatching the synthesis elsewhere,
+    /// so one worker's warm result serves requests landing on another.
+    Probe,
     /// Liveness probe.
     Ping,
     /// Report the serve-path counters.
@@ -79,6 +89,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     let cmd = match json.get("cmd").and_then(Json::as_str) {
         Some("synth") => Cmd::Synth,
+        Some("probe") => Cmd::Probe,
         Some("ping") => Cmd::Ping,
         Some("stats") => Cmd::Stats,
         Some("shutdown") => Cmd::Shutdown,
@@ -158,6 +169,10 @@ pub enum RejectKind {
     Internal,
     /// The daemon is draining and no longer accepts work.
     Draining,
+    /// No live worker could accept the request (cluster router: every
+    /// worker dead, draining or breaker-demoted). Carries
+    /// `retry_after_ms` like the other back-pressure rejections.
+    Unavailable,
 }
 
 impl RejectKind {
@@ -173,6 +188,7 @@ impl RejectKind {
             RejectKind::Failed => "failed",
             RejectKind::Internal => "internal",
             RejectKind::Draining => "draining",
+            RejectKind::Unavailable => "unavailable",
         }
     }
 
@@ -186,7 +202,8 @@ impl RejectKind {
             | RejectKind::CircuitOpen
             | RejectKind::Malformed
             | RejectKind::BadRequest
-            | RejectKind::Draining => "rejected",
+            | RejectKind::Draining
+            | RejectKind::Unavailable => "rejected",
             RejectKind::Deadline | RejectKind::Failed | RejectKind::Internal => "error",
         }
     }
@@ -253,6 +270,14 @@ impl Response {
     /// the serve-path counters as the `stats` trailer.
     #[must_use]
     pub fn render(&self, stats: &StatsSnapshot) -> String {
+        self.render_with(&stats.to_json())
+    }
+
+    /// Renders the single response line with a caller-supplied `stats`
+    /// trailer (pre-rendered JSON object) — the cluster router reports
+    /// its own counters in the same frame shape the daemon uses.
+    #[must_use]
+    pub fn render_with(&self, stats_json: &str) -> String {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(192);
         s.push('{');
@@ -310,7 +335,7 @@ impl Response {
             let _ = write!(s, ",\"retry_after_ms\":{retry}");
         }
         s.push_str(",\"stats\":");
-        s.push_str(&stats.to_json());
+        s.push_str(stats_json);
         s.push('}');
         s
     }

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use troy_dfg::{benchmarks, parse_dfg};
 use troy_ilp::Cancellation;
-use troy_portfolio::{cache_key, Backend, PortfolioResult, ResultCache};
+use troy_portfolio::{cache_key, Backend, CacheKey, PortfolioResult, ResultCache};
 use troy_resilience::{
     supervise, AttemptOutcome, Chaos, Degradation, SupervisorConfig, SupervisorErrorKind, LADDER,
 };
@@ -104,6 +104,9 @@ struct Shared {
     root: Cancellation,
     /// Set once by `shutdown`; never cleared.
     draining: AtomicBool,
+    /// Set by [`ServiceHandle::kill`]: crash-stop — pending responses
+    /// are dropped, never written, as an abrupt process death would.
+    killed: AtomicBool,
     /// Live connection threads (drain waits for this to reach zero).
     connections_live: AtomicU64,
     chaos: Chaos,
@@ -114,6 +117,10 @@ struct Shared {
 impl Shared {
     fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
     }
 }
 
@@ -134,6 +141,23 @@ impl ServiceHandle {
     #[must_use]
     pub fn is_draining(&self) -> bool {
         self.shared.is_draining()
+    }
+
+    /// Crash-stops the daemon, the way a power loss or `SIGKILL` would:
+    /// stop accepting, cancel in-flight work, and *drop* any response
+    /// not yet written — peers see connection resets and EOF, never a
+    /// typed goodbye. This is the chaos harness's worker-kill primitive;
+    /// a graceful stop is [`ServiceHandle::shutdown`]. Idempotent.
+    pub fn kill(&self) {
+        self.shared.killed.store(true, Ordering::SeqCst);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.root.cancel();
+    }
+
+    /// `true` once the daemon has been crash-stopped.
+    #[must_use]
+    pub fn is_killed(&self) -> bool {
+        self.shared.is_killed()
     }
 
     /// Point-in-time serve-path counters.
@@ -182,6 +206,7 @@ impl Service {
             cache,
             root: Cancellation::new(),
             draining: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             connections_live: AtomicU64::new(0),
             chaos,
             default_deadline,
@@ -397,6 +422,11 @@ fn write_response(
     response: &Response,
     shared: &Arc<Shared>,
 ) -> std::io::Result<()> {
+    if shared.is_killed() {
+        // A crash-stopped daemon writes nothing: the peer must observe
+        // silence (EOF/reset), exactly as a dead process would behave.
+        return Err(std::io::Error::new(ErrorKind::BrokenPipe, "killed"));
+    }
     let mut line = response.render(&shared.stats.snapshot());
     line.push('\n');
     stream.write_all(line.as_bytes())
@@ -415,7 +445,50 @@ fn handle_request(request: &Request, shared: &Arc<Shared>) -> Response {
             r
         }
         Cmd::Synth => handle_synth(request, shared),
+        Cmd::Probe => handle_probe(request, shared),
     }
+}
+
+/// Answers a peer cache lookup: a `synth`-shaped request that only
+/// consults the result cache. Probes bypass admission (they never run a
+/// solver) and are answered even while draining — they are reads, not
+/// work. This is the worker-side half of the cluster's shared cache
+/// tier: the router probes the key-owning worker before dispatching a
+/// synthesis to anyone else.
+fn handle_probe(request: &Request, shared: &Arc<Shared>) -> Response {
+    let t0 = Instant::now();
+    ServiceStats::bump(&shared.stats.probes);
+    let problem = match build_problem(request) {
+        Ok(p) => p,
+        Err(msg) => {
+            return Response::reject(Some(&request.id), RejectKind::BadRequest, msg);
+        }
+    };
+    let key = cache_key(&problem, "serve", &SolveOptions::default());
+    if let Some(hit) = shared.cache.lookup(&key, &problem) {
+        ServiceStats::bump(&shared.stats.probe_hits);
+        return cache_hit_response(&request.id, &problem, &hit, t0);
+    }
+    Response::outcome(&request.id, "miss")
+}
+
+/// Renders a result-cache hit as a full `ok` response, certificate
+/// included — byte-compatible with the synth path's cache fast path.
+fn cache_hit_response(
+    id: &str,
+    problem: &SynthesisProblem,
+    hit: &PortfolioResult,
+    t0: Instant,
+) -> Response {
+    let mut r = Response::outcome(id, "ok");
+    r.cost = Some(hit.synthesis.cost);
+    r.backend = Some(hit.winner.name().to_owned());
+    r.proven = Some(hit.synthesis.proven_optimal);
+    r.relaxation = Some(0);
+    r.cached = true;
+    r.certificate = certificate_for(problem, &hit.synthesis.implementation);
+    r.elapsed_ms = Some(t0.elapsed().as_millis() as u64);
+    r
 }
 
 fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
@@ -485,15 +558,7 @@ fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
     if let Some(hit) = shared.cache.lookup(&key, &problem) {
         ServiceStats::bump(&shared.stats.cache_hits);
         ServiceStats::bump(&shared.stats.completed_ok);
-        let mut r = Response::outcome(&request.id, "ok");
-        r.cost = Some(hit.synthesis.cost);
-        r.backend = Some(hit.winner.name().to_owned());
-        r.proven = Some(hit.synthesis.proven_optimal);
-        r.relaxation = Some(0);
-        r.cached = true;
-        r.certificate = certificate_for(&problem, &hit.synthesis.implementation);
-        r.elapsed_ms = Some(t0.elapsed().as_millis() as u64);
-        return r;
+        return cache_hit_response(&request.id, &problem, &hit, t0);
     }
 
     let config = SupervisorConfig {
@@ -582,8 +647,25 @@ fn certificate_for(
         .map(|cert| cert.to_json())
 }
 
+/// The content-addressed cache key a `synth`/`probe` request resolves to
+/// under the daemon's normalized cache options. The cluster router hashes
+/// this same fingerprint onto its consistent-hash ring, so request
+/// placement and worker-side cache addressing can never disagree.
+///
+/// # Errors
+/// The request does not describe a well-formed synthesis problem; the
+/// message is suitable for a `bad_request` rejection.
+pub fn request_key(request: &Request) -> Result<CacheKey, String> {
+    let problem = build_problem(request)?;
+    Ok(cache_key(&problem, "serve", &SolveOptions::default()))
+}
+
 /// Builds the synthesis problem a request describes.
-fn build_problem(request: &Request) -> Result<SynthesisProblem, String> {
+///
+/// # Errors
+/// The request names no DFG, an unknown benchmark, unparsable inline
+/// `dfg` text, or constraints the problem builder rejects.
+pub fn build_problem(request: &Request) -> Result<SynthesisProblem, String> {
     let dfg = match (&request.benchmark, &request.dfg) {
         (Some(name), _) => {
             benchmarks::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?

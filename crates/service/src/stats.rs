@@ -28,6 +28,10 @@ pub struct ServiceStats {
     pub connections: AtomicU64,
     /// Synth responses served from the result cache.
     pub cache_hits: AtomicU64,
+    /// Peer cache lookups answered (`probe` requests).
+    pub probes: AtomicU64,
+    /// Peer cache lookups answered with a hit.
+    pub probe_hits: AtomicU64,
 }
 
 impl ServiceStats {
@@ -50,6 +54,8 @@ impl ServiceStats {
             malformed: self.malformed.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            probe_hits: self.probe_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -68,6 +74,8 @@ pub struct StatsSnapshot {
     pub malformed: u64,
     pub connections: u64,
     pub cache_hits: u64,
+    pub probes: u64,
+    pub probe_hits: u64,
 }
 
 impl StatsSnapshot {
@@ -77,7 +85,8 @@ impl StatsSnapshot {
         format!(
             "{{\"accepted\":{},\"shed_overload\":{},\"shed_circuit\":{},\
              \"completed_ok\":{},\"completed_degraded\":{},\"failed\":{},\
-             \"panics\":{},\"malformed\":{},\"connections\":{},\"cache_hits\":{}}}",
+             \"panics\":{},\"malformed\":{},\"connections\":{},\"cache_hits\":{},\
+             \"probes\":{},\"probe_hits\":{}}}",
             self.accepted,
             self.shed_overload,
             self.shed_circuit,
@@ -88,6 +97,8 @@ impl StatsSnapshot {
             self.malformed,
             self.connections,
             self.cache_hits,
+            self.probes,
+            self.probe_hits,
         )
     }
 }

@@ -263,6 +263,69 @@ fn fig5_oracle_cache_and_lifecycle_through_the_service_path() {
     assert_eq!(snap.malformed, 0);
 }
 
+/// The peer cache protocol (`cmd: "probe"`): a probe for a solved key
+/// answers with the full cached result — certificate included — without
+/// occupying a synthesis slot; a probe for an unknown key answers `miss`
+/// instead of solving. This is the wire primitive the cluster router's
+/// shared cache tier is built on.
+#[test]
+fn probe_answers_cache_hits_and_misses_without_synthesizing() {
+    let service = Service::start(ServiceConfig::default()).expect("bind");
+    let addr = service.local_addr();
+    let mut stream = connect(addr);
+
+    // An unknown key is a miss, not a solve: the answer is immediate and
+    // the solved-work counters stay untouched.
+    let probe_cold = tiny_synth("cold", 5000).replace("\"cmd\":\"synth\"", "\"cmd\":\"probe\"");
+    send(&mut stream, &probe_cold);
+    let resp = read_line(&mut stream, Duration::from_secs(2)).expect("cold probe answer");
+    let resp = Json::parse(&resp).expect("cold probe parses");
+    assert_eq!(status(&resp), "miss", "{resp:?}");
+    assert!(resp.get("certificate").is_none());
+
+    // Solve once, then probe the same problem under a different id and
+    // deadline (the key excludes both): a hit carrying the cached cost
+    // and the prover's certificate.
+    send(&mut stream, &tiny_synth("warm", 5000));
+    let solved = read_line(&mut stream, Duration::from_secs(10)).expect("solve");
+    let solved = Json::parse(&solved).expect("solve parses");
+    assert_eq!(status(&solved), "ok", "{solved:?}");
+    let cost = solved.get("cost").and_then(Json::as_u64).expect("cost");
+
+    let probe_warm = tiny_synth("lookup", 700).replace("\"cmd\":\"synth\"", "\"cmd\":\"probe\"");
+    send(&mut stream, &probe_warm);
+    let resp = read_line(&mut stream, Duration::from_secs(2)).expect("warm probe answer");
+    let resp = Json::parse(&resp).expect("warm probe parses");
+    assert_eq!(status(&resp), "ok", "{resp:?}");
+    assert_eq!(resp.get("id").and_then(Json::as_str), Some("lookup"));
+    assert_eq!(resp.get("cost").and_then(Json::as_u64), Some(cost));
+    assert_eq!(resp.get("cached"), Some(&Json::Bool(true)));
+    assert_certificate_discipline(&resp);
+    assert_eq!(stat(&resp, "probes"), 2);
+    assert_eq!(stat(&resp, "probe_hits"), 1);
+
+    // A probe with an unparseable problem is a typed bad request.
+    send(
+        &mut stream,
+        "{\"id\":\"bad\",\"cmd\":\"probe\",\"dfg\":\"not a dfg\"}",
+    );
+    let resp = read_line(&mut stream, Duration::from_secs(2)).expect("bad probe answer");
+    let resp = Json::parse(&resp).expect("bad probe parses");
+    assert_eq!(status(&resp), "rejected", "{resp:?}");
+    assert_eq!(
+        resp.get("kind").and_then(Json::as_str),
+        Some("bad_request"),
+        "{resp:?}"
+    );
+
+    send(&mut stream, "{\"id\":\"bye\",\"cmd\":\"shutdown\"}");
+    let _ = read_line(&mut stream, Duration::from_secs(2));
+    let snap = service.join();
+    assert_eq!(snap.probes, 3);
+    assert_eq!(snap.probe_hits, 1);
+    assert_eq!(snap.completed_ok, 1, "probes never occupy a solve slot");
+}
+
 /// With one slot and one queue seat, a long-running synthesis forces the
 /// next two requests into typed `overloaded` rejections — one after a
 /// bounded queue wait, one instantly — each carrying a `retry_after_ms`
