@@ -164,10 +164,19 @@ pub enum Code {
     /// accept it — every worker was dead, draining or breaker-demoted;
     /// the rejection carries a `retry_after_ms` hint.
     ClusterUnavailable,
+    /// TS007: the request was served by a worker that the supervisor has
+    /// respawned at least once — the slot died and came back under a new
+    /// generation; the answer is unaffected, but the serving daemon is
+    /// not the one that booted with the cluster.
+    WorkerRespawned,
+    /// TS008: the request was recovered from the router's dispatch
+    /// journal after a restart — it had been accepted but had no
+    /// recorded terminal outcome, so the router re-dispatched it.
+    JournalReplayed,
 }
 
 /// Total number of published codes.
-pub const NUM_CODES: usize = 33;
+pub const NUM_CODES: usize = 35;
 
 impl Code {
     /// Every published code, in code order.
@@ -207,6 +216,8 @@ impl Code {
             Code::UncertifiedResponse,
             Code::WorkerFailover,
             Code::ClusterUnavailable,
+            Code::WorkerRespawned,
+            Code::JournalReplayed,
         ]
     }
 
@@ -247,6 +258,8 @@ impl Code {
             Code::UncertifiedResponse => "TS004",
             Code::WorkerFailover => "TS005",
             Code::ClusterUnavailable => "TS006",
+            Code::WorkerRespawned => "TS007",
+            Code::JournalReplayed => "TS008",
         }
     }
 
@@ -287,6 +300,8 @@ impl Code {
             Code::UncertifiedResponse => "uncertified-response",
             Code::WorkerFailover => "worker-failover",
             Code::ClusterUnavailable => "cluster-unavailable",
+            Code::WorkerRespawned => "worker-respawned",
+            Code::JournalReplayed => "journal-replayed",
         }
     }
 
@@ -361,6 +376,12 @@ impl Code {
             Code::ClusterUnavailable => {
                 "the cluster shed the request: no live worker could accept it"
             }
+            Code::WorkerRespawned => {
+                "the serving worker was respawned by the supervisor under a new generation"
+            }
+            Code::JournalReplayed => {
+                "the request was re-dispatched from the dispatch journal after a router restart"
+            }
         }
     }
 
@@ -400,7 +421,9 @@ impl Code {
             | Code::CircuitOpen
             | Code::RequestDeadlineExhausted
             | Code::WorkerFailover
-            | Code::ClusterUnavailable => None,
+            | Code::ClusterUnavailable
+            | Code::WorkerRespawned
+            | Code::JournalReplayed => None,
         }
     }
 
@@ -440,7 +463,9 @@ impl Code {
             | Code::TightVendorPool
             | Code::RegisterPressure
             | Code::RecoveryConeExposure
-            | Code::TransientRetried => Severity::Note,
+            | Code::TransientRetried
+            | Code::WorkerRespawned
+            | Code::JournalReplayed => Severity::Note,
         }
     }
 

@@ -42,6 +42,8 @@ const REGISTRY: [(&str, &str, Severity); NUM_CODES] = [
     ("TS004", "uncertified-response", Severity::Warning),
     ("TS005", "worker-failover", Severity::Warning),
     ("TS006", "cluster-unavailable", Severity::Warning),
+    ("TS007", "worker-respawned", Severity::Note),
+    ("TS008", "journal-replayed", Severity::Note),
 ];
 
 #[test]

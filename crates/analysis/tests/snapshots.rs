@@ -90,6 +90,12 @@ fn sample(code: Code) -> Diagnostic {
         Code::ClusterUnavailable => d.with_fixit(FixIt::advice(
             "retry after the hinted backoff or add workers to the cluster",
         )),
+        Code::WorkerRespawned => d.with_fixit(FixIt::advice(
+            "the answer is valid; audit the slot's crash history if generations keep climbing",
+        )),
+        Code::JournalReplayed => d.with_fixit(FixIt::advice(
+            "the answer is valid; the original response was lost with the crashed router",
+        )),
     }
 }
 

@@ -87,6 +87,13 @@
 //!   --drain-deadline DUR          shutdown grace for in-flight work
 //!                                 (default 5s)
 //!   --probe-depth N               peer cache probes per request (default 2)
+//!   --respawn                     revive dead workers under a new
+//!                                 generation (supervisor; default off)
+//!   --max-respawns N              per-slot respawn budget      (default 8)
+//!   --replication N               copy fresh results to the next N-1 ring
+//!                                 successors; 1 disables      (default 2)
+//!   --journal-dir PATH            durable dispatch journal: accepted
+//!                                 requests replay after a router restart
 //!   --chaos-seed N                router dispatch fault injection
 //!                                 (testing); TROY_CHAOS=N does the same
 //!
@@ -628,7 +635,7 @@ fn serve(args: &[String], out: &mut String) -> Result<(), CliError> {
     }
     // `out` is only flushed after `run` returns, so the bound address
     // goes to stderr (and the addr file) for anyone waiting on startup.
-    eprintln!("troyhls serving on {addr}; send {{\"cmd\":\"shutdown\"}} to drain");
+    eprintln!("troyhls serving on {addr}; send {{\"id\":\"bye\",\"cmd\":\"shutdown\"}} to drain");
 
     let snap = service.join();
     if let Some(path) = &addr_file {
@@ -725,6 +732,25 @@ fn cluster(args: &[String], out: &mut String) -> Result<(), CliError> {
                         .map_err(|_| err("--chaos-seed: expected a u64 seed"))?,
                 );
             }
+            "--respawn" => {
+                config.respawn = true;
+            }
+            "--max-respawns" => {
+                config.max_respawns = take_value(args, &mut i, "--max-respawns")?
+                    .parse()
+                    .map_err(|_| err("--max-respawns: expected a u32 budget"))?;
+            }
+            "--replication" => {
+                config.replication =
+                    parse_count("--replication", take_value(args, &mut i, "--replication")?)?;
+            }
+            "--journal-dir" => {
+                config.journal_dir = Some(std::path::PathBuf::from(take_value(
+                    args,
+                    &mut i,
+                    "--journal-dir",
+                )?));
+            }
             other => return Err(err(format!("cluster: unknown flag `{other}`"))),
         }
         i += 1;
@@ -743,7 +769,7 @@ fn cluster(args: &[String], out: &mut String) -> Result<(), CliError> {
     }
     eprintln!(
         "troyhls cluster routing on {addr} across {workers} workers; \
-         send {{\"cmd\":\"shutdown\"}} to drain"
+         send {{\"id\":\"bye\",\"cmd\":\"shutdown\"}} to drain"
     );
 
     let snap = cluster.join();
@@ -772,6 +798,16 @@ fn cluster(args: &[String], out: &mut String) -> Result<(), CliError> {
         snap.chaos_partitions,
         snap.chaos_torn,
         snap.chaos_stalls,
+    );
+    let _ = writeln!(
+        out,
+        "  selfheal: respawns {}  replicas {}  repairs {}  warmed {}  journal {} (replayed {})",
+        snap.respawns,
+        snap.replicas_put,
+        snap.read_repairs,
+        snap.warmed,
+        snap.journal_appends,
+        snap.journal_replays,
     );
     Ok(())
 }
@@ -2178,6 +2214,14 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown flag"));
+        assert!(cli(&["cluster", "--max-respawns", "banana"])
+            .unwrap_err()
+            .0
+            .contains("--max-respawns"));
+        assert!(cli(&["cluster", "--replication", "0"])
+            .unwrap_err()
+            .0
+            .contains("--replication"));
     }
 
     #[test]
@@ -2187,6 +2231,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let addr_file = dir.join("addr");
         let addr_file_arg = addr_file.to_str().unwrap().to_owned();
+        let journal_dir_arg = dir.join("wal").to_str().unwrap().to_owned();
         let daemon = std::thread::spawn(move || {
             cli_with_code(&[
                 "cluster",
@@ -2200,6 +2245,13 @@ mod tests {
                 "5s",
                 "--drain-deadline",
                 "2s",
+                "--respawn",
+                "--max-respawns",
+                "4",
+                "--replication",
+                "2",
+                "--journal-dir",
+                &journal_dir_arg,
             ])
         });
         // Wait for the router to publish its bound address.
@@ -2236,6 +2288,14 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("cluster: drained cleanly"), "{out}");
         assert!(out.contains("connections 1"), "{out}");
+        assert!(
+            out.contains("selfheal: respawns"),
+            "the drain summary reports the self-healing counters: {out}"
+        );
+        assert!(
+            dir.join("wal").join("dispatch.wal").exists(),
+            "--journal-dir creates the dispatch journal"
+        );
         assert!(
             !addr_file.exists(),
             "a drained cluster must not look reachable: the addr file stays behind"

@@ -22,6 +22,24 @@
 //!   `unavailable` + `TS006` with a `retry_after_ms` hint; worker-side
 //!   overload rejections are relayed with *their* hints verbatim.
 //!
+//! And the self-healing layers on top:
+//!
+//! - **Generation-aware respawn** — a supervisor revives dead slots
+//!   with a fresh daemon under a bumped generation (`TS007` on served
+//!   responses), breaker re-armed in probation, cache warmed from ring
+//!   successors, paced by deterministic seeded backoff and a
+//!   `max_respawns` budget.
+//! - **Successor cache replication** — fresh un-degraded results are
+//!   written behind (`cmd: "put"`) to the next R−1 ring successors, and
+//!   a probe hit on a non-owner is read-repaired back to the owner;
+//!   every put re-validates through the certified-store gate, so
+//!   killing a key's owner costs zero re-solves and replication can
+//!   never poison a cache.
+//! - **Durable dispatch journal** — accepted `synth` frames go through
+//!   an append-only checksummed WAL ([`Journal`]); on restart every
+//!   entry without a terminal outcome is replayed through normal
+//!   dispatch (`TS008`), so a router crash loses nothing it accepted.
+//!
 //! The cluster-level chaos contract (pinned by this crate's soak tests
 //! under seeded worker-kill/stall/partition/torn-frame faults): every
 //! accepted request terminates with a valid certified result, a typed
@@ -31,12 +49,14 @@
 //! Start one with [`Cluster::start`], or from the CLI via
 //! `troyhls cluster`.
 
+pub mod journal;
 pub mod ring;
 pub mod router;
 pub mod stats;
 pub mod worker;
 
-pub use ring::Ring;
+pub use journal::{Journal, JournalEntry};
+pub use ring::{Ring, Walk};
 pub use router::{Cluster, ClusterConfig, ClusterHandle};
 pub use stats::{ClusterSnapshot, ClusterStats};
 pub use worker::{WorkerSlot, WorkerState};

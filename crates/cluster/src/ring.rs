@@ -79,14 +79,18 @@ impl Ring {
     /// All members in ring order starting at the key's position: index 0
     /// is the shard owner, index 1 the first failover target, and so on.
     /// Each member appears exactly once. Empty only when the ring is.
+    ///
+    /// Returns a [`Walk`] — stack-allocated up to [`Walk::INLINE`]
+    /// members — so the router's hot paths (every dispatch *and* every
+    /// probe call this) stay allocation-free at realistic fleet sizes.
     #[must_use]
-    pub fn walk(&self, key: (u64, u64)) -> Vec<usize> {
+    pub fn walk(&self, key: (u64, u64)) -> Walk {
+        let mut order = Walk::new();
         if self.points.is_empty() {
-            return Vec::new();
+            return order;
         }
         let k = mix(key.0 ^ mix(key.1 ^ self.seed));
         let start = self.points.partition_point(|&(p, _)| p < k);
-        let mut order = Vec::with_capacity(self.members);
         for i in 0..self.points.len() {
             let (_, member) = self.points[(start + i) % self.points.len()];
             if !order.contains(&member) {
@@ -97,6 +101,107 @@ impl Ring {
             }
         }
         order
+    }
+}
+
+/// The member order [`Ring::walk`] produces for one key.
+///
+/// A small fixed-capacity vector: clusters of up to [`Walk::INLINE`]
+/// workers walk without touching the heap, and larger memberships spill
+/// to a `Vec` transparently. Dereferences to `[usize]`, so call sites
+/// index, iterate and sort it exactly like the `Vec<usize>` it replaced.
+#[derive(Clone)]
+pub struct Walk {
+    inline: [usize; Walk::INLINE],
+    len: usize,
+    /// Heap spill, holding *all* elements once `len` exceeds `INLINE`.
+    spill: Vec<usize>,
+}
+
+impl Walk {
+    /// Members held without a heap allocation.
+    pub const INLINE: usize = 8;
+
+    fn new() -> Walk {
+        Walk {
+            inline: [0; Walk::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, member: usize) {
+        if self.len < Walk::INLINE {
+            self.inline[self.len] = member;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(member);
+        }
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        if self.len <= Walk::INLINE {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for Walk {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for Walk {
+    fn deref_mut(&mut self) -> &mut [usize] {
+        if self.len <= Walk::INLINE {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+impl std::fmt::Debug for Walk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for Walk {
+    fn eq(&self, other: &Walk) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Walk {}
+
+impl PartialEq<Vec<usize>> for Walk {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Walk> for Vec<usize> {
+    fn eq(&self, other: &Walk) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Walk {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
@@ -149,6 +254,89 @@ mod tests {
             }
         }
         assert!(claimed > 0, "the joiner takes a share of the keyspace");
+    }
+
+    /// The `Vec`-collecting walk the allocation-free [`Walk`] replaced,
+    /// kept as the behavioral oracle.
+    fn reference_walk(ring: &Ring, key: (u64, u64)) -> Vec<usize> {
+        if ring.points.is_empty() {
+            return Vec::new();
+        }
+        let k = mix(key.0 ^ mix(key.1 ^ ring.seed));
+        let start = ring.points.partition_point(|&(p, _)| p < k);
+        let mut order = Vec::with_capacity(ring.members);
+        for i in 0..ring.points.len() {
+            let (_, member) = ring.points[(start + i) % ring.points.len()];
+            if !order.contains(&member) {
+                order.push(member);
+                if order.len() == ring.members {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn small_vec_walk_matches_the_reference_exactly() {
+        // Property: for memberships below, at, and past the inline
+        // capacity, the fixed-capacity walk is element-for-element the
+        // old Vec walk — the allocation cut changes no behavior.
+        for members in [
+            1,
+            2,
+            3,
+            Walk::INLINE - 1,
+            Walk::INLINE,
+            Walk::INLINE + 3,
+            13,
+        ] {
+            let list: Vec<usize> = (0..members).collect();
+            let ring = Ring::new(17, 16, &list);
+            for key in keys(128) {
+                let walk = ring.walk(key);
+                let reference = reference_walk(&ring, key);
+                assert_eq!(walk, reference, "{members} members, key {key:?}");
+                assert_eq!(walk.len(), members);
+            }
+        }
+        assert!(Ring::new(17, 16, &[]).walk((1, 2)).is_empty());
+    }
+
+    #[test]
+    fn rejoin_restores_the_pre_kill_assignment() {
+        // The respawn half of the consistent-hash contract (complement
+        // of `join_moves_keys_only_to_the_joiner`): point positions
+        // depend only on (seed, member, replica), so dropping a member
+        // and rebuilding with the original list — exactly what kill →
+        // respawn does — restores the *entire* pre-kill walk, owner and
+        // failover order alike, for every key.
+        for seed in [3, 42, 0x7452_6f79] {
+            let mut ring = Ring::new(seed, 32, &[0, 1, 2]);
+            let before: Vec<Vec<usize>> = keys(256).map(|k| ring.walk(k).to_vec()).collect();
+            for dead in 0..3usize {
+                let survivors: Vec<usize> = (0..3).filter(|&m| m != dead).collect();
+                ring.rebuild(&survivors);
+                let mut displaced = 0;
+                for (key, old) in keys(256).zip(&before) {
+                    if old[0] == dead {
+                        // The dead owner's keys fall to its old first
+                        // failover target — the walk minus the dead.
+                        assert_eq!(ring.walk(key)[0], old[1], "seed {seed}");
+                        displaced += 1;
+                    } else {
+                        assert_eq!(ring.walk(key)[0], old[0], "survivors keep their keys");
+                    }
+                }
+                assert!(displaced > 0, "the dead worker owned a share");
+                // Respawn: same member list, same seed — the original
+                // assignment comes back verbatim.
+                ring.rebuild(&[0, 1, 2]);
+                for (key, old) in keys(256).zip(&before) {
+                    assert_eq!(ring.walk(key), *old, "seed {seed}: full walk restored");
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!    (`cmd: "probe"`); a hit is relayed as-is, certificate included.
 //!    The dispatch head checks its own cache inline, so it is never
 //!    probed. This is the shared cache tier: after a rebalance or a
-//!    demotion, the previous owner's warm results keep serving.
+//!    demotion, the previous owner's warm results keep serving. A hit
+//!    on a non-owner triggers a background *read-repair* put to the
+//!    live owner so ownership locality heals itself.
 //! 3. **Dispatch with failover** — forward to the first live worker
 //!    whose rationed [`Breaker`](troy_service::Breaker) admits, with
 //!    `deadline_ms` rewritten to the *remaining* budget. A transport
@@ -23,7 +25,13 @@
 //!    failure and re-dispatches to the next candidate with the
 //!    remaining deadline intact; the served response gains a `TS005`
 //!    diagnostic whenever a non-owner answered.
-//! 4. **Typed shed** — with no admissible worker at all, the router
+//! 4. **Write-behind replication** — a fresh un-degraded result is
+//!    copied (`cmd: "put"`) to the next `replication - 1` ring
+//!    successors in the background; the receiving worker re-validates
+//!    the entry through the certified-store gate before storing it.
+//!    Killing the owner then costs zero re-solves: the hot key keeps
+//!    serving, byte-identical, from a replica.
+//! 5. **Typed shed** — with no admissible worker at all, the router
 //!    sheds `unavailable` + `TS006` with a `retry_after_ms` hint taken
 //!    from the breakers. Worker-issued rejections (overload, draining)
 //!    are relayed verbatim — their `retry_after_ms` comes from the
@@ -36,31 +44,59 @@
 //! and promoted back by a successful half-open probe, without any state
 //! change a request could race against.
 //!
+//! **Respawn supervision** (`respawn: true`): a supervisor thread scans
+//! for dead slots and adopts a fresh in-process daemon into each —
+//! same name, new generation ([`WorkerSlot::adopt`]) — with
+//! deterministic seeded backoff between attempts and a per-slot
+//! `max_respawns` budget. The newcomer's breaker is re-armed in
+//! *probation* (half-open: exactly one trial decides), the ring is
+//! rebuilt (same membership, so placement is restored verbatim — see
+//! `rejoin_restores_the_pre_kill_assignment`), and the newcomer's cold
+//! cache is warmed from its ring successors out of the router's
+//! recent-dispatch memory. Responses served by a respawned worker carry
+//! `TS007`.
+//!
+//! **Durable dispatch journal** (`journal_dir: Some(_)`): every
+//! accepted `synth` frame is appended (fsync'd) to an append-only
+//! checksummed WAL *before* dispatch and marked completed when its
+//! response goes out. On restart, accepted entries without a terminal
+//! outcome are replayed through normal dispatch (tagged `TS008`), so a
+//! router crash loses no accepted request — at-least-once, never
+//! silence. See [`crate::journal`].
+//!
 //! Chaos: with a seeded [`Chaos`] handle the router injects
 //! [`ClusterFault`]s at dispatch sites — worker kill, stall, partition,
-//! torn frame — which is how the cluster-level soak drives the
-//! never-lost contract: every accepted request terminates with a valid
-//! certified result, a typed error, or an explicit shed carrying
+//! torn frame — and [`SelfHealFault`]s at the healing sites — respawn
+//! storms (the replacement dies instantly), torn journal appends,
+//! dropped replica writes — which is how the cluster-level soak drives
+//! the never-lost contract: every accepted request terminates with a
+//! valid certified result, a typed error, or an explicit shed carrying
 //! `retry_after_ms`.
 
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use troy_analysis::Code;
-use troy_resilience::{Chaos, ClusterFault};
+use troy_resilience::{Backoff, Chaos, ClusterFault, SelfHealFault};
 use troy_service::{
     parse_request, request_key, BreakerConfig, BreakerDecision, Cmd, Json, RejectKind, Request,
     Response, Service, ServiceConfig, StatsSnapshot, MAX_LINE,
 };
 
+use crate::journal::{Journal, JournalEntry};
 use crate::ring::Ring;
 use crate::stats::{ClusterSnapshot, ClusterStats};
 use crate::worker::{WorkerSlot, WorkerState};
+
+/// Dispatched frames remembered for warming a respawned worker's cache.
+const RECENT_CAP: usize = 256;
 
 /// How the cluster runs.
 #[derive(Debug, Clone)]
@@ -96,6 +132,17 @@ pub struct ClusterConfig {
     pub max_inflight: usize,
     /// Per-worker admission: bounded queue depth.
     pub queue_depth: usize,
+    /// Run the respawn supervisor: dead slots are revived with a fresh
+    /// daemon under a new generation.
+    pub respawn: bool,
+    /// Per-slot respawn budget; once exhausted the slot stays dead.
+    pub max_respawns: u32,
+    /// Replication factor R: fresh un-degraded results are written
+    /// behind to the next R−1 ring successors. `<= 1` disables both
+    /// write-behind and read-repair.
+    pub replication: usize,
+    /// Directory for the durable dispatch journal; `None` disables it.
+    pub journal_dir: Option<PathBuf>,
     /// Cluster-fault injector (dispatch-site faults only; the workers
     /// themselves run without chaos so results stay deterministic).
     pub chaos: Chaos,
@@ -122,13 +169,17 @@ impl Default for ClusterConfig {
             },
             max_inflight: 4,
             queue_depth: 8,
+            respawn: false,
+            max_respawns: 8,
+            replication: 2,
+            journal_dir: None,
             chaos: Chaos::disabled(),
         }
     }
 }
 
-/// State shared by the accept loop, every connection, the health thread
-/// and the handle.
+/// State shared by the accept loop, every connection, the health thread,
+/// the supervisor and the handle.
 struct Shared {
     stats: ClusterStats,
     /// Append-only: slots are cordoned or killed, never removed, so
@@ -150,6 +201,18 @@ struct Shared {
     worker_breaker: BreakerConfig,
     /// Template for newly joined workers (`addr` re-set per spawn).
     worker_template: ServiceConfig,
+    respawn: bool,
+    max_respawns: u32,
+    replication: usize,
+    /// The durable dispatch journal, when configured.
+    journal: Option<Journal>,
+    /// Recently dispatched `synth` frames, one per cache key — the
+    /// supervisor's warm list for a respawned worker's cold cache.
+    recent: Mutex<Vec<(u64, String)>>,
+    /// Keys already read-repaired since the last ring change, so a hot
+    /// key served from a replica does not re-put to its owner on every
+    /// request. Cleared whenever membership or a generation changes.
+    repaired: Mutex<Vec<u64>>,
 }
 
 impl Shared {
@@ -158,7 +221,17 @@ impl Shared {
     }
 
     fn worker_snapshot(&self) -> Vec<Arc<WorkerSlot>> {
-        self.workers.read().expect("workers lock").clone()
+        self.workers
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn walk_for(&self, key: (u64, u64)) -> crate::ring::Walk {
+        self.ring
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .walk(key)
     }
 
     fn stats_json(&self) -> String {
@@ -166,12 +239,15 @@ impl Shared {
     }
 }
 
-/// A running cluster: router + workers + health loop.
+/// A running cluster: router + workers + health loop (+ supervisor and
+/// journal replayer when configured).
 pub struct Cluster {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
     health: JoinHandle<()>,
+    supervisor: Option<JoinHandle<()>>,
+    replayer: Option<JoinHandle<()>>,
     drain_deadline: Duration,
 }
 
@@ -184,10 +260,14 @@ pub struct ClusterHandle {
 
 impl Cluster {
     /// Spawns `config.workers` in-process daemons, binds the router and
-    /// starts the accept and health loops.
+    /// starts the accept and health loops — plus the respawn supervisor
+    /// when `respawn` is set, and, with a `journal_dir`, opens the
+    /// dispatch journal and replays any incomplete entries from a prior
+    /// incarnation through normal dispatch.
     ///
     /// # Errors
-    /// Propagates bind failures (router or any worker).
+    /// Propagates bind failures (router or any worker) and journal I/O
+    /// failures.
     #[allow(clippy::needless_pass_by_value)] // mirrors Service::start
     pub fn start(config: ClusterConfig) -> std::io::Result<Cluster> {
         let worker_template = ServiceConfig {
@@ -209,6 +289,14 @@ impl Cluster {
         }
         let members: Vec<usize> = (0..slots.len()).collect();
         let ring = Ring::new(config.ring_seed, config.replicas, &members);
+
+        let (journal, replay) = match &config.journal_dir {
+            Some(dir) => {
+                let (journal, replay) = Journal::open(dir, config.chaos)?;
+                (Some(journal), replay)
+            }
+            None => (None, Vec::new()),
+        };
 
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -232,6 +320,12 @@ impl Cluster {
             replicas: config.replicas,
             worker_breaker: config.worker_breaker,
             worker_template,
+            respawn: config.respawn,
+            max_respawns: config.max_respawns,
+            replication: config.replication,
+            journal,
+            recent: Mutex::new(Vec::new()),
+            repaired: Mutex::new(Vec::new()),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -241,11 +335,21 @@ impl Cluster {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || health_loop(&shared))
         };
+        let supervisor = shared.respawn.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervisor_loop(&shared))
+        });
+        let replayer = (!replay.is_empty()).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || replay_journal(&shared, replay))
+        });
         Ok(Cluster {
             local_addr,
             shared,
             accept,
             health,
+            supervisor,
+            replayer,
             drain_deadline: config.drain_deadline,
         })
     }
@@ -280,6 +384,12 @@ impl Cluster {
         }
         let _ = self.accept.join();
         let _ = self.health.join();
+        if let Some(supervisor) = self.supervisor {
+            let _ = supervisor.join();
+        }
+        if let Some(replayer) = self.replayer {
+            let _ = replayer.join();
+        }
         let drained_by = Instant::now() + self.drain_deadline;
         while self.shared.connections_live.load(Ordering::SeqCst) > 0 && Instant::now() < drained_by
         {
@@ -313,13 +423,23 @@ impl ClusterHandle {
     /// Number of worker slots ever started (including dead ones).
     #[must_use]
     pub fn worker_count(&self) -> usize {
-        self.shared.workers.read().expect("workers lock").len()
+        self.shared
+            .workers
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Lifecycle state of worker `i`.
     #[must_use]
     pub fn worker_state(&self, i: usize) -> Option<WorkerState> {
         self.shared.worker_snapshot().get(i).map(|s| s.state())
+    }
+
+    /// Respawn generation of worker `i` (0 = the boot daemon).
+    #[must_use]
+    pub fn worker_generation(&self, i: usize) -> Option<u32> {
+        self.shared.worker_snapshot().get(i).map(|s| s.generation())
     }
 
     /// Serve-path counters of worker `i`'s daemon.
@@ -329,6 +449,13 @@ impl ClusterHandle {
             .worker_snapshot()
             .get(i)
             .map(|s| s.service_stats())
+    }
+
+    /// Accepted journal entries still awaiting a terminal outcome;
+    /// `None` when the cluster runs without a journal.
+    #[must_use]
+    pub fn journal_pending(&self) -> Option<usize> {
+        self.shared.journal.as_ref().map(Journal::pending)
     }
 
     /// Crash-stops worker `i` (the chaos harness's kill primitive):
@@ -365,7 +492,11 @@ impl ClusterHandle {
     /// # Errors
     /// Propagates the new daemon's bind failure.
     pub fn add_worker(&self) -> std::io::Result<usize> {
-        let mut workers = self.shared.workers.write().expect("workers lock");
+        let mut workers = self
+            .shared
+            .workers
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let idx = workers.len();
         let slot = spawn_worker(
             idx,
@@ -374,9 +505,19 @@ impl ClusterHandle {
         )?;
         workers.push(Arc::new(slot));
         let members: Vec<usize> = (0..workers.len()).collect();
-        let mut ring = self.shared.ring.write().expect("ring lock");
+        let mut ring = self
+            .shared
+            .ring
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let mut rebuilt = Ring::new(self.shared.ring_seed, self.shared.replicas, &members);
         std::mem::swap(&mut *ring, &mut rebuilt);
+        drop(ring);
+        self.shared
+            .repaired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         Ok(idx)
     }
 
@@ -388,12 +529,24 @@ impl ClusterHandle {
     /// The request does not describe a well-formed synthesis problem.
     pub fn placement(&self, request: &Request) -> Result<Vec<usize>, String> {
         let key = request_key(request)?;
-        Ok(self
-            .shared
-            .ring
-            .read()
-            .expect("ring lock")
-            .walk(key.halves()))
+        Ok(self.shared.walk_for(key.halves()).to_vec())
+    }
+
+    /// Test-only: poisons the ring and workers locks by panicking on a
+    /// helper thread while holding both write guards. Dispatch must keep
+    /// working afterwards — the poison-recovery regression.
+    #[doc(hidden)]
+    pub fn poison_locks_for_tests(&self) {
+        let shared = Arc::clone(&self.shared);
+        let _ = std::thread::spawn(move || {
+            let _ring = shared.ring.write().unwrap_or_else(PoisonError::into_inner);
+            let _workers = shared
+                .workers
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            panic!("deliberate poison: both router locks held");
+        })
+        .join();
     }
 }
 
@@ -448,7 +601,7 @@ fn health_loop(shared: &Arc<Shared>) {
                 BreakerDecision::Admit { .. } => {}
             }
             let ok = matches!(
-                roundtrip(slot.addr, "{\"id\":\"hc\",\"cmd\":\"ping\"}", shared.health_timeout),
+                roundtrip(slot.addr(), "{\"id\":\"hc\",\"cmd\":\"ping\"}", shared.health_timeout),
                 Ok(line) if line.contains("\"status\":\"pong\"")
             );
             let now = Instant::now();
@@ -457,6 +610,187 @@ fn health_loop(shared: &Arc<Shared>) {
             } else {
                 slot.breaker.record_failure(now);
             }
+        }
+    }
+}
+
+/// The respawn supervisor: scans for dead slots and adopts a fresh
+/// daemon into each, generation-bumped, breaker re-armed in probation,
+/// cache warmed from ring successors. Attempts are paced by a
+/// deterministic seeded [`Backoff`] (rung = slot index, attempt = the
+/// slot's respawn count) and budgeted by `max_respawns` per slot; an
+/// exhausted slot stays dead. A scheduled [`SelfHealFault::RespawnStorm`]
+/// kills the replacement on arrival — the supervisor then observes the
+/// death and tries again, which is exactly the storm the chaos sweep
+/// pins down as convergent.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let backoff = Backoff {
+        base: Duration::from_millis(50),
+        cap: Duration::from_secs(2),
+        seed: shared.ring_seed,
+    };
+    let mut attempts: HashMap<usize, u32> = HashMap::new();
+    let mut next_try: HashMap<usize, Instant> = HashMap::new();
+    while !shared.is_draining() {
+        std::thread::sleep(Duration::from_millis(25));
+        let workers = shared.worker_snapshot();
+        for (i, slot) in workers.iter().enumerate() {
+            if slot.state() != WorkerState::Dead {
+                continue;
+            }
+            let used = *attempts.get(&i).unwrap_or(&0);
+            if used >= shared.max_respawns {
+                continue;
+            }
+            let now = Instant::now();
+            if next_try.get(&i).is_some_and(|&t| now < t) {
+                continue;
+            }
+            attempts.insert(i, used + 1);
+            next_try.insert(i, now + backoff.delay(i, used as usize + 1));
+            let config = ServiceConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                ..shared.worker_template.clone()
+            };
+            let Ok(service) = Service::start(config) else {
+                continue; // retry after the backoff window
+            };
+            match slot.adopt(service) {
+                Ok(generation) => {
+                    ClusterStats::bump(&shared.stats.respawns);
+                    // Probation, not a fresh breaker: the newcomer must
+                    // earn its way back with one successful trial.
+                    slot.breaker.arm_probation(Instant::now());
+                    rebuild_ring(shared);
+                    warm_newcomer(shared, i);
+                    if shared.chaos.fault_for_respawn(i, generation)
+                        == Some(SelfHealFault::RespawnStorm)
+                    {
+                        ClusterStats::bump(&shared.stats.chaos_respawn_storms);
+                        slot.kill();
+                    }
+                }
+                Err(orphan) => {
+                    // The slot was revived by someone else (or never
+                    // died); stop the orphan daemon cleanly.
+                    orphan.handle().shutdown();
+                    let _ = orphan.join();
+                }
+            }
+        }
+    }
+}
+
+/// Rebuilds the ring over the full (append-only) membership. After a
+/// respawn the membership is unchanged, so this restores placement
+/// verbatim — the respawned slot owns exactly the keys it owned before.
+fn rebuild_ring(shared: &Arc<Shared>) {
+    let members: Vec<usize> = (0..shared.worker_snapshot().len()).collect();
+    shared
+        .ring
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .rebuild(&members);
+    // A topology (or generation) change invalidates the repair memory:
+    // the new owner of any key may be cold again.
+    shared
+        .repaired
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Warms a respawned worker's cold cache from its ring successors: for
+/// every remembered frame the newcomer owns, probe the other walk
+/// members for the entry and `put` the first hit to the newcomer. The
+/// receiving daemon re-validates through the certified-store gate, so a
+/// stale or damaged entry cannot poison the fresh cache.
+fn warm_newcomer(shared: &Arc<Shared>, idx: usize) {
+    let recent: Vec<(u64, String)> = shared
+        .recent
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    if recent.is_empty() {
+        return;
+    }
+    let workers = shared.worker_snapshot();
+    let newcomer = &workers[idx];
+    for (_, line) in recent {
+        let Ok(request) = parse_request(&line) else {
+            continue;
+        };
+        let Ok(key) = request_key(&request) else {
+            continue;
+        };
+        let walk = shared.walk_for(key.halves());
+        if walk.first() != Some(&idx) {
+            continue;
+        }
+        let Some(frame) = Json::parse(&line) else {
+            continue;
+        };
+        let probe_line = rewrite(
+            &frame,
+            &[
+                ("cmd", Json::Str("probe".to_owned())),
+                ("want_entry", Json::Bool(true)),
+            ],
+        );
+        for &j in &walk {
+            if j == idx || !workers[j].is_probeable() {
+                continue;
+            }
+            let Ok(resp) = roundtrip(workers[j].addr(), &probe_line, shared.probe_timeout) else {
+                continue;
+            };
+            let Some(parsed) = Json::parse(&resp) else {
+                continue;
+            };
+            if parsed.get("status").and_then(Json::as_str) != Some("ok") {
+                continue;
+            }
+            let Some(entry) = parsed.get("entry") else {
+                continue;
+            };
+            let put_line = rewrite(
+                &frame,
+                &[
+                    ("cmd", Json::Str("put".to_owned())),
+                    ("entry", entry.clone()),
+                ],
+            );
+            if matches!(
+                roundtrip(newcomer.addr(), &put_line, shared.probe_timeout),
+                Ok(r) if r.contains("\"status\":\"ok\"")
+            ) {
+                ClusterStats::bump(&shared.stats.warmed);
+            }
+            break;
+        }
+    }
+}
+
+/// Replays the journal's incomplete entries through normal dispatch.
+/// Each replayed request reaches a terminal outcome (its response is
+/// tagged `TS008` on the way through `annotate`) and is then marked
+/// completed; the original client is gone, so the response itself is
+/// discarded — the point is that the accepted work happens and the
+/// cache warms, never that a ghost client hears back.
+fn replay_journal(shared: &Arc<Shared>, entries: Vec<JournalEntry>) {
+    for entry in entries {
+        if shared.is_draining() {
+            return;
+        }
+        if let Ok(request) = parse_request(&entry.frame) {
+            if request.cmd == Cmd::Synth {
+                ClusterStats::bump(&shared.stats.journal_replays);
+                let _ = dispatch_synth(&entry.frame, &request, shared, true);
+            }
+        }
+        // Unparseable or non-synth frames are terminal by definition.
+        if let Some(journal) = &shared.journal {
+            journal.completed(entry.seq);
         }
     }
 }
@@ -535,7 +869,10 @@ enum LineVerdict {
     Close,
 }
 
-/// Parses and routes one frame, writing exactly one response line.
+/// Parses and routes one frame, writing exactly one response line. An
+/// accepted `synth` is journaled before dispatch and marked completed
+/// after its response line is written (or the client proved gone), so a
+/// router crash in between replays it on restart.
 fn serve_line(line: &str, shared: &Arc<Shared>, stream: &mut TcpStream) -> LineVerdict {
     let request = match parse_request(line) {
         Ok(r) => r,
@@ -545,6 +882,17 @@ fn serve_line(line: &str, shared: &Arc<Shared>, stream: &mut TcpStream) -> LineV
             let _ = write_line(stream, &reject.render_with(&shared.stats_json()));
             return LineVerdict::Close;
         }
+    };
+    let journal_seq = match (&shared.journal, request.cmd) {
+        (Some(journal), Cmd::Synth) => {
+            ClusterStats::bump(&shared.stats.journal_appends);
+            let seq = journal.accepted(line);
+            if shared.chaos.fault_for_journal_append(seq) == Some(SelfHealFault::JournalTorn) {
+                ClusterStats::bump(&shared.stats.chaos_journal_torn);
+            }
+            Some(seq)
+        }
+        _ => None,
     };
     let id = request.id.clone();
     let close_after = request.cmd == Cmd::Shutdown;
@@ -564,7 +912,14 @@ fn serve_line(line: &str, shared: &Arc<Shared>, stream: &mut TcpStream) -> LineV
             reject.render_with(&shared.stats_json())
         }
     };
-    if write_line(stream, &rendered).is_err() || close_after {
+    let write_ok = write_line(stream, &rendered).is_ok();
+    if let (Some(journal), Some(seq)) = (&shared.journal, journal_seq) {
+        // A failed write means the client hung up — the request still
+        // reached its terminal outcome; only a router crash may leave
+        // an entry pending.
+        journal.completed(seq);
+    }
+    if !write_ok || close_after {
         LineVerdict::Close
     } else {
         LineVerdict::KeepGoing
@@ -591,13 +946,28 @@ fn route(line: &str, request: &Request, shared: &Arc<Shared>) -> String {
             r.message = Some("draining: the cluster no longer accepts requests".to_owned());
             r.render_with(&shared.stats_json())
         }
-        Cmd::Synth => dispatch_synth(line, request, shared),
+        Cmd::Synth => dispatch_synth(line, request, shared, false),
         Cmd::Probe => dispatch_probe(line, request, shared),
+        Cmd::Put => dispatch_put(line, request, shared),
     }
 }
 
+/// Relay tags for [`annotate`]: which diagnostics the served response
+/// must gain on the way out.
+#[derive(Clone, Copy)]
+struct Tags<'a> {
+    /// Serving worker's stable name (for reject/error attribution).
+    worker: &'a str,
+    /// A non-owner served, or at least one candidate failed over (TS005).
+    failover: bool,
+    /// The serving worker is a respawned generation (TS007).
+    respawned: bool,
+    /// The request came back off the dispatch journal (TS008).
+    replayed: bool,
+}
+
 /// Full routing pipeline for one `synth` (see the module docs).
-fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String {
+fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>, replayed: bool) -> String {
     ClusterStats::bump(&shared.stats.requests);
     let key = match request_key(request) {
         Ok(k) => k,
@@ -607,12 +977,13 @@ fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String
                 .render_with(&shared.stats_json());
         }
     };
+    remember_frame(shared, key.halves().0, line);
     let deadline = request.deadline.unwrap_or(shared.default_deadline);
     let t_end = Instant::now() + deadline;
     // Ring before workers: membership is append-only and `add_worker`
     // pushes the slot before rebuilding the ring, so reading in this
     // order guarantees every walked index resolves to a slot.
-    let walk = shared.ring.read().expect("ring lock").walk(key.halves());
+    let walk = shared.walk_for(key.halves());
     let workers = shared.worker_snapshot();
     let owner = walk.first().copied();
     // The raw frame re-parsed as JSON so the forwarded copies (probe
@@ -623,15 +994,28 @@ fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String
         return Response::reject(Some(&request.id), RejectKind::Internal, "unroutable frame")
             .render_with(&shared.stats_json());
     };
+    let replicating = shared.replication > 1;
 
     // Peer cache tier: probe other workers' caches before spending a
     // solver anywhere. The predicted dispatch head is excluded — it
-    // will consult its own cache inline when the synth arrives.
+    // will consult its own cache inline when the synth arrives. With
+    // replication on, probes ask for the raw entry so a hit on a
+    // non-owner can be read-repaired back to the live owner.
     let head = walk
         .iter()
         .copied()
         .find(|&i| workers[i].is_dispatchable() && !workers[i].breaker.is_open(Instant::now()));
-    let probe_line = with_cmd(&frame, "probe");
+    let probe_line = if replicating {
+        rewrite(
+            &frame,
+            &[
+                ("cmd", Json::Str("probe".to_owned())),
+                ("want_entry", Json::Bool(true)),
+            ],
+        )
+    } else {
+        with_cmd(&frame, "probe")
+    };
     let probe_targets: Vec<usize> = walk
         .iter()
         .copied()
@@ -641,7 +1025,7 @@ fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String
     for i in probe_targets {
         ClusterStats::bump(&shared.stats.probes);
         let slot = &workers[i];
-        match roundtrip(slot.addr, &probe_line, shared.probe_timeout) {
+        match roundtrip(slot.addr(), &probe_line, shared.probe_timeout) {
             Ok(resp) => {
                 slot.breaker.record_success(Instant::now());
                 let parsed = Json::parse(&resp);
@@ -653,8 +1037,23 @@ fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String
                 {
                     ClusterStats::bump(&shared.stats.probe_hits);
                     ClusterStats::bump(&shared.stats.routed_ok);
-                    let failover = Some(i) != owner;
-                    if let Some(out) = annotate(&resp, &slot.name, failover, shared) {
+                    if let Some(parsed) = &parsed {
+                        read_repair(shared, &frame, key.halves().0, &walk, &workers, i, parsed);
+                    }
+                    // A cache-tier hit is only a *failover* when the
+                    // owner could not have served (dead, demoted, or
+                    // breaker-open); with a healthy owner, serving from
+                    // a warm peer is the shared cache tier working —
+                    // and the response stays byte-identical to the
+                    // owner's own answer.
+                    let failover = head != owner && Some(i) != owner;
+                    let tags = Tags {
+                        worker: &slot.name,
+                        failover,
+                        respawned: slot.generation() > 0,
+                        replayed,
+                    };
+                    if let Some(out) = annotate(&resp, tags, shared) {
                         return out;
                     }
                 }
@@ -709,7 +1108,7 @@ fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String
             }
             Some(ClusterFault::TornFrame) => {
                 ClusterStats::bump(&shared.stats.chaos_torn);
-                send_torn_frame(slot.addr, &with_deadline(&frame, remaining));
+                send_torn_frame(slot.addr(), &with_deadline(&frame, remaining, false));
                 slot.breaker.record_failure(Instant::now());
                 failovers += 1;
                 ClusterStats::bump(&shared.stats.failovers);
@@ -727,8 +1126,12 @@ fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String
             None => {}
         }
         attempt += 1;
-        let dispatch_line = with_deadline(&frame, remaining);
-        if let Ok(resp) = roundtrip(slot.addr, &dispatch_line, remaining + shared.dispatch_grace) {
+        let dispatch_line = with_deadline(&frame, remaining, replicating);
+        if let Ok(resp) = roundtrip(
+            slot.addr(),
+            &dispatch_line,
+            remaining + shared.dispatch_grace,
+        ) {
             let Some(parsed) = Json::parse(&resp) else {
                 // A garbled frame is transport failure, not truth.
                 slot.breaker.record_failure(Instant::now());
@@ -743,8 +1146,19 @@ fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String
                 "error" => ClusterStats::bump(&shared.stats.routed_error),
                 _ => ClusterStats::bump(&shared.stats.relayed_rejects),
             }
+            if status == "ok" {
+                // Write-behind: copy the (fresh or cache-served)
+                // un-degraded entry to the next R−1 ring successors.
+                replicate(shared, &frame, key.halves().0, &walk, &workers, i, &parsed);
+            }
             let failover = failovers > 0 || Some(i) != owner;
-            if let Some(out) = annotate(&resp, &slot.name, failover, shared) {
+            let tags = Tags {
+                worker: &slot.name,
+                failover,
+                respawned: slot.generation() > 0,
+                replayed,
+            };
+            if let Some(out) = annotate(&resp, tags, shared) {
                 return out;
             }
             // Unannotatable yet parseable cannot happen (annotate only
@@ -790,6 +1204,150 @@ fn dispatch_synth(line: &str, request: &Request, shared: &Arc<Shared>) -> String
     r.render_with(&shared.stats_json())
 }
 
+/// Remembers one dispatched frame per cache key (bounded FIFO) — the
+/// supervisor's warm list for respawned workers.
+fn remember_frame(shared: &Arc<Shared>, key_low: u64, line: &str) {
+    let mut recent = shared.recent.lock().unwrap_or_else(PoisonError::into_inner);
+    if recent.iter().any(|(k, _)| *k == key_low) {
+        return;
+    }
+    if recent.len() >= RECENT_CAP {
+        recent.remove(0);
+    }
+    recent.push((key_low, line.to_owned()));
+}
+
+/// Write-behind replication: copy the serving worker's entry to the
+/// next `replication − 1` probeable walk members, in the background.
+/// Each target is subject to a seeded [`SelfHealFault::ReplicaDrop`].
+fn replicate(
+    shared: &Arc<Shared>,
+    frame: &Json,
+    key_low: u64,
+    walk: &[usize],
+    workers: &[Arc<WorkerSlot>],
+    served_by: usize,
+    parsed: &Json,
+) {
+    if shared.replication <= 1 {
+        return;
+    }
+    let Some(entry) = parsed.get("entry") else {
+        return; // the worker sent no entry (degraded path, old frame)
+    };
+    let mut targets: Vec<(usize, SocketAddr)> = Vec::new();
+    for &j in walk {
+        if targets.len() + 1 >= shared.replication {
+            break;
+        }
+        if j == served_by || !workers[j].is_probeable() {
+            continue;
+        }
+        targets.push((j, workers[j].addr()));
+    }
+    if targets.is_empty() {
+        return;
+    }
+    let put_line = rewrite(
+        frame,
+        &[
+            ("cmd", Json::Str("put".to_owned())),
+            ("entry", entry.clone()),
+        ],
+    );
+    spawn_puts(shared, put_line, targets, key_low, false);
+}
+
+/// Read-repair: a probe hit on a non-owner puts the entry back to the
+/// live owner in the background, restoring ownership locality.
+fn read_repair(
+    shared: &Arc<Shared>,
+    frame: &Json,
+    key_low: u64,
+    walk: &[usize],
+    workers: &[Arc<WorkerSlot>],
+    hit_on: usize,
+    parsed: &Json,
+) {
+    if shared.replication <= 1 {
+        return;
+    }
+    let Some(&owner) = walk.first() else {
+        return;
+    };
+    if owner == hit_on || !workers[owner].is_probeable() {
+        return;
+    }
+    let Some(entry) = parsed.get("entry") else {
+        return;
+    };
+    {
+        // Repair each key at most once per ring epoch: after the first
+        // put lands the owner is warm, and re-putting on every replica
+        // hit would cost a thread and an fsync per hot request.
+        let mut repaired = shared
+            .repaired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if repaired.contains(&key_low) {
+            return;
+        }
+        if repaired.len() >= RECENT_CAP {
+            repaired.remove(0);
+        }
+        repaired.push(key_low);
+    }
+    let put_line = rewrite(
+        frame,
+        &[
+            ("cmd", Json::Str("put".to_owned())),
+            ("entry", entry.clone()),
+        ],
+    );
+    spawn_puts(
+        shared,
+        put_line,
+        vec![(owner, workers[owner].addr())],
+        key_low,
+        true,
+    );
+}
+
+/// Fires `put` frames at the targets on a background thread (this is
+/// the *behind* in write-behind: the client's response never waits on
+/// replication). Dropped targets count `chaos_replica_drops`; stored
+/// copies count `replicas_put` or `read_repairs`.
+fn spawn_puts(
+    shared: &Arc<Shared>,
+    put_line: String,
+    targets: Vec<(usize, SocketAddr)>,
+    key_low: u64,
+    repair: bool,
+) {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        for (i, addr) in targets {
+            if shared.is_draining() {
+                return;
+            }
+            if shared.chaos.fault_for_replication(i, key_low) == Some(SelfHealFault::ReplicaDrop) {
+                ClusterStats::bump(&shared.stats.chaos_replica_drops);
+                continue;
+            }
+            if matches!(
+                roundtrip(addr, &put_line, shared.probe_timeout),
+                Ok(resp) if resp.contains("\"status\":\"ok\"")
+            ) {
+                if repair {
+                    ClusterStats::bump(&shared.stats.read_repairs);
+                } else {
+                    ClusterStats::bump(&shared.stats.replicas_put);
+                }
+            }
+        }
+    });
+}
+
 /// A client-facing `probe`: consult every non-dead worker's cache in
 /// walk order; the first hit is relayed, otherwise `miss`.
 fn dispatch_probe(line: &str, request: &Request, shared: &Arc<Shared>) -> String {
@@ -804,7 +1362,7 @@ fn dispatch_probe(line: &str, request: &Request, shared: &Arc<Shared>) -> String
     };
     // Ring before workers (see dispatch_synth): every walked index
     // then resolves to a slot.
-    let walk = shared.ring.read().expect("ring lock").walk(key.halves());
+    let walk = shared.walk_for(key.halves());
     let workers = shared.worker_snapshot();
     let owner = walk.first().copied();
     for &i in &walk {
@@ -813,7 +1371,7 @@ fn dispatch_probe(line: &str, request: &Request, shared: &Arc<Shared>) -> String
             continue;
         }
         ClusterStats::bump(&shared.stats.probes);
-        match roundtrip(slot.addr, line, shared.probe_timeout) {
+        match roundtrip(slot.addr(), line, shared.probe_timeout) {
             Ok(resp) => {
                 slot.breaker.record_success(Instant::now());
                 let parsed = Json::parse(&resp);
@@ -825,8 +1383,16 @@ fn dispatch_probe(line: &str, request: &Request, shared: &Arc<Shared>) -> String
                 {
                     ClusterStats::bump(&shared.stats.probe_hits);
                     ClusterStats::bump(&shared.stats.routed_ok);
-                    let failover = Some(i) != owner;
-                    if let Some(out) = annotate(&resp, &slot.name, failover, shared) {
+                    if let (Some(parsed), Some(frame)) = (&parsed, Json::parse(line)) {
+                        read_repair(shared, &frame, key.halves().0, &walk, &workers, i, parsed);
+                    }
+                    let tags = Tags {
+                        worker: &slot.name,
+                        failover: Some(i) != owner,
+                        respawned: slot.generation() > 0,
+                        replayed: false,
+                    };
+                    if let Some(out) = annotate(&resp, tags, shared) {
                         return out;
                     }
                 }
@@ -836,6 +1402,82 @@ fn dispatch_probe(line: &str, request: &Request, shared: &Arc<Shared>) -> String
     }
     ClusterStats::bump(&shared.stats.routed_ok);
     Response::outcome(&request.id, "miss").render_with(&shared.stats_json())
+}
+
+/// A client-facing `put`: store the replicated entry on the key's first
+/// `replication` probeable walk members (each worker re-validates the
+/// entry itself). The first worker's response is relayed; a rejection
+/// is terminal — the entry failed the certified-store gate and must not
+/// be offered to anyone else.
+fn dispatch_put(line: &str, request: &Request, shared: &Arc<Shared>) -> String {
+    ClusterStats::bump(&shared.stats.requests);
+    let key = match request_key(request) {
+        Ok(k) => k,
+        Err(msg) => {
+            ClusterStats::bump(&shared.stats.routed_error);
+            return Response::reject(Some(&request.id), RejectKind::BadRequest, msg)
+                .render_with(&shared.stats_json());
+        }
+    };
+    let walk = shared.walk_for(key.halves());
+    let workers = shared.worker_snapshot();
+    let copies = shared.replication.max(1);
+    let mut relayed: Option<(String, String)> = None;
+    let mut stored = 0usize;
+    for &i in &walk {
+        if stored >= copies {
+            break;
+        }
+        let slot = &workers[i];
+        if !slot.is_probeable() {
+            continue;
+        }
+        match roundtrip(slot.addr(), line, shared.probe_timeout) {
+            Ok(resp) => {
+                slot.breaker.record_success(Instant::now());
+                stored += 1;
+                let status = Json::parse(&resp)
+                    .as_ref()
+                    .and_then(|j| j.get("status"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned();
+                let rejected = status != "ok";
+                if relayed.is_none() {
+                    let tags = Tags {
+                        worker: &slot.name,
+                        failover: false,
+                        respawned: slot.generation() > 0,
+                        replayed: false,
+                    };
+                    if let Some(out) = annotate(&resp, tags, shared) {
+                        relayed = Some((status, out));
+                    }
+                }
+                if rejected {
+                    break;
+                }
+            }
+            Err(_) => slot.breaker.record_failure(Instant::now()),
+        }
+    }
+    if let Some((status, out)) = relayed {
+        if status == "ok" {
+            ClusterStats::bump(&shared.stats.routed_ok);
+        } else {
+            ClusterStats::bump(&shared.stats.relayed_rejects);
+        }
+        return out;
+    }
+    ClusterStats::bump(&shared.stats.sheds);
+    let mut r = Response::reject(
+        Some(&request.id),
+        RejectKind::Unavailable,
+        "no live worker could store the entry",
+    );
+    r.retry_after_ms = Some(100);
+    r.codes = vec![Code::ClusterUnavailable.as_str().to_owned()];
+    r.render_with(&shared.stats_json())
 }
 
 /// The typed deadline error for a request whose budget ran out while
@@ -905,58 +1547,85 @@ fn send_torn_frame(addr: SocketAddr, line: &str) {
 /// Re-renders the original frame with `cmd` replaced (field order and
 /// everything else preserved).
 fn with_cmd(frame: &Json, cmd: &str) -> String {
-    rewrite(frame, "cmd", Json::Str(cmd.to_owned()))
+    rewrite(frame, &[("cmd", Json::Str(cmd.to_owned()))])
 }
 
 /// Re-renders the original frame with `deadline_ms` set to the
-/// remaining budget — failover re-dispatch never restarts the clock.
-fn with_deadline(frame: &Json, remaining: Duration) -> String {
+/// remaining budget — failover re-dispatch never restarts the clock —
+/// and, when replication wants the entry back, `want_entry` asserted.
+fn with_deadline(frame: &Json, remaining: Duration, want_entry: bool) -> String {
     let ms = (remaining.as_millis() as u64).max(1);
-    rewrite(frame, "deadline_ms", Json::Num(ms))
+    if want_entry {
+        rewrite(
+            frame,
+            &[
+                ("deadline_ms", Json::Num(ms)),
+                ("want_entry", Json::Bool(true)),
+            ],
+        )
+    } else {
+        rewrite(frame, &[("deadline_ms", Json::Num(ms))])
+    }
 }
 
-fn rewrite(frame: &Json, key: &str, value: Json) -> String {
+/// Re-renders a frame with the given fields replaced (or appended),
+/// preserving the order of everything already present.
+fn rewrite(frame: &Json, changes: &[(&str, Json)]) -> String {
     let mut frame = frame.clone();
     if let Json::Obj(fields) = &mut frame {
-        match fields.iter_mut().find(|(k, _)| k == key) {
-            Some(slot) => slot.1 = value,
-            None => fields.push((key.to_owned(), value)),
+        for (key, value) in changes {
+            match fields.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = value.clone(),
+                None => fields.push(((*key).to_owned(), value.clone())),
+            }
         }
     }
     frame.render()
 }
 
 /// Relay surgery on a worker response line: substitute the cluster's
-/// `stats` trailer, tag rejections/errors with the serving worker's
-/// name, and append `TS005` when a non-owner served the request. Field
-/// order is preserved so relayed responses stay byte-comparable with
+/// `stats` trailer, strip the internal `entry` payload (it exists for
+/// the router's replication machinery, never for clients), tag
+/// rejections/errors with the serving worker's name, and append the
+/// routing diagnostics — `TS005` when a non-owner served, `TS007` when
+/// the serving worker is a respawned generation, `TS008` when the
+/// request was replayed from the dispatch journal. Field order is
+/// preserved so relayed responses stay byte-comparable with
 /// single-daemon ones (modulo exactly these fields).
-fn annotate(resp: &str, worker: &str, failover: bool, shared: &Arc<Shared>) -> Option<String> {
+fn annotate(resp: &str, tags: Tags<'_>, shared: &Arc<Shared>) -> Option<String> {
     let mut json = Json::parse(resp)?;
     let Json::Obj(fields) = &mut json else {
         return None;
     };
+    fields.retain(|(k, _)| k != "entry");
     let status = fields
         .iter()
         .find(|(k, _)| k == "status")
         .and_then(|(_, v)| v.as_str())
         .unwrap_or("")
         .to_owned();
-    if failover {
-        let code = Json::Str(Code::WorkerFailover.as_str().to_owned());
+    let mut extra: Vec<&str> = Vec::new();
+    if tags.failover {
+        extra.push(Code::WorkerFailover.as_str());
+    }
+    if tags.respawned {
+        extra.push(Code::WorkerRespawned.as_str());
+    }
+    if tags.replayed {
+        extra.push(Code::JournalReplayed.as_str());
+    }
+    for code in extra {
+        let value = Json::Str(code.to_owned());
         if let Some((_, Json::Arr(codes))) = fields.iter_mut().find(|(k, _)| k == "codes") {
-            if !codes
-                .iter()
-                .any(|c| c.as_str() == Some(Code::WorkerFailover.as_str()))
-            {
-                codes.push(code);
+            if !codes.iter().any(|c| c.as_str() == Some(code)) {
+                codes.push(value);
             }
         } else {
             let at = fields
                 .iter()
                 .position(|(k, _)| k == "stats")
                 .unwrap_or(fields.len());
-            fields.insert(at, ("codes".to_owned(), Json::Arr(vec![code])));
+            fields.insert(at, ("codes".to_owned(), Json::Arr(vec![value])));
         }
     }
     if matches!(status.as_str(), "rejected" | "error") {
@@ -964,7 +1633,7 @@ fn annotate(resp: &str, worker: &str, failover: bool, shared: &Arc<Shared>) -> O
             .iter()
             .position(|(k, _)| k == "stats")
             .unwrap_or(fields.len());
-        fields.insert(at, ("worker".to_owned(), Json::Str(worker.to_owned())));
+        fields.insert(at, ("worker".to_owned(), Json::Str(tags.worker.to_owned())));
     }
     let stats = Json::parse(&shared.stats_json())?;
     match fields.iter_mut().find(|(k, _)| k == "stats") {

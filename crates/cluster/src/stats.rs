@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct ClusterStats {
     /// Connections accepted by the router.
     pub connections: AtomicU64,
-    /// Routable requests received (`synth` + `probe`).
+    /// Routable requests received (`synth` + `probe` + `put`).
     pub requests: AtomicU64,
     /// Requests relayed with an `ok`, `degraded` or `miss` outcome.
     pub routed_ok: AtomicU64,
@@ -32,6 +32,18 @@ pub struct ClusterStats {
     pub failovers: AtomicU64,
     /// Lines that failed protocol parsing at the router.
     pub malformed: AtomicU64,
+    /// Dead slots revived by the supervisor (generation bumps).
+    pub respawns: AtomicU64,
+    /// Entries replicated to ring successors by write-behind.
+    pub replicas_put: AtomicU64,
+    /// Entries put back to the key's owner after a non-owner probe hit.
+    pub read_repairs: AtomicU64,
+    /// Entries warmed into a respawned worker's cold cache.
+    pub warmed: AtomicU64,
+    /// Accepted `synth` frames appended to the dispatch journal.
+    pub journal_appends: AtomicU64,
+    /// Journal entries replayed through dispatch after a restart.
+    pub journal_replays: AtomicU64,
     /// Injected worker-kill faults.
     pub chaos_kills: AtomicU64,
     /// Injected network-partition faults.
@@ -40,6 +52,12 @@ pub struct ClusterStats {
     pub chaos_torn: AtomicU64,
     /// Injected worker-stall faults.
     pub chaos_stalls: AtomicU64,
+    /// Injected respawn-storm faults (the replacement died on arrival).
+    pub chaos_respawn_storms: AtomicU64,
+    /// Injected replica-drop faults (a write-behind copy was lost).
+    pub chaos_replica_drops: AtomicU64,
+    /// Injected torn journal appends.
+    pub chaos_journal_torn: AtomicU64,
 }
 
 impl ClusterStats {
@@ -62,10 +80,19 @@ impl ClusterStats {
             probe_hits: self.probe_hits.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            replicas_put: self.replicas_put.load(Ordering::Relaxed),
+            read_repairs: self.read_repairs.load(Ordering::Relaxed),
+            warmed: self.warmed.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_replays: self.journal_replays.load(Ordering::Relaxed),
             chaos_kills: self.chaos_kills.load(Ordering::Relaxed),
             chaos_partitions: self.chaos_partitions.load(Ordering::Relaxed),
             chaos_torn: self.chaos_torn.load(Ordering::Relaxed),
             chaos_stalls: self.chaos_stalls.load(Ordering::Relaxed),
+            chaos_respawn_storms: self.chaos_respawn_storms.load(Ordering::Relaxed),
+            chaos_replica_drops: self.chaos_replica_drops.load(Ordering::Relaxed),
+            chaos_journal_torn: self.chaos_journal_torn.load(Ordering::Relaxed),
         }
     }
 }
@@ -84,10 +111,19 @@ pub struct ClusterSnapshot {
     pub probe_hits: u64,
     pub failovers: u64,
     pub malformed: u64,
+    pub respawns: u64,
+    pub replicas_put: u64,
+    pub read_repairs: u64,
+    pub warmed: u64,
+    pub journal_appends: u64,
+    pub journal_replays: u64,
     pub chaos_kills: u64,
     pub chaos_partitions: u64,
     pub chaos_torn: u64,
     pub chaos_stalls: u64,
+    pub chaos_respawn_storms: u64,
+    pub chaos_replica_drops: u64,
+    pub chaos_journal_torn: u64,
 }
 
 impl ClusterSnapshot {
@@ -98,8 +134,12 @@ impl ClusterSnapshot {
             "{{\"connections\":{},\"requests\":{},\"routed_ok\":{},\
              \"routed_error\":{},\"relayed_rejects\":{},\"sheds\":{},\
              \"probes\":{},\"probe_hits\":{},\"failovers\":{},\
-             \"malformed\":{},\"chaos_kills\":{},\"chaos_partitions\":{},\
-             \"chaos_torn\":{},\"chaos_stalls\":{}}}",
+             \"malformed\":{},\"respawns\":{},\"replicas_put\":{},\
+             \"read_repairs\":{},\"warmed\":{},\"journal_appends\":{},\
+             \"journal_replays\":{},\"chaos_kills\":{},\
+             \"chaos_partitions\":{},\"chaos_torn\":{},\"chaos_stalls\":{},\
+             \"chaos_respawn_storms\":{},\"chaos_replica_drops\":{},\
+             \"chaos_journal_torn\":{}}}",
             self.connections,
             self.requests,
             self.routed_ok,
@@ -110,10 +150,19 @@ impl ClusterSnapshot {
             self.probe_hits,
             self.failovers,
             self.malformed,
+            self.respawns,
+            self.replicas_put,
+            self.read_repairs,
+            self.warmed,
+            self.journal_appends,
+            self.journal_replays,
             self.chaos_kills,
             self.chaos_partitions,
             self.chaos_torn,
             self.chaos_stalls,
+            self.chaos_respawn_storms,
+            self.chaos_replica_drops,
+            self.chaos_journal_torn,
         )
     }
 }
@@ -129,10 +178,15 @@ mod tests {
         ClusterStats::bump(&stats.requests);
         ClusterStats::bump(&stats.requests);
         ClusterStats::bump(&stats.failovers);
+        ClusterStats::bump(&stats.respawns);
+        ClusterStats::bump(&stats.journal_replays);
         let snap = stats.snapshot();
         let json = Json::parse(&snap.to_json()).expect("stats render parses");
         assert_eq!(json.get("requests").and_then(Json::as_u64), Some(2));
         assert_eq!(json.get("failovers").and_then(Json::as_u64), Some(1));
         assert_eq!(json.get("sheds").and_then(Json::as_u64), Some(0));
+        assert_eq!(json.get("respawns").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("replicas_put").and_then(Json::as_u64), Some(0));
+        assert_eq!(json.get("journal_replays").and_then(Json::as_u64), Some(1));
     }
 }

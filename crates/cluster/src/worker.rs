@@ -1,8 +1,9 @@
 //! One worker slot: an in-process `troy-service` daemon plus the
 //! router-side health state wrapped around it.
 //!
-//! A slot's lifecycle is monotonic — `Live → Draining → Dead` — and the
-//! three states mean three different things to the dispatcher:
+//! A slot's state is a packed `(generation, state)` word. Within one
+//! generation the lifecycle is monotonic — `Live → Draining → Dead` —
+//! and the three states mean three different things to the dispatcher:
 //!
 //! - **Live**: dispatchable (subject to its rationed [`Breaker`]) and
 //!   probeable.
@@ -11,10 +12,18 @@
 //!   peer probes — graceful rebalance demotes without dropping work.
 //! - **Dead**: crash-stopped; skipped entirely. Requests it owned are
 //!   re-hashed to the next live worker on the ring.
+//!
+//! `Dead → Live` is legal exactly once per rebirth, through
+//! [`WorkerSlot::adopt`]: the respawn supervisor hands the slot a fresh
+//! in-process daemon and the state word moves `(g, Dead) → (g+1, Live)`
+//! in one compare-and-swap. The generation bump makes the transition
+//! race-free — a stale `escalate(Dead)` aimed at generation `g` can
+//! never kill generation `g+1` by accident, because `escalate` only
+//! upgrades within the generation it observed.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 use troy_service::{Breaker, BreakerConfig, Service, ServiceHandle, StatsSnapshot};
 
@@ -26,7 +35,8 @@ pub enum WorkerState {
     /// Cordoned: finishes in-flight work and answers cache probes, but
     /// receives no new syntheses.
     Draining,
-    /// Crash-stopped (or observed dead); skipped entirely.
+    /// Crash-stopped (or observed dead); skipped entirely until the
+    /// respawn supervisor adopts a replacement daemon into the slot.
     Dead,
 }
 
@@ -58,47 +68,114 @@ impl WorkerState {
     }
 }
 
+/// Low 2 bits carry the [`WorkerState`]; the rest count generations.
+const STATE_BITS: u32 = 2;
+const STATE_MASK: u32 = (1 << STATE_BITS) - 1;
+
+fn pack(generation: u32, state: WorkerState) -> u32 {
+    (generation << STATE_BITS) | u32::from(state.as_u8())
+}
+
+fn unpack(word: u32) -> (u32, WorkerState) {
+    (
+        word >> STATE_BITS,
+        WorkerState::from_u8((word & STATE_MASK) as u8),
+    )
+}
+
+/// The slot's current daemon: everything that changes on a respawn.
+struct Daemon {
+    addr: SocketAddr,
+    handle: ServiceHandle,
+    /// The owned daemon, taken exactly once at final drain.
+    service: Option<Service>,
+}
+
+impl Daemon {
+    fn wrap(service: Service) -> Daemon {
+        Daemon {
+            addr: service.local_addr(),
+            handle: service.handle(),
+            service: Some(service),
+        }
+    }
+}
+
 /// One worker daemon as the router sees it.
 pub struct WorkerSlot {
-    /// Stable short name (`w0`, `w1`, …), surfaced in typed errors.
+    /// Stable short name (`w0`, `w1`, …), surfaced in typed errors. The
+    /// name survives respawns; the generation distinguishes rebirths.
     pub name: String,
-    /// The worker daemon's bound address.
-    pub addr: SocketAddr,
     /// Rationed health breaker: periodic pings and dispatch outcomes
     /// both feed it, and an open breaker demotes the worker from
     /// dispatch without touching its state (it may still be probed).
+    /// A respawn re-arms it in probation rather than replacing it.
     pub breaker: Breaker,
-    /// Monotonic lifecycle state (`fetch_max`: never downgrades).
-    state: AtomicU8,
-    handle: ServiceHandle,
-    /// The owned daemon, taken exactly once at final drain.
-    service: Mutex<Option<Service>>,
+    /// Packed `(generation, state)` word; see the module docs.
+    state: AtomicU32,
+    /// The daemon currently occupying the slot; replaced on respawn.
+    daemon: RwLock<Daemon>,
+    /// Drained daemons of dead generations, parked until final drain so
+    /// their threads are never abandoned mid-test.
+    retired: Mutex<Vec<Service>>,
 }
 
 impl WorkerSlot {
-    /// Wraps a freshly started in-process daemon.
+    /// Wraps a freshly started in-process daemon as generation 0.
     #[must_use]
     pub fn new(name: String, service: Service, breaker: BreakerConfig) -> Self {
         WorkerSlot {
             name,
-            addr: service.local_addr(),
             breaker: Breaker::new(breaker),
-            state: AtomicU8::new(WorkerState::Live.as_u8()),
-            handle: service.handle(),
-            service: Mutex::new(Some(service)),
+            state: AtomicU32::new(pack(0, WorkerState::Live)),
+            daemon: RwLock::new(Daemon::wrap(service)),
+            retired: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The current daemon's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.daemon
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .addr
     }
 
     /// Current lifecycle state.
     #[must_use]
     pub fn state(&self) -> WorkerState {
-        WorkerState::from_u8(self.state.load(Ordering::SeqCst))
+        unpack(self.state.load(Ordering::SeqCst)).1
     }
 
-    /// Escalates the state; downgrades are ignored (a dead worker never
-    /// silently resurrects).
+    /// How many times the slot has been respawned (generation 0 is the
+    /// daemon that booted with the cluster).
+    #[must_use]
+    pub fn generation(&self) -> u32 {
+        unpack(self.state.load(Ordering::SeqCst)).0
+    }
+
+    /// Escalates the state within the observed generation; downgrades
+    /// are ignored, and an escalation that races a respawn simply lands
+    /// on the new generation (or kills it — which the supervisor then
+    /// observes and handles like any other death).
     pub fn escalate(&self, to: WorkerState) {
-        self.state.fetch_max(to.as_u8(), Ordering::SeqCst);
+        let mut cur = self.state.load(Ordering::SeqCst);
+        loop {
+            let (generation, state) = unpack(cur);
+            if state.as_u8() >= to.as_u8() {
+                return;
+            }
+            match self.state.compare_exchange_weak(
+                cur,
+                pack(generation, to),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
     }
 
     /// May receive new syntheses (breaker permitting).
@@ -116,7 +193,11 @@ impl WorkerSlot {
     /// Crash-stops the worker daemon the way a `SIGKILL` would — pending
     /// responses are dropped, peers see EOF — and marks the slot dead.
     pub fn kill(&self) {
-        self.handle.kill();
+        self.daemon
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .handle
+            .kill();
         self.escalate(WorkerState::Dead);
     }
 
@@ -127,13 +208,68 @@ impl WorkerSlot {
         self.escalate(WorkerState::Draining);
     }
 
+    /// Adopts a fresh daemon into a dead slot: the state word moves
+    /// `(g, Dead) → (g+1, Live)` in one compare-and-swap, the slot's
+    /// address and handle switch to the newcomer, and the previous
+    /// (killed) daemon is parked for final drain. Returns the new
+    /// generation, or — when the slot is not dead (it was never killed,
+    /// or a concurrent adopt won) — hands `service` back untouched so
+    /// the caller can stop the orphan daemon.
+    ///
+    /// # Errors
+    /// The slot is not dead; `service` is returned unadopted.
+    pub fn adopt(&self, service: Service) -> Result<u32, Service> {
+        // Serialize adopts through the daemon write lock so two
+        // concurrent supervisors cannot interleave the CAS and the
+        // daemon swap.
+        let mut daemon = self.daemon.write().unwrap_or_else(PoisonError::into_inner);
+        let mut cur = self.state.load(Ordering::SeqCst);
+        loop {
+            let (generation, state) = unpack(cur);
+            if state != WorkerState::Dead || generation >= u32::MAX >> STATE_BITS {
+                return Err(service);
+            }
+            let next = generation + 1;
+            match self.state.compare_exchange(
+                cur,
+                pack(next, WorkerState::Live),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    let old = std::mem::replace(&mut *daemon, Daemon::wrap(service));
+                    if let Some(dead) = old.service {
+                        self.retired
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(dead);
+                    }
+                    return Ok(next);
+                }
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
     /// Begins the daemon's own graceful drain and blocks for it,
     /// returning the final serve-path counters. `None` after the first
     /// call (the daemon can be joined once) or for a slot with no
-    /// in-process daemon.
+    /// in-process daemon. Retired daemons from dead generations are
+    /// joined here too, so respawns never abandon threads.
     pub fn shutdown_service(&self) -> Option<StatsSnapshot> {
         self.escalate(WorkerState::Draining);
-        let service = self.service.lock().expect("worker slot lock").take()?;
+        for dead in
+            std::mem::take(&mut *self.retired.lock().unwrap_or_else(PoisonError::into_inner))
+        {
+            dead.handle().shutdown();
+            let _ = dead.join();
+        }
+        let service = self
+            .daemon
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .service
+            .take()?;
         service.handle().shutdown();
         Some(service.join())
     }
@@ -141,7 +277,11 @@ impl WorkerSlot {
     /// Point-in-time serve-path counters of the worker daemon.
     #[must_use]
     pub fn service_stats(&self) -> StatsSnapshot {
-        self.handle.stats()
+        self.daemon
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .handle
+            .stats()
     }
 }
 
@@ -151,10 +291,11 @@ mod tests {
     use troy_service::{Service, ServiceConfig};
 
     #[test]
-    fn lifecycle_is_monotonic() {
+    fn lifecycle_is_monotonic_within_a_generation() {
         let service = Service::start(ServiceConfig::default()).expect("worker starts");
         let slot = WorkerSlot::new("w0".into(), service, BreakerConfig::default());
         assert_eq!(slot.state(), WorkerState::Live);
+        assert_eq!(slot.generation(), 0);
         assert!(slot.is_dispatchable() && slot.is_probeable());
 
         slot.cordon();
@@ -169,5 +310,70 @@ mod tests {
         assert!(!slot.is_probeable());
         let _ = slot.shutdown_service();
         assert!(slot.shutdown_service().is_none(), "joinable exactly once");
+    }
+
+    #[test]
+    fn adopt_revives_a_dead_slot_under_a_new_generation() {
+        let service = Service::start(ServiceConfig::default()).expect("worker starts");
+        let slot = WorkerSlot::new("w0".into(), service, BreakerConfig::default());
+        let first_addr = slot.addr();
+
+        // A live slot refuses adoption: Dead → Live is the only legal
+        // rebirth edge — and the orphan daemon comes back to its owner.
+        let intruder = Service::start(ServiceConfig::default()).expect("intruder starts");
+        let intruder = slot.adopt(intruder).expect_err("live slot refuses");
+        intruder.handle().shutdown();
+        let _ = intruder.join();
+
+        slot.kill();
+        assert_eq!(slot.state(), WorkerState::Dead);
+        let replacement = Service::start(ServiceConfig::default()).expect("replacement starts");
+        let new_addr = replacement.local_addr();
+        assert_eq!(slot.adopt(replacement).ok(), Some(1));
+        assert_eq!(slot.state(), WorkerState::Live, "Dead → Live is legal");
+        assert_eq!(slot.generation(), 1);
+        assert_eq!(slot.addr(), new_addr);
+        assert_ne!(slot.addr(), first_addr, "the newcomer has its own port");
+        assert!(slot.is_dispatchable() && slot.is_probeable());
+
+        // The lifecycle restarts monotonic within the new generation…
+        slot.kill();
+        assert_eq!(slot.state(), WorkerState::Dead);
+        assert_eq!(slot.generation(), 1, "a kill never touches the generation");
+        // …and a second rebirth bumps it again.
+        let third = Service::start(ServiceConfig::default()).expect("third starts");
+        assert_eq!(slot.adopt(third).ok(), Some(2));
+        assert_eq!(slot.generation(), 2);
+        let _ = slot.shutdown_service();
+    }
+
+    #[test]
+    fn concurrent_adopts_admit_exactly_one_winner() {
+        let service = Service::start(ServiceConfig::default()).expect("worker starts");
+        let slot = WorkerSlot::new("w0".into(), service, BreakerConfig::default());
+        slot.kill();
+        let outcomes: Vec<Option<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        match slot.adopt(Service::start(ServiceConfig::default()).expect("starts"))
+                        {
+                            Ok(generation) => Some(generation),
+                            Err(orphan) => {
+                                orphan.handle().shutdown();
+                                let _ = orphan.join();
+                                None
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let winners: Vec<u32> = outcomes.into_iter().flatten().collect();
+        assert_eq!(winners, vec![1], "exactly one adopt wins, as generation 1");
+        assert_eq!(slot.generation(), 1);
+        assert_eq!(slot.state(), WorkerState::Live);
+        let _ = slot.shutdown_service();
     }
 }

@@ -525,6 +525,276 @@ fn router_rejects_malformed_frames_with_a_typed_diagnosis() {
     let _ = cluster.join();
 }
 
+/// Polls `probe` until it returns true or `budget` elapses.
+fn wait_for(budget: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + budget;
+    loop {
+        if probe() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Write-behind replication: after the owner solves a key, its entry is
+/// copied to a ring successor; killing the owner then serves the hot
+/// key from the replica — `cached`, byte-identical certificate, zero
+/// re-solves.
+#[test]
+fn killed_owner_serves_the_hot_key_from_a_replica_without_a_resolve() {
+    let config = ClusterConfig {
+        workers: 3,
+        replication: 2,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).expect("cluster");
+    let router = cluster.local_addr();
+    let handle = cluster.handle();
+
+    let hot = tiny_variant("hot", 0, 5000);
+    let owner = owner_of(&cluster, &hot);
+    let fresh = roundtrip(router, &hot, Duration::from_secs(10)).expect("fresh solve");
+    assert_eq!(status(&fresh), "ok", "{fresh:?}");
+    assert!(fresh.get("cached").is_none(), "first solve is fresh");
+    let cost = fresh.get("cost").and_then(Json::as_u64).expect("cost");
+    let certificate = fresh.get("certificate").cloned().expect("certificate");
+
+    // The write-behind put is asynchronous; wait for it to land on a
+    // successor (its `put_stores` counter proves the certified-store
+    // gate accepted the entry).
+    let landed = wait_for(Duration::from_secs(5), || {
+        (0..3).any(|i| i != owner && handle.worker_stats(i).is_some_and(|s| s.put_stores >= 1))
+    });
+    assert!(landed, "write-behind must replicate the fresh entry");
+    let replica = (0..3)
+        .find(|&i| i != owner && handle.worker_stats(i).is_some_and(|s| s.put_stores >= 1))
+        .expect("replica index");
+    let replica_hits_before = handle.worker_stats(replica).expect("stats").cache_hits;
+
+    assert!(handle.kill_worker(owner), "crash-stop the owner");
+
+    let again = tiny_variant("hot-again", 0, 5000);
+    let resp = roundtrip(router, &again, Duration::from_secs(10)).expect("replica hit");
+    assert_eq!(status(&resp), "ok", "{resp:?}");
+    assert_eq!(
+        resp.get("cached"),
+        Some(&Json::Bool(true)),
+        "the replica serves from cache — zero re-solves: {resp:?}"
+    );
+    assert_eq!(resp.get("cost").and_then(Json::as_u64), Some(cost));
+    assert_eq!(
+        resp.get("certificate"),
+        Some(&certificate),
+        "the replicated entry must reproduce the identical certificate"
+    );
+    assert!(
+        codes(&resp).contains(&"TS005".to_owned()),
+        "a dead owner's key served elsewhere is a failover: {resp:?}"
+    );
+    assert!(stat(&resp, "replicas_put") >= 1, "{resp:?}");
+    let replica_snap = handle.worker_stats(replica).expect("stats");
+    assert!(
+        replica_snap.cache_hits > replica_hits_before,
+        "the answer came from the replica's cache, not a fresh solve"
+    );
+
+    handle.shutdown();
+    let _ = cluster.join();
+}
+
+/// Generation-aware respawn: the supervisor revives a killed worker
+/// under a new generation, warms its cache from a ring successor, and
+/// requests it then serves carry `TS007`.
+#[test]
+fn supervisor_respawns_a_killed_worker_with_a_new_generation_and_warm_cache() {
+    let config = ClusterConfig {
+        workers: 2,
+        respawn: true,
+        max_respawns: 3,
+        replication: 2,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).expect("cluster");
+    let router = cluster.local_addr();
+    let handle = cluster.handle();
+
+    let hot = tiny_variant("hot", 0, 5000);
+    let owner = owner_of(&cluster, &hot);
+    let fresh = roundtrip(router, &hot, Duration::from_secs(10)).expect("fresh solve");
+    assert_eq!(status(&fresh), "ok", "{fresh:?}");
+    let cost = fresh.get("cost").and_then(Json::as_u64).expect("cost");
+
+    // Let write-behind place the entry on the other worker, so the
+    // respawned owner has a warm source to pull from.
+    let other = 1 - owner;
+    assert!(
+        wait_for(Duration::from_secs(5), || handle
+            .worker_stats(other)
+            .is_some_and(|s| s.put_stores >= 1)),
+        "write-behind must land before the kill"
+    );
+
+    assert!(handle.kill_worker(owner));
+    assert!(
+        wait_for(Duration::from_secs(10), || handle.worker_state(owner)
+            == Some(WorkerState::Live)),
+        "the supervisor must revive the dead slot"
+    );
+    assert_eq!(
+        handle.worker_generation(owner),
+        Some(1),
+        "a respawn bumps the slot generation"
+    );
+    assert!(
+        wait_for(Duration::from_secs(5), || cluster.stats().warmed >= 1),
+        "the newcomer's cache is warmed from its ring successors"
+    );
+    assert!(cluster.stats().respawns >= 1);
+
+    // The hot key still serves, same cost, from cache (warm or replica).
+    let again = roundtrip(
+        router,
+        &tiny_variant("hot-again", 0, 5000),
+        Duration::from_secs(10),
+    )
+    .expect("post-respawn hit");
+    assert_eq!(status(&again), "ok", "{again:?}");
+    assert_eq!(again.get("cached"), Some(&Json::Bool(true)), "{again:?}");
+    assert_eq!(again.get("cost").and_then(Json::as_u64), Some(cost));
+
+    // A fresh key owned by the respawned worker: it solves it (the
+    // probation trial) and the response is tagged TS007.
+    // Variant 0 is the hot key — already cached — so only 1..6 are
+    // genuinely fresh work.
+    let fresh_line = (1..6)
+        .map(|v| tiny_variant(&format!("after{v}"), v, 5000))
+        .find(|line| owner_of(&cluster, line) == owner)
+        .expect("some variant hashes to the respawned worker");
+    let resp = roundtrip(router, &fresh_line, Duration::from_secs(10)).expect("respawned serve");
+    assert_eq!(status(&resp), "ok", "{resp:?}");
+    assert!(
+        codes(&resp).contains(&"TS007".to_owned()),
+        "work served by a respawned worker is tagged TS007: {resp:?}"
+    );
+    assert_certificate_discipline(&resp);
+
+    handle.shutdown();
+    let _ = cluster.join();
+}
+
+/// Durable dispatch journal: a router that crashed with accepted but
+/// incomplete entries — including a torn final frame — replays every
+/// one of them to a terminal outcome on restart.
+#[test]
+fn router_restart_replays_incomplete_journal_entries() {
+    use troy_cluster::journal::JOURNAL_FILE;
+    use troy_cluster::Journal;
+
+    let dir = std::env::temp_dir().join(format!("troy-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A "crashed" router's journal: two accepted entries with no
+    // terminal outcome, one completed entry, and a torn final frame.
+    {
+        let (journal, replay) = Journal::open(&dir, Chaos::disabled()).expect("journal");
+        assert!(replay.is_empty());
+        journal.accepted(&tiny_variant("lost0", 0, 5000));
+        journal.accepted(&tiny_variant("lost1", 1, 5000));
+        let done = journal.accepted(&tiny_variant("done", 2, 5000));
+        journal.completed(done);
+    }
+    {
+        let mut wal = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .expect("open wal");
+        wal.write_all(b"TJ1 00ff00ff00ff00ff {\"seq\":99,\"kind\":\"acc")
+            .expect("torn tail");
+    }
+
+    let config = ClusterConfig {
+        journal_dir: Some(dir.clone()),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).expect("cluster");
+    let router = cluster.local_addr();
+    let handle = cluster.handle();
+
+    assert!(
+        wait_for(Duration::from_secs(30), || handle.journal_pending()
+            == Some(0)),
+        "every incomplete entry must reach a terminal outcome"
+    );
+    assert_eq!(
+        cluster.stats().journal_replays,
+        2,
+        "exactly the two incomplete entries replay — not the completed \
+         one, not the torn tail"
+    );
+
+    // The replayed work is real: the keys are now warm in the cluster.
+    for (id, v) in [("check0", 0), ("check1", 1)] {
+        let resp = roundtrip(router, &tiny_variant(id, v, 5000), Duration::from_secs(10))
+            .expect("post-replay request");
+        assert_eq!(status(&resp), "ok", "{resp:?}");
+        assert_eq!(
+            resp.get("cached"),
+            Some(&Json::Bool(true)),
+            "replay solved and cached the journaled request: {resp:?}"
+        );
+    }
+
+    handle.shutdown();
+    let _ = cluster.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite regression: a panic while holding the router's ring or
+/// worker locks must not wedge dispatch — the lock guards recover from
+/// poisoning instead of unwrapping it into a cascade.
+#[test]
+fn dispatch_survives_a_panic_while_holding_router_locks() {
+    let cluster = Cluster::start(ClusterConfig::default()).expect("cluster");
+    let router = cluster.local_addr();
+    let handle = cluster.handle();
+
+    let before = roundtrip(
+        router,
+        &tiny_variant("pre", 0, 5000),
+        Duration::from_secs(10),
+    )
+    .expect("pre-poison solve");
+    assert_eq!(status(&before), "ok", "{before:?}");
+
+    handle.poison_locks_for_tests();
+
+    let after = roundtrip(
+        router,
+        &tiny_variant("post", 1, 5000),
+        Duration::from_secs(10),
+    )
+    .expect("dispatch must survive poisoned locks");
+    assert_eq!(status(&after), "ok", "{after:?}");
+    assert_certificate_discipline(&after);
+
+    // The cached path and placement (both read the poisoned locks)
+    // still work too.
+    let again = roundtrip(
+        router,
+        &tiny_variant("post2", 1, 5000),
+        Duration::from_secs(10),
+    )
+    .expect("cached after poison");
+    assert_eq!(again.get("cached"), Some(&Json::Bool(true)), "{again:?}");
+    let _ = owner_of(&cluster, &tiny_variant("post3", 2, 5000));
+
+    handle.shutdown();
+    let _ = cluster.join();
+}
+
 /// The tentpole soak: 104 seeds (or the one in
 /// `TROY_CLUSTER_SOAK_SEED`) of a three-worker cluster under seeded
 /// dispatch faults — worker kills, stalls, partitions, torn frames.
@@ -561,6 +831,9 @@ fn seeded_cluster_chaos_soak_never_loses_a_request() {
     let mut total = troy_cluster::ClusterSnapshot::default();
     let mut responses = 0u64;
     for &seed in &seeds {
+        let wal_dir =
+            std::env::temp_dir().join(format!("troy-soak-wal-{seed}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
         let config = ClusterConfig {
             workers: 3,
             chaos: Chaos::seeded(seed),
@@ -573,10 +846,15 @@ fn seeded_cluster_chaos_soak_never_loses_a_request() {
             default_deadline: Duration::from_secs(5),
             drain_deadline: Duration::from_secs(3),
             dispatch_grace: Duration::from_millis(400),
+            respawn: true,
+            max_respawns: 32,
+            replication: 2,
+            journal_dir: Some(wal_dir.clone()),
             ..ClusterConfig::default()
         };
         let cluster = Cluster::start(config).expect("cluster");
         let router = cluster.local_addr();
+        let handle = cluster.handle();
 
         for i in 0..10usize {
             // Variants repeat within a seed so the cache tier is
@@ -627,8 +905,30 @@ fn seeded_cluster_chaos_soak_never_loses_a_request() {
             }
         }
 
-        cluster.handle().shutdown();
+        // Self-heal convergence: every accepted request has a journaled
+        // terminal outcome, and every mid-sweep Dead worker is Live
+        // again under a new generation (the respawn budget of 32 is far
+        // beyond what a 20%-storm chain can consume).
+        assert!(
+            wait_for(Duration::from_secs(10), || handle.journal_pending()
+                == Some(0)),
+            "seed {seed}: journal entries left without a terminal outcome"
+        );
+        assert!(
+            wait_for(Duration::from_secs(15), || (0..3)
+                .all(|i| handle.worker_state(i) == Some(WorkerState::Live))),
+            "seed {seed}: a dead worker was never respawned"
+        );
+        if handle.stats().respawns > 0 {
+            assert!(
+                (0..3).any(|i| handle.worker_generation(i).unwrap_or(0) > 0),
+                "seed {seed}: a respawn must bump some slot's generation"
+            );
+        }
+
+        handle.shutdown();
         let snap = cluster.join();
+        let _ = std::fs::remove_dir_all(&wal_dir);
         total.requests += snap.requests;
         total.routed_ok += snap.routed_ok;
         total.routed_error += snap.routed_error;
@@ -637,10 +937,19 @@ fn seeded_cluster_chaos_soak_never_loses_a_request() {
         total.probes += snap.probes;
         total.probe_hits += snap.probe_hits;
         total.failovers += snap.failovers;
+        total.respawns += snap.respawns;
+        total.replicas_put += snap.replicas_put;
+        total.read_repairs += snap.read_repairs;
+        total.warmed += snap.warmed;
+        total.journal_appends += snap.journal_appends;
+        total.journal_replays += snap.journal_replays;
         total.chaos_kills += snap.chaos_kills;
         total.chaos_partitions += snap.chaos_partitions;
         total.chaos_torn += snap.chaos_torn;
         total.chaos_stalls += snap.chaos_stalls;
+        total.chaos_respawn_storms += snap.chaos_respawn_storms;
+        total.chaos_replica_drops += snap.chaos_replica_drops;
+        total.chaos_journal_torn += snap.chaos_journal_torn;
     }
 
     assert_eq!(
@@ -661,5 +970,24 @@ fn seeded_cluster_chaos_soak_never_loses_a_request() {
         assert!(total.chaos_torn > 0, "torn frames must fire: {total:?}");
         assert!(total.chaos_stalls > 0, "stalls must fire: {total:?}");
         assert!(total.failovers > 0, "failover must fire: {total:?}");
+        // The self-healing layers and their fault families.
+        assert!(total.respawns > 0, "respawn must fire: {total:?}");
+        assert!(
+            total.chaos_respawn_storms > 0,
+            "respawn storms must fire: {total:?}"
+        );
+        assert!(total.replicas_put > 0, "write-behind must fire: {total:?}");
+        assert!(
+            total.chaos_replica_drops > 0,
+            "replica drops must fire: {total:?}"
+        );
+        assert!(
+            total.journal_appends > 0,
+            "the journal must record accepts: {total:?}"
+        );
+        assert!(
+            total.chaos_journal_torn > 0,
+            "torn journal appends must fire: {total:?}"
+        );
     }
 }

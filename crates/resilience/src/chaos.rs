@@ -68,6 +68,27 @@ pub enum ClusterFault {
     TornFrame,
 }
 
+/// A fault injected into the cluster's *self-healing* machinery — the
+/// respawn supervisor, the successor-replication write-behind and the
+/// dispatch journal. These exist to prove the protection layer itself
+/// survives faults: a respawned worker that is killed again must be
+/// respawned again (until `--max-respawns`), a dropped replica put must
+/// cost only redundancy, and a torn journal frame must lose at most
+/// that one frame, never the journal's integrity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelfHealFault {
+    /// Crash-stop the freshly respawned worker again shortly after it
+    /// rejoins, so the supervisor must go around the loop once more.
+    RespawnStorm,
+    /// Tear the journal append mid-frame — the bytes of this frame are
+    /// truncated as a crashing writer would leave them; replay must skip
+    /// the torn frame and keep every other entry.
+    JournalTorn,
+    /// Drop a replication `put` on the floor before it reaches the
+    /// successor; the key simply ends up with one fewer replica.
+    ReplicaDrop,
+}
+
 /// A fault a misbehaving *client* inflicts on the synthesis service —
 /// the adversarial side of the wire protocol, injected by the soak
 /// harness's synthetic clients rather than by the server itself.
@@ -206,6 +227,42 @@ impl Chaos {
         }
     }
 
+    /// Whether a respawn storm is scheduled for the slot `worker`'s
+    /// rebirth as `generation` — the supervisor revives the worker and
+    /// the schedule kills it straight away, forcing another loop. A pure
+    /// function of `(seed, worker, generation)`; roughly 20% of respawns
+    /// storm, so a storm chain terminates with probability 1 well before
+    /// any sane `--max-respawns` budget.
+    #[must_use]
+    pub fn fault_for_respawn(&self, worker: usize, generation: u32) -> Option<SelfHealFault> {
+        let site = mix((worker as u64) ^ 0x72_6573_7061_776e) // "respawn"
+            ^ mix(u64::from(generation)).rotate_left(13);
+        let h = self.roll(site)?;
+        (h % 100 < 20).then_some(SelfHealFault::RespawnStorm)
+    }
+
+    /// Whether the journal append for sequence number `seq` is torn —
+    /// the frame's bytes are cut short the way a crash between `write`
+    /// and `fsync` would leave them. Roughly 8% of appends tear under an
+    /// enabled handle.
+    #[must_use]
+    pub fn fault_for_journal_append(&self, seq: u64) -> Option<SelfHealFault> {
+        let site = mix(seq ^ 0x6a_6f75_726e_616c); // "journal"
+        let h = self.roll(site)?;
+        (h % 100 < 8).then_some(SelfHealFault::JournalTorn)
+    }
+
+    /// Whether the replication `put` of the key fingerprinted by `key`
+    /// toward successor `worker` is dropped. Roughly 15% of puts drop
+    /// under an enabled handle.
+    #[must_use]
+    pub fn fault_for_replication(&self, worker: usize, key: u64) -> Option<SelfHealFault> {
+        let site = mix((worker as u64) ^ 0x72_6570_6c69_6361) // "replica"
+            ^ mix(key).rotate_left(31);
+        let h = self.roll(site)?;
+        (h % 100 < 15).then_some(SelfHealFault::ReplicaDrop)
+    }
+
     /// Applies the pre-attempt side of `fault` (stall or cancel);
     /// panics are the solver wrapper's job, see [`Chaos::maybe_panic`].
     pub fn apply_before_attempt(&self, fault: Option<InjectedFault>, token: &Cancellation) {
@@ -302,6 +359,60 @@ mod tests {
         for worker in 0..4 {
             for attempt in 0..4 {
                 assert_eq!(c.fault_for_dispatch(worker, 0xfeed, attempt), None);
+            }
+            assert_eq!(c.fault_for_respawn(worker, 1), None);
+            assert_eq!(c.fault_for_replication(worker, 0xfeed), None);
+        }
+        assert_eq!(c.fault_for_journal_append(0), None);
+    }
+
+    #[test]
+    fn selfheal_fault_schedules_are_deterministic_and_cover_all_families() {
+        let c = Chaos::seeded(41);
+        for worker in 0..3 {
+            for generation in 1..4 {
+                assert_eq!(
+                    c.fault_for_respawn(worker, generation),
+                    c.fault_for_respawn(worker, generation),
+                    "pure function of (seed, worker, generation)"
+                );
+            }
+        }
+        let (mut storms, mut torn, mut drops, mut clean) = (0, 0, 0, 0);
+        for seed in 0..96 {
+            let c = Chaos::seeded(seed);
+            for worker in 0..3 {
+                match c.fault_for_respawn(worker, 1) {
+                    Some(SelfHealFault::RespawnStorm) => storms += 1,
+                    Some(f) => panic!("respawn site yielded {f:?}"),
+                    None => clean += 1,
+                }
+                match c.fault_for_replication(worker, 0x9e37 * worker as u64) {
+                    Some(SelfHealFault::ReplicaDrop) => drops += 1,
+                    Some(f) => panic!("replication site yielded {f:?}"),
+                    None => clean += 1,
+                }
+            }
+            for seq in 0..8 {
+                match c.fault_for_journal_append(seq) {
+                    Some(SelfHealFault::JournalTorn) => torn += 1,
+                    Some(f) => panic!("journal site yielded {f:?}"),
+                    None => clean += 1,
+                }
+            }
+        }
+        assert!(
+            storms > 0 && torn > 0 && drops > 0 && clean > storms + torn + drops,
+            "{storms}/{torn}/{drops}/{clean}"
+        );
+        // Storm chains terminate: for every slot some generation is spared.
+        for seed in 0..96 {
+            let c = Chaos::seeded(seed);
+            for worker in 0..3 {
+                assert!(
+                    (1..32).any(|g| c.fault_for_respawn(worker, g).is_none()),
+                    "seed {seed} worker {worker}: storm never relents"
+                );
             }
         }
     }

@@ -42,7 +42,9 @@ pub mod chaos;
 mod supervisor;
 
 pub use backoff::{parse_duration, Backoff};
-pub use chaos::{Chaos, ClusterFault, InjectedFault, ServiceFault, CHAOS_PANIC_MARKER};
+pub use chaos::{
+    Chaos, ClusterFault, InjectedFault, SelfHealFault, ServiceFault, CHAOS_PANIC_MARKER,
+};
 pub use supervisor::{
     supervise, Attempt, AttemptOutcome, Degradation, RungReport, Supervised, SupervisorConfig,
     SupervisorError, SupervisorErrorKind, GRACE_BUDGET, LADDER,

@@ -231,6 +231,23 @@ impl Breaker {
         *state = RationedState::default();
     }
 
+    /// Puts the breaker straight into the half-open state at `now`: the
+    /// next `admit` is the single probation trial, whose outcome closes
+    /// or re-opens the breaker as usual. The respawn supervisor arms a
+    /// revived worker's breaker this way, so a newcomer earns back full
+    /// traffic with one successful trial instead of inheriting either a
+    /// dead slot's open cooldown or unconditional trust.
+    pub fn arm_probation(&self, now: Instant) {
+        let mut state = self.state.lock().expect("breaker lock");
+        *state = RationedState {
+            consecutive_failures: 0,
+            // `open_until == now` means the cooldown has already elapsed:
+            // half-open, probe slot free.
+            open_until: Some(now),
+            probe_started: None,
+        };
+    }
+
     /// Records a failure; at the threshold the breaker opens until
     /// `now + cooldown`. A failure while half-open (the probe losing)
     /// re-opens immediately for another full cooldown.
@@ -391,6 +408,31 @@ mod tests {
         // a cooldown and the next caller may try again.
         let stale = half_open + Duration::from_millis(55);
         assert_eq!(b.admit(stale), BreakerDecision::Admit { probe: true });
+    }
+
+    #[test]
+    fn armed_probation_rations_one_trial_and_its_outcome_decides() {
+        // A respawned worker starts in probation: exactly one trial is
+        // admitted; success opens the floodgates, failure re-opens for a
+        // full cooldown.
+        let b = rationed(3, 100);
+        let t0 = Instant::now();
+        b.arm_probation(t0);
+        assert!(!b.is_open(t0), "probation is half-open, not open");
+        assert_eq!(b.admit(t0), BreakerDecision::Admit { probe: true });
+        assert!(
+            matches!(b.admit(t0), BreakerDecision::Reject { .. }),
+            "the probe slot is rationed during probation too"
+        );
+        b.record_success(t0);
+        assert_eq!(b.admit(t0), BreakerDecision::Admit { probe: false });
+        // Re-arm and fail the trial: one failure is enough to re-open,
+        // regardless of the threshold.
+        b.arm_probation(t0);
+        assert_eq!(b.admit(t0), BreakerDecision::Admit { probe: true });
+        b.record_failure(t0);
+        assert!(b.is_open(t0), "a failed probation trial re-opens");
+        assert_eq!(b.retry_after(t0), Some(Duration::from_millis(100)));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod stats;
 
 pub use admission::{Admission, Admitted, Permit};
 pub use breaker::{Breaker, BreakerConfig, BreakerDecision, Breakers};
-pub use json::Json;
+pub use json::{escape, Json};
 pub use protocol::{parse_request, Cmd, RejectKind, Request, Response};
 pub use server::{build_problem, request_key, Service, ServiceConfig, ServiceHandle, MAX_LINE};
 pub use stats::{ServiceStats, StatsSnapshot};

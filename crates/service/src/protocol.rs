@@ -39,6 +39,14 @@ pub enum Cmd {
     /// cache over the wire before dispatching the synthesis elsewhere,
     /// so one worker's warm result serves requests landing on another.
     Probe,
+    /// Result-cache insert: a `synth`-shaped request carrying a
+    /// serialized cache entry (`entry`) that the daemon re-validates
+    /// against the rebuilt problem — the same certified-store gate the
+    /// synthesis path uses — and stores on success. This is the
+    /// replication protocol: a cluster router writes a fresh result
+    /// behind to the key's ring successors so the entry outlives its
+    /// owner. Admission-bypassing like `probe`; no solver ever runs.
+    Put,
     /// Liveness probe.
     Ping,
     /// Report the serve-path counters.
@@ -72,6 +80,12 @@ pub struct Request {
     pub deadline: Option<Duration>,
     /// `true` pins the run to the primary rung (no ladder descent).
     pub no_degrade: bool,
+    /// Serialized cache entry (re-rendered JSON object) carried by a
+    /// `put` request.
+    pub entry: Option<String>,
+    /// `true` asks a `probe` hit to embed the raw cache entry in the
+    /// response (`entry` field) so the prober can replicate it onward.
+    pub want_entry: bool,
 }
 
 /// Parses one request line. The error string is relayed verbatim to the
@@ -90,6 +104,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let cmd = match json.get("cmd").and_then(Json::as_str) {
         Some("synth") => Cmd::Synth,
         Some("probe") => Cmd::Probe,
+        Some("put") => Cmd::Put,
         Some("ping") => Cmd::Ping,
         Some("stats") => Cmd::Stats,
         Some("shutdown") => Cmd::Shutdown,
@@ -145,6 +160,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             None | Some(Json::Null) => false,
             Some(Json::Bool(b)) => *b,
             Some(_) => return Err("`no_degrade` must be a boolean".into()),
+        },
+        entry: match json.get("entry") {
+            None | Some(Json::Null) => {
+                if cmd == Cmd::Put {
+                    return Err("`put` requires an `entry` object".into());
+                }
+                None
+            }
+            Some(obj @ Json::Obj(_)) => Some(obj.render()),
+            Some(_) => return Err("`entry` must be a JSON object".into()),
+        },
+        want_entry: match json.get("want_entry") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("`want_entry` must be a boolean".into()),
         },
     })
 }
@@ -241,6 +271,11 @@ pub struct Response {
     pub message: Option<String>,
     /// Back-pressure hint for `overloaded`/`circuit_open` rejections.
     pub retry_after_ms: Option<u64>,
+    /// Raw serialized cache entry (pre-rendered JSON object), embedded
+    /// only in `probe` hits that asked for it via `want_entry` — the
+    /// replication side channel. The cluster router strips this field
+    /// before relaying a response to a client.
+    pub entry: Option<String>,
 }
 
 impl Response {
@@ -334,6 +369,10 @@ impl Response {
         if let Some(retry) = self.retry_after_ms {
             let _ = write!(s, ",\"retry_after_ms\":{retry}");
         }
+        if let Some(entry) = &self.entry {
+            s.push_str(",\"entry\":");
+            s.push_str(entry);
+        }
         s.push_str(",\"stats\":");
         s.push_str(stats_json);
         s.push('}');
@@ -362,6 +401,25 @@ mod tests {
     }
 
     #[test]
+    fn put_requests_carry_a_re_rendered_entry_object() {
+        let r = parse_request(
+            r#"{"id":"p1","cmd":"put","benchmark":"polynom","entry":{"cost":4160,"proven_optimal":true,"timed_out":false,"winner":"exact","num_ops":9,"assignments":[[0,0,0,0]]}}"#,
+        )
+        .expect("well-formed");
+        assert_eq!(r.cmd, Cmd::Put);
+        let entry = r.entry.expect("entry survives the parse");
+        let back = Json::parse(&entry).expect("re-rendered entry parses");
+        assert_eq!(back.get("cost").and_then(Json::as_u64), Some(4160));
+        assert_eq!(back.get("winner").and_then(Json::as_str), Some("exact"));
+
+        let probe =
+            parse_request(r#"{"id":"p2","cmd":"probe","benchmark":"polynom","want_entry":true}"#)
+                .expect("well-formed");
+        assert!(probe.want_entry);
+        assert!(probe.entry.is_none());
+    }
+
+    #[test]
     fn typed_parse_failures() {
         for (line, fragment) in [
             ("not json", "not valid"),
@@ -377,6 +435,14 @@ mod tests {
             (
                 r#"{"id":"x","cmd":"synth","lambda_det":"four"}"#,
                 "non-negative integer",
+            ),
+            (
+                r#"{"id":"x","cmd":"put","benchmark":"polynom"}"#,
+                "requires an `entry`",
+            ),
+            (
+                r#"{"id":"x","cmd":"put","entry":[1]}"#,
+                "must be a JSON object",
             ),
         ] {
             let err = parse_request(line).unwrap_err();

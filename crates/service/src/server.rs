@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use troy_dfg::{benchmarks, parse_dfg};
 use troy_ilp::Cancellation;
-use troy_portfolio::{cache_key, Backend, CacheKey, PortfolioResult, ResultCache};
+use troy_portfolio::{cache_key, Backend, CacheKey, CachedEntry, PortfolioResult, ResultCache};
 use troy_resilience::{
     supervise, AttemptOutcome, Chaos, Degradation, SupervisorConfig, SupervisorErrorKind, LADDER,
 };
@@ -446,6 +446,7 @@ fn handle_request(request: &Request, shared: &Arc<Shared>) -> Response {
         }
         Cmd::Synth => handle_synth(request, shared),
         Cmd::Probe => handle_probe(request, shared),
+        Cmd::Put => handle_put(request, shared),
     }
 }
 
@@ -467,9 +468,53 @@ fn handle_probe(request: &Request, shared: &Arc<Shared>) -> Response {
     let key = cache_key(&problem, "serve", &SolveOptions::default());
     if let Some(hit) = shared.cache.lookup(&key, &problem) {
         ServiceStats::bump(&shared.stats.probe_hits);
-        return cache_hit_response(&request.id, &problem, &hit, t0);
+        let mut r = cache_hit_response(&request.id, &problem, &hit, t0);
+        if request.want_entry {
+            // The prober asked for the raw entry so it can replicate it
+            // onward (read-repair); the receiving end re-validates.
+            r.entry = Some(CachedEntry::from_result(&hit).to_json());
+        }
+        return r;
     }
     Response::outcome(&request.id, "miss")
+}
+
+/// Accepts a replicated cache entry from a peer: a `synth`-shaped
+/// request whose `entry` payload is parsed and re-validated against the
+/// rebuilt problem — the exact certified-store gate the cache's own
+/// lookup path enforces (valid design, matching cost) — and stored on
+/// success. An entry that fails the gate is rejected `bad_request` and
+/// never stored: replication must not become a cache-poisoning channel.
+/// Puts bypass admission and are accepted even while draining — they
+/// are cache writes, not solver work.
+fn handle_put(request: &Request, shared: &Arc<Shared>) -> Response {
+    ServiceStats::bump(&shared.stats.puts);
+    let problem = match build_problem(request) {
+        Ok(p) => p,
+        Err(msg) => {
+            return Response::reject(Some(&request.id), RejectKind::BadRequest, msg);
+        }
+    };
+    let Some(entry) = request.entry.as_deref().and_then(CachedEntry::from_json) else {
+        return Response::reject(
+            Some(&request.id),
+            RejectKind::BadRequest,
+            "`entry` does not parse as a cache entry",
+        );
+    };
+    let Some(result) = entry.to_result(&problem) else {
+        return Response::reject(
+            Some(&request.id),
+            RejectKind::BadRequest,
+            "`entry` failed re-validation against the request's problem",
+        );
+    };
+    let key = cache_key(&problem, "serve", &SolveOptions::default());
+    shared.cache.store(&key, &result);
+    ServiceStats::bump(&shared.stats.put_stores);
+    let mut r = Response::outcome(&request.id, "ok");
+    r.message = Some("entry stored".to_owned());
+    r
 }
 
 /// Renders a result-cache hit as a full `ok` response, certificate
@@ -558,7 +603,11 @@ fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
     if let Some(hit) = shared.cache.lookup(&key, &problem) {
         ServiceStats::bump(&shared.stats.cache_hits);
         ServiceStats::bump(&shared.stats.completed_ok);
-        return cache_hit_response(&request.id, &problem, &hit, t0);
+        let mut r = cache_hit_response(&request.id, &problem, &hit, t0);
+        if request.want_entry {
+            r.entry = Some(CachedEntry::from_result(&hit).to_json());
+        }
+        return r;
     }
 
     let config = SupervisorConfig {
@@ -585,6 +634,7 @@ fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
             if sup.relaxation > 0 {
                 codes.push(Code::ConstraintRelaxed.as_str().to_owned());
             }
+            let mut entry_json = None;
             if degraded {
                 ServiceStats::bump(&shared.stats.completed_degraded);
             } else {
@@ -597,6 +647,11 @@ fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
                     elapsed: sup.elapsed,
                 };
                 shared.cache.store(&key, &result);
+                if request.want_entry {
+                    // Only un-degraded results travel as entries — the
+                    // same rule the cache's own store path enforces.
+                    entry_json = Some(CachedEntry::from_result(&result).to_json());
+                }
             }
             let mut r = Response::outcome(&request.id, if degraded { "degraded" } else { "ok" });
             r.cost = Some(sup.synthesis.cost);
@@ -611,6 +666,7 @@ fn handle_synth(request: &Request, shared: &Arc<Shared>) -> Response {
             } else {
                 r.certificate = certificate_for(&problem, &sup.synthesis.implementation);
             }
+            r.entry = entry_json;
             r.codes = codes;
             r.elapsed_ms = Some(t0.elapsed().as_millis() as u64);
             r

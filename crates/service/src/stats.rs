@@ -32,6 +32,10 @@ pub struct ServiceStats {
     pub probes: AtomicU64,
     /// Peer cache lookups answered with a hit.
     pub probe_hits: AtomicU64,
+    /// Replicated cache inserts received (`put` requests).
+    pub puts: AtomicU64,
+    /// Replicated cache inserts that passed re-validation and stored.
+    pub put_stores: AtomicU64,
 }
 
 impl ServiceStats {
@@ -56,6 +60,8 @@ impl ServiceStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
             probe_hits: self.probe_hits.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            put_stores: self.put_stores.load(Ordering::Relaxed),
         }
     }
 }
@@ -76,6 +82,8 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     pub probes: u64,
     pub probe_hits: u64,
+    pub puts: u64,
+    pub put_stores: u64,
 }
 
 impl StatsSnapshot {
@@ -86,7 +94,7 @@ impl StatsSnapshot {
             "{{\"accepted\":{},\"shed_overload\":{},\"shed_circuit\":{},\
              \"completed_ok\":{},\"completed_degraded\":{},\"failed\":{},\
              \"panics\":{},\"malformed\":{},\"connections\":{},\"cache_hits\":{},\
-             \"probes\":{},\"probe_hits\":{}}}",
+             \"probes\":{},\"probe_hits\":{},\"puts\":{},\"put_stores\":{}}}",
             self.accepted,
             self.shed_overload,
             self.shed_circuit,
@@ -99,6 +107,8 @@ impl StatsSnapshot {
             self.cache_hits,
             self.probes,
             self.probe_hits,
+            self.puts,
+            self.put_stores,
         )
     }
 }
